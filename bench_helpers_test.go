@@ -1,0 +1,11 @@
+package main
+
+import (
+	"jrs/internal/cache"
+	"jrs/internal/pipeline"
+	"jrs/internal/trace"
+)
+
+func newPaperCaches() trace.Sink { return cache.PaperDefault() }
+
+func newPipeline() trace.Sink { return pipeline.New(pipeline.DefaultConfig(4)) }

@@ -1,0 +1,321 @@
+// Package jrs's top-level benchmarks regenerate every table and figure of
+// the paper, one testing.B benchmark per artifact, at each workload's
+// reduced benchmark scale (pass -scale via JRS_FULL=1 to use the full s1
+// defaults).
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports experiment-specific metrics (miss rates,
+// misprediction rates, IPC, speedups) via b.ReportMetric so `benchstat`
+// can track the reproduction's shape over time.
+package main
+
+import (
+	"os"
+	"testing"
+
+	"jrs/internal/core"
+	"jrs/internal/harness"
+	"jrs/internal/trace"
+	"jrs/internal/workloads"
+)
+
+func benchOpts() harness.Options {
+	return harness.Options{Quick: os.Getenv("JRS_FULL") == ""}
+}
+
+// BenchmarkFig1 regenerates the translate/execute breakdown and oracle.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var saving float64
+		for _, row := range r.Rows {
+			if row.Workload == "hello" {
+				saving = row.OptSaving()
+			}
+		}
+		b.ReportMetric(saving, "hello-opt-saving")
+	}
+}
+
+// BenchmarkTable1 regenerates the memory-footprint comparison.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, row := range r.Rows {
+			sum += row.Overhead()
+		}
+		b.ReportMetric(sum/float64(len(r.Rows)), "mean-jit-mem-overhead")
+	}
+}
+
+// BenchmarkFig2 regenerates the instruction-mix study.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.InterpMemExcess(), "interp-mem-excess")
+		b.ReportMetric(r.IndirectGap(), "indirect-gap")
+	}
+}
+
+// BenchmarkTable2 regenerates the branch-prediction study.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		minI, _ := r.GshareAccuracy(harness.ModeInterp)
+		minJ, _ := r.GshareAccuracy(harness.ModeJIT)
+		b.ReportMetric(minI, "gshare-acc-interp-min")
+		b.ReportMetric(minJ, "gshare-acc-jit-min")
+	}
+}
+
+// BenchmarkTable3 regenerates the cache reference/miss table.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dFrac float64
+		var n int
+		for _, ri := range r.ModeRows(harness.ModeInterp) {
+			for _, rj := range r.ModeRows(harness.ModeJIT) {
+				if ri.Workload == rj.Workload {
+					dFrac += float64(rj.D.Refs()) / float64(ri.D.Refs())
+					n++
+				}
+			}
+		}
+		b.ReportMetric(dFrac/float64(n), "jit-dref-fraction")
+	}
+}
+
+// BenchmarkFig3 regenerates the write-miss share sweep.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var f float64
+		var n int
+		for _, row := range r.Rows {
+			if row.Mode == harness.ModeJIT {
+				f += row.WriteMissFracs[3]
+				n++
+			}
+		}
+		b.ReportMetric(f/float64(n), "jit-64K-write-miss-frac")
+	}
+}
+
+// BenchmarkFig4 regenerates the mode-vs-compiled comparison.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].DMiss, "interp-dmiss")
+		b.ReportMetric(r.Rows[1].DMiss, "jit-dmiss")
+		b.ReportMetric(r.Rows[2].DMiss, "aot-dmiss")
+	}
+}
+
+// BenchmarkFig5 regenerates the translate-portion isolation.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wf float64
+		for _, row := range r.Rows {
+			wf += row.WriteFracInTranslate
+		}
+		b.ReportMetric(wf/float64(len(r.Rows)), "translate-write-miss-frac")
+	}
+}
+
+// BenchmarkFig6 regenerates the miss-over-time profile.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, pj := r.JITSpikiness()
+		b.ReportMetric(pj, "jit-peak-over-mean")
+	}
+}
+
+// BenchmarkFig7 regenerates the associativity sweep.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Mean relative improvement from direct-mapped to 2-way.
+		var imp float64
+		var n int
+		for _, row := range r.Rows {
+			if row.DMiss[0] > 0 {
+				imp += 1 - row.DMiss[1]/row.DMiss[0]
+				n++
+			}
+		}
+		b.ReportMetric(imp/float64(n), "dm-to-2way-dmiss-gain")
+	}
+}
+
+// BenchmarkFig8 regenerates the line-size sweep.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gain float64
+		var n int
+		for _, row := range r.Rows {
+			if row.IMiss[0] > 0 {
+				gain += 1 - row.IMiss[len(row.IMiss)-1]/row.IMiss[0]
+				n++
+			}
+		}
+		b.ReportMetric(gain/float64(n), "line16-to-128-imiss-gain")
+	}
+}
+
+// BenchmarkFig9 regenerates the IPC study (Figure 10 shares the runs).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ii := r.AvgIPC(harness.ModeInterp)
+		jj := r.AvgIPC(harness.ModeJIT)
+		b.ReportMetric(ii[2], "interp-ipc-w4")
+		b.ReportMetric(jj[2], "jit-ipc-w4")
+		b.ReportMetric(ii[3]/ii[0], "interp-scaling")
+		b.ReportMetric(jj[3]/jj[0], "jit-scaling")
+	}
+}
+
+// BenchmarkFig10 regenerates the normalized-execution-time view.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates the synchronization study.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.CaseAFrac(), "case-a-frac")
+		b.ReportMetric(r.MeanSpeedup(), "thin-lock-speedup")
+	}
+}
+
+// BenchmarkAblateInstall regenerates the A1/A2 installation ablation.
+func BenchmarkAblateInstall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.AblateInstall(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gain float64
+		var n int
+		for _, row := range r.Rows {
+			if row.DMissesWA > 0 {
+				gain += 1 - float64(row.DMissesDirect)/float64(row.DMissesWA)
+				n++
+			}
+		}
+		b.ReportMetric(gain/float64(n), "direct-install-dmiss-gain")
+	}
+}
+
+// BenchmarkAblateInline regenerates the devirtualization ablation.
+func BenchmarkAblateInline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.AblateInline(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var d float64
+		for _, row := range r.Rows {
+			d += row.IndirectFracOff - row.IndirectFracOn
+		}
+		b.ReportMetric(d/float64(len(r.Rows)), "devirt-indirect-reduction")
+	}
+}
+
+// BenchmarkAblateThreshold regenerates the policy sweep.
+func BenchmarkAblateThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.AblateThreshold(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Raw engine micro-benchmarks: execution cost per simulated instruction.
+
+func benchWorkload(b *testing.B, name string, mode harness.Mode, sinks ...trace.Sink) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		b.Fatal("unknown workload")
+	}
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		e, err := harness.Run(w, w.BenchN, mode, core.Config{}, sinks...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += e.TotalInstrs()
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "sim-instrs/op")
+}
+
+// BenchmarkEngineInterp measures raw interpretation speed.
+func BenchmarkEngineInterp(b *testing.B) { benchWorkload(b, "javac", harness.ModeInterp) }
+
+// BenchmarkEngineJIT measures raw translate+execute speed.
+func BenchmarkEngineJIT(b *testing.B) { benchWorkload(b, "javac", harness.ModeJIT) }
+
+// BenchmarkEngineWithCaches measures the cache-simulator overhead.
+func BenchmarkEngineWithCaches(b *testing.B) {
+	benchWorkload(b, "javac", harness.ModeJIT, newPaperCaches())
+}
+
+// BenchmarkEngineWithPipeline measures the pipeline-model overhead.
+func BenchmarkEngineWithPipeline(b *testing.B) {
+	benchWorkload(b, "javac", harness.ModeJIT, newPipeline())
+}

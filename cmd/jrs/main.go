@@ -1,0 +1,145 @@
+// Command jrs runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	jrs list                 show available experiments
+//	jrs <experiment>         run one experiment (fig1..fig11, table1..table3, ablate-*)
+//	jrs all                  run every experiment
+//	jrs run <workload>       execute one workload and print its output
+//
+// Flags:
+//
+//	-scale N    override every workload's input size (0 = default)
+//	-quick      use each workload's reduced benchmark scale
+//	-mode M     execution mode for `run` (interp, jit, aot, opt)
+//	-w names    comma-separated workload subset for experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jrs/internal/core"
+	"jrs/internal/harness"
+	"jrs/internal/workloads"
+)
+
+func main() {
+	scale := flag.Int("scale", 0, "workload input scale (0 = workload default)")
+	quick := flag.Bool("quick", false, "use reduced benchmark scales")
+	mode := flag.String("mode", "jit", "execution mode for `run`: interp, jit, aot, opt")
+	wsel := flag.String("w", "", "comma-separated workload subset")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := harness.Options{Scale: *scale, Quick: *quick}
+	if *wsel != "" {
+		for _, name := range strings.Split(*wsel, ",") {
+			w, ok := workloads.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatalf("unknown workload %q", name)
+			}
+			opts.Workloads = append(opts.Workloads, w)
+		}
+	}
+
+	cmd := flag.Arg(0)
+	switch cmd {
+	case "list":
+		fmt.Println("experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-17s %s\n", e.Name, e.Desc)
+		}
+		fmt.Println("\nworkloads:")
+		for _, w := range workloads.All() {
+			fmt.Printf("  %-9s (default n=%d)  %s\n", w.Name, w.DefaultN, w.Desc)
+		}
+
+	case "all":
+		out, err := harness.RunAll(opts, func(name string) {
+			fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
+
+	case "run":
+		if flag.NArg() < 2 {
+			fatalf("run requires a workload name")
+		}
+		runWorkload(flag.Arg(1), *mode, opts)
+
+	default:
+		exp, ok := harness.Lookup(cmd)
+		if !ok {
+			fatalf("unknown experiment %q (try `jrs list`)", cmd)
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", exp.Name)
+		r, err := exp.Run(opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(r.Render())
+	}
+}
+
+func runWorkload(name, modeName string, opts harness.Options) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		fatalf("unknown workload %q", name)
+	}
+	scale := opts.Scale
+	if opts.Quick && scale == 0 {
+		scale = w.BenchN
+	}
+
+	var e *core.Engine
+	var err error
+	switch modeName {
+	case "interp":
+		e, err = harness.Run(w, scale, harness.ModeInterp, core.Config{})
+	case "jit":
+		e, err = harness.Run(w, scale, harness.ModeJIT, core.Config{})
+	case "aot":
+		e, err = harness.Run(w, scale, harness.ModeAOT, core.Config{})
+	case "opt":
+		e, _, err = harness.RunOracle(w, scale)
+	default:
+		fatalf("unknown mode %q", modeName)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(e.VM.Out.String())
+	exec, translate, load := e.PhaseInstrs()
+	fmt.Printf("\n[%s/%s] instructions: total=%d exec=%d translate=%d load=%d translations=%d footprint=%dKB\n",
+		w.Name, modeName, e.TotalInstrs(), exec, translate, load,
+		e.JIT.Translations, e.FootprintBytes()>>10)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `jrs — architectural studies of Java runtime systems (HPCA 2000 reproduction)
+
+usage:
+  jrs [flags] list
+  jrs [flags] <experiment>   e.g. fig1, table2, ablate-install
+  jrs [flags] all
+  jrs [flags] run <workload>
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jrs: "+format+"\n", args...)
+	os.Exit(1)
+}

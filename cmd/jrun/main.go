@@ -1,0 +1,97 @@
+// Command jrun executes a compiled class bundle (produced by cmd/mjc)
+// under any of the runtime configurations the library supports.
+//
+// Usage:
+//
+//	jrun [-mode interp|jit|mixed] [-threshold N] [-locks thin|fat|onebit]
+//	     [-stats] prog.jrsc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jrs/internal/classfile"
+	"jrs/internal/core"
+	"jrs/internal/emit"
+	"jrs/internal/monitor"
+)
+
+func main() {
+	mode := flag.String("mode", "jit", "execution mode: interp, jit, mixed")
+	threshold := flag.Uint64("threshold", 10, "invocation threshold for -mode mixed")
+	locks := flag.String("locks", "thin", "synchronization: thin, fat, onebit")
+	showStats := flag.Bool("stats", false, "print runtime statistics after execution")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jrun [flags] prog.jrsc\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	classes, err := classfile.Read(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var policy core.Policy
+	switch *mode {
+	case "interp":
+		policy = core.InterpretOnly{}
+	case "jit":
+		policy = core.CompileFirst{}
+	case "mixed":
+		policy = core.Threshold{N: *threshold}
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	var monitors func(*emit.Emitter) monitor.Manager
+	switch *locks {
+	case "thin":
+		monitors = func(em *emit.Emitter) monitor.Manager { return monitor.NewThin(em) }
+	case "fat":
+		monitors = func(em *emit.Emitter) monitor.Manager { return monitor.NewFat(em) }
+	case "onebit":
+		monitors = func(em *emit.Emitter) monitor.Manager { return monitor.NewOneBit(em) }
+	default:
+		fatalf("unknown lock implementation %q", *locks)
+	}
+
+	e := core.New(core.Config{Policy: policy, Monitors: monitors})
+	if err := e.VM.Load(classes); err != nil {
+		fatalf("%v", err)
+	}
+	main, err := e.VM.LookupMain()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := e.Run(main); err != nil {
+		fatalf("%v", err)
+	}
+	os.Stdout.WriteString(e.VM.Out.String())
+
+	if *showStats {
+		exec, translate, load := e.PhaseInstrs()
+		sync := e.VM.Monitors.Stats()
+		fmt.Fprintf(os.Stderr,
+			"\njrun: mode=%s instrs=%d (exec=%d translate=%d load=%d) "+
+				"translations=%d footprint=%dKB sync-ops=%d\n",
+			*mode, e.TotalInstrs(), exec, translate, load,
+			e.JIT.Translations, e.FootprintBytes()>>10, sync.Ops())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jrun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+// Adaptive compilation: the §3 "when or whether to translate" study on a
+// program with both hot and cold methods. Profiles interpret and JIT
+// passes, derives the oracle set N_i = T_i / (I_i − E_i), and compares
+// interpret-only, jit-first, threshold and oracle policies.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jrs/internal/core"
+	"jrs/internal/minijava"
+)
+
+// The program mixes archetypes deliberately: matmul is hot (translation
+// amortizes instantly), the report helpers run once (translation never
+// pays off), and validate sits in between.
+const program = `
+class Mat {
+	float[] a;
+	int n;
+	Mat(int size) { n = size; a = new float[size * size]; }
+	void fill(int seed) {
+		for (int i = 0; i < n * n; i = i + 1) {
+			a[i] = ((seed * (i + 7)) % 100) / 100.0;
+		}
+	}
+	float get(int r, int c) { return a[r * n + c]; }
+	void set(int r, int c, float v) { a[r * n + c] = v; }
+	// mul is the hot method: O(n^3) over floats.
+	void mul(Mat x, Mat y) {
+		for (int i = 0; i < n; i = i + 1) {
+			for (int j = 0; j < n; j = j + 1) {
+				float sum = 0.0;
+				for (int k = 0; k < n; k = k + 1) {
+					sum = sum + x.get(i, k) * y.get(k, j);
+				}
+				set(i, j, sum);
+			}
+		}
+	}
+	float traceSum() {
+		float s = 0.0;
+		for (int i = 0; i < n; i = i + 1) { s = s + get(i, i); }
+		return s;
+	}
+}
+class Report {
+	// One-shot formatting helpers: an ideal policy interprets these.
+	static void header(char[] title) {
+		Sys.print("== ");
+		Sys.print(title);
+		Sys.print(" ==");
+		Sys.printc(10);
+	}
+	static void metric(char[] name, int value) {
+		Sys.print("  ");
+		Sys.print(name);
+		Sys.print(": ");
+		Sys.printi(value);
+		Sys.printc(10);
+	}
+	static int validate(Mat m) {
+		int bad = 0;
+		for (int i = 0; i < m.n; i = i + 1) {
+			if (m.get(i, i) < 0.0) { bad = bad + 1; }
+		}
+		return bad;
+	}
+}
+class Main {
+	static void main() {
+		Mat a = new Mat(20);
+		Mat b = new Mat(20);
+		Mat c = new Mat(20);
+		a.fill(3);
+		b.fill(5);
+		for (int rep = 0; rep < 12; rep = rep + 1) {
+			c.mul(a, b);
+		}
+		Report.header("matmul");
+		Report.metric("bad", Report.validate(c));
+		Report.metric("trace1000", (int)(c.traceSum() * 1000.0));
+	}
+}`
+
+func run(policy core.Policy) *core.Engine {
+	classes, err := minijava.Compile("adaptive.mj", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := core.New(core.Config{Policy: policy})
+	if err := e.VM.Load(classes); err != nil {
+		log.Fatal(err)
+	}
+	entry, err := e.VM.LookupMain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := e.Run(entry); err != nil {
+		log.Fatal(err)
+	}
+	return e
+}
+
+func main() {
+	interp := run(core.InterpretOnly{})
+	jit := run(core.CompileFirst{})
+	fmt.Print(jit.VM.Out.String())
+
+	// Oracle: compile method i iff n_i * I_i > T_i + n_i * E_i.
+	set := map[int]bool{}
+	fmt.Println("\nper-method §3 analysis (I=interp cost, T=translate, E=exec cost per invocation):")
+	for id := range jit.Stats {
+		sj := jit.Stats[id]
+		if sj.Invocations == 0 || sj.TranslateInstrs == 0 {
+			continue
+		}
+		si := interp.Stats[id]
+		n := float64(sj.Invocations)
+		interpTotal := n * si.InterpAvg()
+		jitTotal := float64(sj.TranslateInstrs) + n*sj.ExecAvg()
+		compile := jitTotal < interpTotal
+		if compile {
+			set[id] = true
+		}
+		m := jit.VM.MethodByID[id]
+		crossover := "-"
+		if d := si.InterpAvg() - sj.ExecAvg(); d > 0 {
+			crossover = fmt.Sprintf("%.0f", float64(sj.TranslateInstrs)/d)
+		}
+		fmt.Printf("  %-22s n=%-5d I=%-7.0f T=%-6d E=%-7.0f N_i=%-5s -> %v\n",
+			m.FullName(), sj.Invocations, si.InterpAvg(), sj.TranslateInstrs,
+			sj.ExecAvg(), crossover, verdict(compile))
+	}
+
+	oracle := run(core.Oracle{Set: set})
+	thresh := run(core.Threshold{N: 5})
+
+	fmt.Println("\npolicy comparison (total native instructions):")
+	base := float64(jit.TotalInstrs())
+	for _, row := range []struct {
+		name string
+		e    *core.Engine
+	}{
+		{"interpret-only", interp},
+		{"jit-first-invocation", jit},
+		{"threshold-5", thresh},
+		{"oracle (opt)", oracle},
+	} {
+		fmt.Printf("  %-22s %10d  (%.3fx of jit-first)\n",
+			row.name, row.e.TotalInstrs(), float64(row.e.TotalInstrs())/base)
+	}
+}
+
+func verdict(compile bool) string {
+	if compile {
+		return "compile"
+	}
+	return "interpret"
+}

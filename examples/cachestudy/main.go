@@ -1,0 +1,86 @@
+// Cache study: attach several cache geometries to one workload run and
+// reproduce the paper's §4.3 analysis on it — including the translate-
+// phase isolation and the write-miss decomposition.
+//
+//	go run ./examples/cachestudy [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"jrs/internal/cache"
+	"jrs/internal/core"
+	"jrs/internal/trace"
+	"jrs/internal/workloads"
+)
+
+func main() {
+	name := "db"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q", name)
+	}
+
+	for _, policy := range []core.Policy{core.InterpretOnly{}, core.CompileFirst{}} {
+		// One run, five cache geometries observed simultaneously.
+		geoms := []struct {
+			label string
+			h     *cache.Hierarchy
+		}{
+			{"8K direct-mapped", cache.NewHierarchy(
+				cache.Config{Name: "I", Size: 8 << 10, LineSize: 32, Assoc: 1, WriteAllocate: true},
+				cache.Config{Name: "D", Size: 8 << 10, LineSize: 32, Assoc: 1, WriteAllocate: true})},
+			{"8K 4-way", cache.NewHierarchy(
+				cache.Config{Name: "I", Size: 8 << 10, LineSize: 32, Assoc: 4, WriteAllocate: true},
+				cache.Config{Name: "D", Size: 8 << 10, LineSize: 32, Assoc: 4, WriteAllocate: true})},
+			{"64K paper default", cache.PaperDefault()},
+			{"64K 16B lines", cache.NewHierarchy(
+				cache.Config{Name: "I", Size: 64 << 10, LineSize: 16, Assoc: 2, WriteAllocate: true},
+				cache.Config{Name: "D", Size: 64 << 10, LineSize: 16, Assoc: 4, WriteAllocate: true})},
+			{"64K 128B lines", cache.NewHierarchy(
+				cache.Config{Name: "I", Size: 64 << 10, LineSize: 128, Assoc: 2, WriteAllocate: true},
+				cache.Config{Name: "D", Size: 64 << 10, LineSize: 128, Assoc: 4, WriteAllocate: true})},
+		}
+		var sinks []trace.Sink
+		for _, g := range geoms {
+			sinks = append(sinks, g.h)
+		}
+
+		e := core.New(core.Config{Policy: policy, Sink: trace.Tee(sinks...)})
+		if err := e.VM.Load(w.Classes(0)); err != nil {
+			log.Fatal(err)
+		}
+		entry, err := e.VM.LookupMain()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.Run(entry); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s under %s (%d instructions):\n", w.Name, policy.Name(), e.TotalInstrs())
+		fmt.Printf("  %-18s %10s %8s %10s %8s %10s\n",
+			"geometry", "I refs", "I miss%", "D refs", "D miss%", "D wr-miss%")
+		for _, g := range geoms {
+			i, d := g.h.I.Stats, g.h.D.Stats
+			fmt.Printf("  %-18s %10d %7.3f%% %10d %7.3f%% %9.1f%%\n",
+				g.label, i.Refs(), 100*i.MissRate(), d.Refs(), 100*d.MissRate(),
+				100*d.WriteMissFrac())
+		}
+
+		// Translate-phase isolation (meaningful for the JIT run).
+		if policy.Name() == "jit" {
+			h := geoms[2].h
+			tD := h.D.PhaseStats[trace.PhaseTranslate]
+			fmt.Printf("  translate portion: %.1f%% of D misses, %.1f%% of them writes\n",
+				100*float64(tD.Misses())/float64(h.D.Stats.Misses()),
+				100*tD.WriteMissFrac())
+		}
+		fmt.Println()
+	}
+}

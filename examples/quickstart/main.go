@@ -1,0 +1,79 @@
+// Quickstart: compile a MiniJava program and execute it under the
+// interpreter and the JIT, printing the §3-style breakdown for both.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jrs/internal/core"
+	"jrs/internal/minijava"
+	"jrs/internal/trace"
+)
+
+const program = `
+class Main {
+	static int collatzLen(int n) {
+		int steps = 0;
+		while (n != 1) {
+			if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+			steps = steps + 1;
+		}
+		return steps;
+	}
+	static void main() {
+		int best = 0;
+		int bestN = 0;
+		for (int n = 1; n <= 2000; n = n + 1) {
+			int len = collatzLen(n);
+			if (len > best) { best = len; bestN = n; }
+		}
+		Sys.print("longest Collatz chain under 2000: n=");
+		Sys.printi(bestN);
+		Sys.print(" len=");
+		Sys.printi(best);
+		Sys.printc(10);
+	}
+}`
+
+func run(policy core.Policy) (*core.Engine, *trace.Counter) {
+	classes, err := minijava.Compile("quickstart.mj", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := &trace.Counter{}
+	e := core.New(core.Config{Policy: policy, Sink: mix})
+	if err := e.VM.Load(classes); err != nil {
+		log.Fatal(err)
+	}
+	entry, err := e.VM.LookupMain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := e.Run(entry); err != nil {
+		log.Fatal(err)
+	}
+	return e, mix
+}
+
+func main() {
+	interp, mixI := run(core.InterpretOnly{})
+	jit, mixJ := run(core.CompileFirst{})
+
+	fmt.Print(jit.VM.Out.String())
+	fmt.Println()
+
+	report := func(name string, e *core.Engine, mix *trace.Counter) {
+		exec, translate, load := e.PhaseInstrs()
+		fmt.Printf("%-7s  total=%9d  exec=%9d  translate=%6d  load=%5d  mem=%4.1f%%  indirect=%4.2f%%\n",
+			name, e.TotalInstrs(), exec, translate, load,
+			100*mix.MemFrac(), 100*mix.IndirectFrac())
+	}
+	report("interp", interp, mixI)
+	report("jit", jit, mixJ)
+	fmt.Printf("\nJIT speedup over interpretation: %.1fx (%d methods translated)\n",
+		float64(interp.TotalInstrs())/float64(jit.TotalInstrs()),
+		jit.JIT.Translations)
+}

@@ -1,0 +1,124 @@
+// Sync bench: a multithreaded producer/consumer program run under the
+// three synchronization substrates (§5): the JDK 1.1.6-style monitor
+// cache, Bacon thin locks, and the one-bit variant — with the four-case
+// classification and per-implementation instruction costs.
+//
+//	go run ./examples/syncbench
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jrs/internal/core"
+	"jrs/internal/emit"
+	"jrs/internal/minijava"
+	"jrs/internal/monitor"
+)
+
+const program = `
+class Queue {
+	int[] items;
+	int head, tail, count;
+	Queue(int cap) { items = new int[cap]; }
+	sync int put(int v) {
+		if (count == items.length) { return 0; }
+		items[tail] = v;
+		tail = (tail + 1) % items.length;
+		count = count + 1;
+		return 1;
+	}
+	sync int take() {
+		if (count == 0) { return 0 - 1; }
+		int v = items[head];
+		head = (head + 1) % items.length;
+		count = count - 1;
+		return v;
+	}
+}
+class Producer {
+	Queue q;
+	int n;
+	Producer(Queue qq, int nn) { q = qq; n = nn; }
+	void run() {
+		int sent = 0;
+		while (sent < n) {
+			if (q.put(sent) == 1) { sent = sent + 1; } else { Sys.yield(); }
+		}
+	}
+}
+class Consumer {
+	Queue q;
+	int n;
+	int sum;
+	Consumer(Queue qq, int nn) { q = qq; n = nn; }
+	void run() {
+		int got = 0;
+		while (got < n) {
+			int v = q.take();
+			if (v >= 0) { sum = sum + v; got = got + 1; } else { Sys.yield(); }
+		}
+	}
+}
+class Main {
+	static void main() {
+		Queue q = new Queue(16);
+		Producer p = new Producer(q, 3000);
+		Consumer c = new Consumer(q, 3000);
+		int tp = Sys.spawn(p);
+		int tc = Sys.spawn(c);
+		Sys.join(tp);
+		Sys.join(tc);
+		Sys.print("sum=");
+		Sys.printi(c.sum);
+		Sys.printc(10);
+	}
+}`
+
+func main() {
+	impls := []struct {
+		name string
+		mk   func(*emit.Emitter) monitor.Manager
+	}{
+		{"monitor-cache (JDK 1.1.6)", func(em *emit.Emitter) monitor.Manager { return monitor.NewFat(em) }},
+		{"thin locks (Bacon)", func(em *emit.Emitter) monitor.Manager { return monitor.NewThin(em) }},
+		{"one-bit locks (§6)", func(em *emit.Emitter) monitor.Manager { return monitor.NewOneBit(em) }},
+	}
+
+	var fatCost uint64
+	for _, impl := range impls {
+		classes, err := minijava.Compile("syncbench.mj", program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := core.New(core.Config{Policy: core.CompileFirst{}, Monitors: impl.mk})
+		if err := e.VM.Load(classes); err != nil {
+			log.Fatal(err)
+		}
+		entry, err := e.VM.LookupMain()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.Run(entry); err != nil {
+			log.Fatal(err)
+		}
+
+		st := e.VM.Monitors.Stats()
+		if impl.name[0] == 'm' {
+			fatCost = st.Instrs
+			fmt.Printf("program output: %s\n", e.VM.Out.String())
+			fmt.Printf("lock-operation classification (%d enters):\n", st.Enters)
+			for c := monitor.CaseA; c <= monitor.CaseD; c++ {
+				fmt.Printf("  case (%s): %6.2f%%\n", c, 100*st.CaseFrac(c))
+			}
+			fmt.Println()
+		}
+		speed := ""
+		if fatCost > 0 && st.Instrs > 0 && impl.name[0] != 'm' {
+			speed = fmt.Sprintf("  (%.2fx faster than monitor cache)",
+				float64(fatCost)/float64(st.Instrs))
+		}
+		fmt.Printf("%-27s sync cost = %8d instructions, %d contended block events%s\n",
+			impl.name, st.Instrs, st.BlockEvents, speed)
+	}
+}

@@ -1,0 +1,3 @@
+module jrs
+
+go 1.22

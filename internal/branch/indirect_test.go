@@ -1,0 +1,74 @@
+package branch
+
+import (
+	"testing"
+
+	"jrs/internal/trace"
+)
+
+// dispatchStream simulates an interpreter dispatch jump: one PC, targets
+// following a repeating bytecode pattern.
+func dispatchStream(n int, pattern []uint64) []trace.Inst {
+	var out []trace.Inst
+	for i := 0; i < n; i++ {
+		out = append(out, trace.Inst{
+			PC:     0x1000,
+			Class:  trace.IndirectJump,
+			Target: pattern[i%len(pattern)],
+			Taken:  true,
+		})
+	}
+	return out
+}
+
+func TestTargetCacheLearnsDispatchPattern(t *testing.T) {
+	pattern := []uint64{0x2000, 0x2100, 0x2200, 0x2100, 0x2300}
+	stream := dispatchStream(2000, pattern)
+
+	btb := NewUnit(NewGshare(256, 5), 256)
+	tc := NewIndirectUnit()
+	for _, in := range stream {
+		btb.Observe(in)
+		tc.Observe(in)
+	}
+	btbMiss := float64(btb.Stats.IndirectMispredicts) / float64(btb.Stats.Indirects)
+	tcMiss := float64(tc.Stats.IndirectMispredicts) / float64(tc.Stats.Indirects)
+	if btbMiss < 0.5 {
+		t.Fatalf("BTB should do badly on a patterned dispatch: %.2f", btbMiss)
+	}
+	if tcMiss > 0.1 {
+		t.Fatalf("target cache should learn the pattern: %.2f", tcMiss)
+	}
+}
+
+func TestTargetCacheBasics(t *testing.T) {
+	c := NewTargetCache(64, 8)
+	if _, ok := c.Predict(0x40); ok {
+		t.Fatal("cold cache should miss")
+	}
+	c.Update(0x40, 0x999)
+	// With unchanged history, the same index predicts.
+	c2 := NewTargetCache(64, 8)
+	c2.Update(0x40, 0x999)
+	// After update the history moved; predict uses new history (may or
+	// may not hit) — verify determinism instead.
+	t1, ok1 := c.Predict(0x40)
+	t2, ok2 := c2.Predict(0x40)
+	if ok1 != ok2 || t1 != t2 {
+		t.Fatal("target cache must be deterministic")
+	}
+}
+
+func TestIndirectUnitHandlesAllClasses(t *testing.T) {
+	u := NewIndirectUnit()
+	u.Emit(trace.Inst{PC: 4, Class: trace.Branch, Target: 8, Taken: true})
+	u.Emit(trace.Inst{PC: 8, Class: trace.Call, Target: 0x100, Taken: true})
+	u.Emit(trace.Inst{PC: 0x100, Class: trace.Ret, Target: 12, Taken: true})
+	u.Emit(trace.Inst{PC: 16, Class: trace.ALU}) // ignored
+	if u.Stats.Transfers() != 3 {
+		t.Fatalf("transfers = %d", u.Stats.Transfers())
+	}
+	if u.Stats.Mispredicts() > u.Stats.Transfers() {
+		t.Fatal("invariant")
+	}
+}

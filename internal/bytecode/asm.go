@@ -1,0 +1,144 @@
+package bytecode
+
+import "fmt"
+
+// Asm is a small bytecode assembler with label support, used by the
+// MiniJava code generator and by tests to build method bodies without
+// hand-computing branch targets.
+type Asm struct {
+	code   []Instr
+	labels map[string]int
+	// fixups maps instruction index -> label for branches emitted before
+	// their label was bound.
+	fixups map[int]string
+	err    error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int), fixups: make(map[int]string)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (a *Asm) Len() int { return len(a.code) }
+
+// Emit appends an instruction with no operands.
+func (a *Asm) Emit(op Op) *Asm { return a.Op(op, 0, 0) }
+
+// I appends an instruction with one operand.
+func (a *Asm) I(op Op, operand int32) *Asm { return a.Op(op, operand, 0) }
+
+// Op appends an instruction with two operands.
+func (a *Asm) Op(op Op, x, y int32) *Asm {
+	a.code = append(a.code, Instr{Op: op, A: x, B: y})
+	return a
+}
+
+// Label binds name to the next instruction index.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.err = fmt.Errorf("duplicate label %q", name)
+		return a
+	}
+	a.labels[name] = len(a.code)
+	return a
+}
+
+// Branch appends a branch to the (possibly not yet bound) label.
+func (a *Asm) Branch(op Op, label string) *Asm {
+	if !op.IsBranch() {
+		a.err = fmt.Errorf("%v is not a branch", op)
+		return a
+	}
+	a.fixups[len(a.code)] = label
+	a.code = append(a.code, Instr{Op: op})
+	return a
+}
+
+// Assemble resolves labels and returns the body.
+func (a *Asm) Assemble() ([]Instr, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for idx, label := range a.fixups {
+		t, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", label)
+		}
+		a.code[idx].A = int32(t)
+	}
+	return a.code, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and static
+// program construction.
+func (a *Asm) MustAssemble() []Instr {
+	code, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// Verify performs structural checks on a method body against its class:
+// branch targets in range, pool indices valid, local slots within
+// MaxLocals. It is the loader's admission check (a lightweight stand-in
+// for the JVM verifier).
+func Verify(c *Class, m *Method) error {
+	n := len(m.Code)
+	bad := func(i int, format string, args ...any) error {
+		return fmt.Errorf("%s @%d %s: %s", m.FullName(), i, m.Code[i], fmt.Sprintf(format, args...))
+	}
+	for i, ins := range m.Code {
+		switch {
+		case ins.Op >= NumOps:
+			return bad(i, "invalid opcode")
+		case ins.Op.IsBranch():
+			if ins.Op == Goto || true { // all branches carry a target in A
+				if ins.A < 0 || int(ins.A) >= n {
+					return bad(i, "branch target %d out of range [0,%d)", ins.A, n)
+				}
+			}
+		case ins.Op == ILoad || ins.Op == FLoad || ins.Op == ALoad ||
+			ins.Op == IStore || ins.Op == FStore || ins.Op == AStore ||
+			ins.Op == IInc:
+			if ins.A < 0 || int(ins.A) >= m.MaxLocals {
+				return bad(i, "local slot %d out of range [0,%d)", ins.A, m.MaxLocals)
+			}
+		case ins.Op == FConst:
+			if int(ins.A) >= len(c.Pool.Floats) || ins.A < 0 {
+				return bad(i, "float pool index %d out of range", ins.A)
+			}
+		case ins.Op == SConst:
+			if int(ins.A) >= len(c.Pool.Strings) || ins.A < 0 {
+				return bad(i, "string pool index %d out of range", ins.A)
+			}
+		case ins.Op == New:
+			if int(ins.A) >= len(c.Pool.Classes) || ins.A < 0 {
+				return bad(i, "class pool index %d out of range", ins.A)
+			}
+		case ins.Op == GetField || ins.Op == PutField ||
+			ins.Op == GetStatic || ins.Op == PutStatic:
+			if int(ins.A) >= len(c.Pool.Fields) || ins.A < 0 {
+				return bad(i, "field pool index %d out of range", ins.A)
+			}
+		case ins.Op.IsInvoke():
+			if int(ins.A) >= len(c.Pool.Methods) || ins.A < 0 {
+				return bad(i, "method pool index %d out of range", ins.A)
+			}
+		case ins.Op == NewArray:
+			if ins.A < KindInt || ins.A > KindChar {
+				return bad(i, "bad array kind %d", ins.A)
+			}
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("%s: empty body", m.FullName())
+	}
+	last := m.Code[n-1].Op
+	if last != Return && last != IReturn && last != FReturn &&
+		last != AReturn && last != Goto {
+		return fmt.Errorf("%s: body does not end in return or goto", m.FullName())
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package bytecode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if opNames[op] == "" {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestOpSizes(t *testing.T) {
+	if IAdd.Size() != 1 {
+		t.Error("iadd should be 1 byte")
+	}
+	if IConst.Size() != 2 {
+		t.Error("iconst should be 2 bytes")
+	}
+	if InvokeVirtual.Size() != 3 {
+		t.Error("invokevirtual should be 3 bytes")
+	}
+	// Average encoded size should be in the realistic 1.5-2.5 band.
+	var total uint64
+	for op := Op(0); op < NumOps; op++ {
+		total += op.Size()
+	}
+	avg := float64(total) / float64(NumOps)
+	if avg < 1.3 || avg > 2.6 {
+		t.Errorf("average opcode size %.2f outside the realistic band", avg)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	for _, op := range []Op{Goto, IfEq, IfICmpLt, IfACmpNe, IfNonNull} {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	for _, op := range []Op{IAdd, InvokeStatic, Return} {
+		if op.IsBranch() {
+			t.Errorf("%v should not be a branch", op)
+		}
+	}
+	if !InvokeVirtual.IsInvoke() || IAdd.IsInvoke() {
+		t.Error("IsInvoke misclassifies")
+	}
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	cases := []string{"()V", "(I)I", "(IIA)F", "(FAF)A", "()I"}
+	for _, s := range cases {
+		sig, err := ParseSignature(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if sig.String() != s {
+			t.Errorf("round trip %q -> %q", s, sig.String())
+		}
+	}
+	for _, s := range []string{"", "I", "(V)V", "()", "(I", "I)V", "()X"} {
+		if _, err := ParseSignature(s); err == nil {
+			t.Errorf("%q should not parse", s)
+		}
+	}
+}
+
+func TestPoolInterning(t *testing.T) {
+	var p Pool
+	a := p.AddFloat(3.14)
+	b := p.AddFloat(3.14)
+	if a != b {
+		t.Error("float not interned")
+	}
+	if p.AddFloat(2.71) == a {
+		t.Error("distinct floats collide")
+	}
+	if p.AddString("x") != p.AddString("x") {
+		t.Error("string not interned")
+	}
+	if p.AddClass("A") != p.AddClass("A") {
+		t.Error("class not interned")
+	}
+	if p.AddField("A", "f") != p.AddField("A", "f") {
+		t.Error("field not interned")
+	}
+	if p.AddMethod("A", "m", "()V") != p.AddMethod("A", "m", "()V") {
+		t.Error("method not interned")
+	}
+	if p.AddMethod("A", "m", "(I)V") == p.AddMethod("A", "m", "()V") {
+		t.Error("method signatures collide")
+	}
+}
+
+func TestAsmLabels(t *testing.T) {
+	a := NewAsm()
+	a.Branch(Goto, "end") // forward reference
+	a.Label("mid").I(IConst, 1).Emit(Pop)
+	a.Branch(Goto, "mid") // backward reference
+	a.Label("end").Emit(Return)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0].A != 4 {
+		t.Errorf("forward goto target = %d, want 4", code[0].A)
+	}
+	if code[3].A != 1 {
+		t.Errorf("backward goto target = %d, want 1", code[3].A)
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	if _, err := NewAsm().Branch(Goto, "nowhere").Assemble(); err == nil {
+		t.Error("undefined label should fail")
+	}
+	a := NewAsm()
+	a.Label("x").Label("x")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("duplicate label should fail")
+	}
+	if _, err := NewAsm().Branch(IAdd, "x").Assemble(); err == nil {
+		t.Error("non-branch Branch() should fail")
+	}
+}
+
+func testClass() *Class {
+	c := &Class{Name: "T"}
+	c.Pool.AddFloat(1.0)
+	c.Pool.AddString("s")
+	c.Pool.AddClass("T")
+	c.Pool.AddField("T", "f")
+	c.Pool.AddMethod("T", "m", "()V")
+	return c
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	c := testClass()
+	sig, _ := ParseSignature("()V")
+	m := &Method{Name: "m", Sig: sig, MaxLocals: 2, Code: NewAsm().
+		I(IConst, 5).
+		I(IStore, 1).
+		Emit(Return).MustAssemble()}
+	if err := Verify(c, m); err != nil {
+		t.Fatalf("valid method rejected: %v", err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	c := testClass()
+	sig, _ := ParseSignature("()V")
+	cases := []struct {
+		name string
+		code []Instr
+	}{
+		{"emptyBody", nil},
+		{"badBranch", []Instr{{Op: Goto, A: 99}, {Op: Return}}},
+		{"badLocal", []Instr{{Op: ILoad, A: 7}, {Op: Return}}},
+		{"badFloatPool", []Instr{{Op: FConst, A: 9}, {Op: Return}}},
+		{"badStringPool", []Instr{{Op: SConst, A: 9}, {Op: Return}}},
+		{"badClassPool", []Instr{{Op: New, A: 9}, {Op: Return}}},
+		{"badFieldPool", []Instr{{Op: GetField, A: 9}, {Op: Return}}},
+		{"badMethodPool", []Instr{{Op: InvokeStatic, A: 9}, {Op: Return}}},
+		{"badArrayKind", []Instr{{Op: NewArray, A: 17}, {Op: Return}}},
+		{"noReturn", []Instr{{Op: Nop}}},
+		{"badOpcode", []Instr{{Op: NumOps + 3}, {Op: Return}}},
+	}
+	for _, tc := range cases {
+		m := &Method{Name: "m", Sig: sig, MaxLocals: 2, Code: tc.code}
+		if err := Verify(c, m); err == nil {
+			t.Errorf("%s: verifier accepted invalid code", tc.name)
+		}
+	}
+}
+
+// Property: any assembled program where all branch labels exist verifies
+// branch targets within range.
+func TestAsmTargetsInRangeProperty(t *testing.T) {
+	f := func(jumps []uint8) bool {
+		a := NewAsm()
+		a.Label("top")
+		for range jumps {
+			a.I(IConst, 1).Emit(Pop)
+			a.Branch(Goto, "top")
+		}
+		a.Emit(Return)
+		code, err := a.Assemble()
+		if err != nil {
+			return false
+		}
+		for _, ins := range code {
+			if ins.Op.IsBranch() && (ins.A < 0 || int(ins.A) >= len(code)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMethodHelpers(t *testing.T) {
+	sig, _ := ParseSignature("(IF)I")
+	m := &Method{Name: "m", Sig: sig}
+	if m.IsStatic() {
+		t.Error("default not static")
+	}
+	if m.NumArgs() != 3 { // receiver + 2
+		t.Errorf("NumArgs = %d", m.NumArgs())
+	}
+	m.Flags = FlagStatic | FlagSynchronized
+	if !m.IsStatic() || !m.IsSynchronized() {
+		t.Error("flags")
+	}
+	if m.NumArgs() != 2 {
+		t.Errorf("static NumArgs = %d", m.NumArgs())
+	}
+	if m.FullName() != "?.m(IF)I" {
+		t.Errorf("full name %q", m.FullName())
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	if s := (Instr{Op: IInc, A: 2, B: -1}).String(); s != "iinc 2 -1" {
+		t.Errorf("iinc renders %q", s)
+	}
+	if s := (Instr{Op: IConst, A: 7}).String(); s != "iconst 7" {
+		t.Errorf("iconst renders %q", s)
+	}
+	if s := (Instr{Op: IAdd}).String(); s != "iadd" {
+		t.Errorf("iadd renders %q", s)
+	}
+}
+
+func TestFindMethodAndInstanceSize(t *testing.T) {
+	sig, _ := ParseSignature("()V")
+	m := &Method{Name: "run", Sig: sig}
+	c := &Class{Name: "C", Methods: []*Method{m},
+		AllFields: []Field{{Name: "a"}, {Name: "b"}}}
+	if c.FindMethod("run", "()V") != m {
+		t.Error("FindMethod")
+	}
+	if c.FindMethod("run", "(I)V") != nil {
+		t.Error("FindMethod signature mismatch should be nil")
+	}
+	if c.InstanceSize() != 2 {
+		t.Error("InstanceSize")
+	}
+}

@@ -1,0 +1,178 @@
+package classfile
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/core"
+	"jrs/internal/minijava"
+)
+
+const sampleSrc = `
+class Point {
+	int x, y;
+	static int made;
+	Point(int a, int b) { x = a; y = b; made = made + 1; }
+	int dist() { return x * x + y * y; }
+}
+class Main {
+	static void main() {
+		Point p = new Point(3, 4);
+		Sys.printi(p.dist());
+		Sys.print(" n=");
+		Sys.printi(Point.made);
+	}
+}`
+
+func compileSample(t *testing.T) []*bytecode.Class {
+	t.Helper()
+	classes, err := minijava.Compile("p.mj", sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classes
+}
+
+func TestRoundTripStructure(t *testing.T) {
+	classes := compileSample(t)
+	data, err := Bytes(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(classes) {
+		t.Fatalf("class count %d != %d", len(back), len(classes))
+	}
+	for i, c := range classes {
+		b := back[i]
+		if b.Name != c.Name || b.SuperName != c.SuperName {
+			t.Errorf("class %d identity", i)
+		}
+		if len(b.Fields) != len(c.Fields) || len(b.Statics) != len(c.Statics) {
+			t.Errorf("%s: member counts", c.Name)
+		}
+		if len(b.Methods) != len(c.Methods) {
+			t.Fatalf("%s: method counts", c.Name)
+		}
+		for j, m := range c.Methods {
+			bm := b.Methods[j]
+			if bm.Name != m.Name || bm.Sig.String() != m.Sig.String() ||
+				bm.Flags != m.Flags || bm.MaxLocals != m.MaxLocals {
+				t.Errorf("%s.%s header mismatch", c.Name, m.Name)
+			}
+			if len(bm.Code) != len(m.Code) {
+				t.Fatalf("%s.%s code length", c.Name, m.Name)
+			}
+			for k := range m.Code {
+				if bm.Code[k] != m.Code[k] {
+					t.Errorf("%s.%s instr %d: %v != %v", c.Name, m.Name, k,
+						bm.Code[k], m.Code[k])
+				}
+			}
+		}
+		if len(b.Pool.Floats) != len(c.Pool.Floats) ||
+			len(b.Pool.Strings) != len(c.Pool.Strings) ||
+			len(b.Pool.Methods) != len(c.Pool.Methods) {
+			t.Errorf("%s: pool shape", c.Name)
+		}
+	}
+}
+
+// TestRoundTripExecutes is the strongest check: a deserialized program
+// runs identically to the original.
+func TestRoundTripExecutes(t *testing.T) {
+	run := func(classes []*bytecode.Class) string {
+		e := core.New(core.Config{Policy: core.CompileFirst{}})
+		if err := e.VM.Load(classes); err != nil {
+			t.Fatal(err)
+		}
+		m, err := e.VM.LookupMain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(m); err != nil {
+			t.Fatal(err)
+		}
+		return e.VM.Out.String()
+	}
+	orig := run(compileSample(t))
+
+	data, err := Bytes(compileSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(back); got != orig {
+		t.Fatalf("deserialized run %q != original %q", got, orig)
+	}
+	if orig != "25 n=1" {
+		t.Fatalf("unexpected program output %q", orig)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated input should fail")
+	}
+	if _, err := Read(bytes.NewReader([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Wrong version.
+	good, _ := Bytes(nil)
+	bad := append([]byte{}, good...)
+	bad[4] = 99
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version should fail")
+	}
+}
+
+// Property: serialization round-trips arbitrary (structurally plausible)
+// string and numeric pool content.
+func TestPoolRoundTripProperty(t *testing.T) {
+	f := func(names []string, floats []float64) bool {
+		c := &bytecode.Class{Name: "X"}
+		for _, n := range names {
+			c.Pool.Strings = append(c.Pool.Strings, n)
+		}
+		c.Pool.Floats = floats
+		sig, _ := bytecode.ParseSignature("()V")
+		c.Methods = []*bytecode.Method{{Name: "m", Sig: sig, MaxLocals: 1,
+			Code: []bytecode.Instr{{Op: bytecode.Return}}}}
+		data, err := Bytes([]*bytecode.Class{c})
+		if err != nil {
+			return false
+		}
+		back, err := Read(bytes.NewReader(data))
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		b := back[0]
+		if len(b.Pool.Strings) != len(c.Pool.Strings) ||
+			len(b.Pool.Floats) != len(c.Pool.Floats) {
+			return false
+		}
+		for i := range c.Pool.Strings {
+			if b.Pool.Strings[i] != c.Pool.Strings[i] {
+				return false
+			}
+		}
+		for i := range c.Pool.Floats {
+			fa, fb := c.Pool.Floats[i], b.Pool.Floats[i]
+			if fa != fb && (fa == fa || fb == fb) { // NaN-tolerant
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/emit"
+	"jrs/internal/monitor"
+	"jrs/internal/trace"
+)
+
+// sysClass returns the intrinsic Sys class declaration used by tests.
+func sysClass() *bytecode.Class {
+	sig := func(s string) bytecode.Signature {
+		g, err := bytecode.ParseSignature(s)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	mk := func(name, s string) *bytecode.Method {
+		return &bytecode.Method{
+			Name: name, Sig: sig(s), Flags: bytecode.FlagStatic,
+			MaxLocals: 2,
+			Code:      []bytecode.Instr{{Op: bytecode.Return}},
+		}
+	}
+	return &bytecode.Class{
+		Name: "Sys",
+		Methods: []*bytecode.Method{
+			mk("print", "(A)V"), mk("printi", "(I)V"), mk("printf", "(F)V"),
+			mk("printc", "(I)V"), mk("spawn", "(A)I"), mk("join", "(I)V"),
+			mk("yield", "()V"),
+		},
+	}
+}
+
+// sumProgram builds: static main()V { int s=0; for i in 0..n { s = add(s,i) } printi(s) }
+func sumProgram(n int32) []*bytecode.Class {
+	c := &bytecode.Class{Name: "Main"}
+	addRef := c.Pool.AddMethod("Main", "add", "(II)I")
+	printRef := c.Pool.AddMethod("Sys", "printi", "(I)V")
+
+	main := bytecode.NewAsm()
+	main.I(bytecode.IConst, 0).I(bytecode.IStore, 0) // s
+	main.I(bytecode.IConst, 0).I(bytecode.IStore, 1) // i
+	main.Label("loop").
+		I(bytecode.ILoad, 1).I(bytecode.IConst, n).
+		Branch(bytecode.IfICmpGe, "done").
+		I(bytecode.ILoad, 0).I(bytecode.ILoad, 1).
+		I(bytecode.InvokeStatic, addRef).
+		I(bytecode.IStore, 0).
+		Op(bytecode.IInc, 1, 1).
+		Branch(bytecode.Goto, "loop").
+		Label("done").
+		I(bytecode.ILoad, 0).I(bytecode.InvokeStatic, printRef).
+		Emit(bytecode.Return)
+
+	add := bytecode.NewAsm()
+	add.I(bytecode.ILoad, 0).I(bytecode.ILoad, 1).Emit(bytecode.IAdd).
+		Emit(bytecode.IReturn)
+
+	sigV, _ := bytecode.ParseSignature("()V")
+	sigII, _ := bytecode.ParseSignature("(II)I")
+	c.Methods = []*bytecode.Method{
+		{Name: "main", Sig: sigV, Flags: bytecode.FlagStatic, MaxLocals: 2,
+			Code: main.MustAssemble()},
+		{Name: "add", Sig: sigII, Flags: bytecode.FlagStatic, MaxLocals: 2,
+			Code: add.MustAssemble()},
+	}
+	return []*bytecode.Class{c, sysClass()}
+}
+
+func runProgram(t *testing.T, classes []*bytecode.Class, p Policy) (*Engine, string) {
+	t.Helper()
+	e := New(Config{Policy: p})
+	if err := e.VM.Load(classes); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	main, err := e.VM.LookupMain()
+	if err != nil {
+		t.Fatalf("main: %v", err)
+	}
+	if err := e.Run(main); err != nil {
+		t.Fatalf("run(%s): %v", p.Name(), err)
+	}
+	return e, e.VM.Out.String()
+}
+
+func TestSumInterp(t *testing.T) {
+	_, out := runProgram(t, sumProgram(100), InterpretOnly{})
+	if out != "4950" {
+		t.Fatalf("interp output = %q, want 4950", out)
+	}
+}
+
+func TestSumJIT(t *testing.T) {
+	e, out := runProgram(t, sumProgram(100), CompileFirst{})
+	if out != "4950" {
+		t.Fatalf("jit output = %q, want 4950", out)
+	}
+	if e.JIT.Translations != 2 {
+		t.Fatalf("translations = %d, want 2 (main, add)", e.JIT.Translations)
+	}
+	_, tr, _ := e.PhaseInstrs()
+	if tr == 0 {
+		t.Fatal("no translate-phase instructions recorded")
+	}
+}
+
+func TestSumThresholdMixed(t *testing.T) {
+	e, out := runProgram(t, sumProgram(100), Threshold{N: 10})
+	if out != "4950" {
+		t.Fatalf("mixed output = %q, want 4950", out)
+	}
+	// add is invoked 100 times -> compiled after 10; main once -> interpreted.
+	if e.JIT.Translations != 1 {
+		t.Fatalf("translations = %d, want 1 (add only)", e.JIT.Translations)
+	}
+	st := e.Stats[mustMethod(t, e, "Main", "add").ID]
+	if st.InterpRuns == 0 || st.ExecRuns == 0 {
+		t.Fatalf("add should run in both engines: %+v", st)
+	}
+	if st.InterpRuns+st.ExecRuns != 100 {
+		t.Fatalf("add runs = %d, want 100", st.InterpRuns+st.ExecRuns)
+	}
+}
+
+func mustMethod(t *testing.T, e *Engine, cls, name string) *bytecode.Method {
+	t.Helper()
+	c := e.VM.Classes[cls]
+	if c == nil {
+		t.Fatalf("no class %s", cls)
+	}
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("no method %s.%s", cls, name)
+	return nil
+}
+
+// TestJITFasterThanInterp checks the paper's headline: JIT total time
+// (translate+execute) beats interpretation for loopy code.
+func TestJITFasterThanInterp(t *testing.T) {
+	ei, _ := runProgram(t, sumProgram(2000), InterpretOnly{})
+	ej, _ := runProgram(t, sumProgram(2000), CompileFirst{})
+	if ej.TotalInstrs() >= ei.TotalInstrs() {
+		t.Fatalf("JIT (%d instrs) not faster than interp (%d instrs)",
+			ej.TotalInstrs(), ei.TotalInstrs())
+	}
+}
+
+// TestInstructionMixShape checks Figure 2's direction: interpreter has
+// more memory references and more indirect jumps than JIT mode.
+func TestInstructionMixShape(t *testing.T) {
+	ci := &trace.Counter{}
+	e := New(Config{Policy: InterpretOnly{}, Sink: ci})
+	if err := e.VM.Load(sumProgram(500)); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.VM.LookupMain()
+	if err := e.Run(m); err != nil {
+		t.Fatal(err)
+	}
+
+	cj := &trace.Counter{}
+	e2 := New(Config{Policy: CompileFirst{}, Sink: cj})
+	if err := e2.VM.Load(sumProgram(500)); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := e2.VM.LookupMain()
+	if err := e2.Run(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	if ci.MemFrac() <= cj.MemFrac() {
+		t.Errorf("interp mem frac %.3f should exceed jit %.3f", ci.MemFrac(), cj.MemFrac())
+	}
+	if ci.IndirectFrac() <= cj.IndirectFrac() {
+		t.Errorf("interp indirect frac %.4f should exceed jit %.4f",
+			ci.IndirectFrac(), cj.IndirectFrac())
+	}
+}
+
+// TestSynchronizedCounts exercises monitorenter/exit via a synchronized
+// method under both managers.
+func TestSynchronizedCounts(t *testing.T) {
+	c := &bytecode.Class{Name: "Main"}
+	incRef := c.Pool.AddMethod("Main", "inc", "()V")
+	fCount := c.Pool.AddField("Main", "count")
+	printRef := c.Pool.AddMethod("Sys", "printi", "(I)V")
+	c.Statics = []bytecode.Field{{Name: "count", Type: bytecode.TInt}}
+
+	main := bytecode.NewAsm()
+	main.I(bytecode.IConst, 0).I(bytecode.IStore, 0)
+	main.Label("loop").
+		I(bytecode.ILoad, 0).I(bytecode.IConst, 50).
+		Branch(bytecode.IfICmpGe, "done").
+		I(bytecode.InvokeStatic, incRef).
+		Op(bytecode.IInc, 0, 1).
+		Branch(bytecode.Goto, "loop").
+		Label("done").
+		I(bytecode.GetStatic, fCount).I(bytecode.InvokeStatic, printRef).
+		Emit(bytecode.Return)
+
+	inc := bytecode.NewAsm()
+	inc.I(bytecode.GetStatic, fCount).I(bytecode.IConst, 1).
+		Emit(bytecode.IAdd).I(bytecode.PutStatic, fCount).
+		Emit(bytecode.Return)
+
+	sigV, _ := bytecode.ParseSignature("()V")
+	c.Methods = []*bytecode.Method{
+		{Name: "main", Sig: sigV, Flags: bytecode.FlagStatic, MaxLocals: 1,
+			Code: main.MustAssemble()},
+		{Name: "inc", Sig: sigV, Flags: bytecode.FlagStatic | bytecode.FlagSynchronized,
+			MaxLocals: 1, Code: inc.MustAssemble()},
+	}
+	classes := []*bytecode.Class{c, sysClass()}
+
+	for _, mk := range []func(*emit.Emitter) monitor.Manager{
+		func(em *emit.Emitter) monitor.Manager { return monitor.NewFat(em) },
+		func(em *emit.Emitter) monitor.Manager { return monitor.NewThin(em) },
+	} {
+		e := New(Config{Policy: CompileFirst{}, Monitors: mk})
+		if err := e.VM.Load(classes); err != nil {
+			t.Fatal(err)
+		}
+		m, _ := e.VM.LookupMain()
+		if err := e.Run(m); err != nil {
+			t.Fatalf("%s: %v", e.VM.Monitors.Name(), err)
+		}
+		if got := e.VM.Out.String(); got != "50" {
+			t.Fatalf("%s: output %q, want 50", e.VM.Monitors.Name(), got)
+		}
+		st := e.VM.Monitors.Stats()
+		if st.Enters != 50 || st.Exits != 50 {
+			t.Fatalf("%s: enters/exits = %d/%d, want 50/50", e.VM.Monitors.Name(), st.Enters, st.Exits)
+		}
+		if st.Cases[monitor.CaseA] != 50 {
+			t.Fatalf("%s: case a = %d, want 50", e.VM.Monitors.Name(), st.Cases[monitor.CaseA])
+		}
+	}
+}
+
+// TestOraclePolicy runs profile passes and an oracle pass end to end.
+func TestOraclePolicy(t *testing.T) {
+	classes := sumProgram(300)
+	ei, _ := runProgram(t, classes, InterpretOnly{})
+	ej, _ := runProgram(t, sumProgram(300), CompileFirst{})
+
+	set := make(map[int]bool)
+	for id := range ej.Stats {
+		si, sj := ei.Stats[id], ej.Stats[id]
+		n := float64(sj.Invocations)
+		if n > 0 && sj.TranslateInstrs > 0 {
+			interpTotal := n * si.InterpAvg()
+			jitTotal := float64(sj.TranslateInstrs) + n*sj.ExecAvg()
+			if jitTotal < interpTotal {
+				set[id] = true
+			}
+		}
+	}
+	eo, out := runProgram(t, sumProgram(300), Oracle{Set: set})
+	if !strings.Contains(out, "44850") {
+		t.Fatalf("oracle output = %q", out)
+	}
+	if eo.TotalInstrs() > ei.TotalInstrs() && eo.TotalInstrs() > ej.TotalInstrs() {
+		t.Fatalf("oracle (%d) worse than both interp (%d) and jit (%d)",
+			eo.TotalInstrs(), ei.TotalInstrs(), ej.TotalInstrs())
+	}
+}

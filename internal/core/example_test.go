@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"jrs/internal/core"
+	"jrs/internal/minijava"
+)
+
+// Example shows the minimal embedding: compile MiniJava, pick a policy,
+// run, and read the program output plus the engine's §3 accounting.
+func Example() {
+	classes, err := minijava.Compile("hello.mj", `
+class Main {
+	static int square(int x) { return x * x; }
+	static void main() {
+		int s = 0;
+		for (int i = 1; i <= 10; i = i + 1) { s = s + square(i); }
+		Sys.printi(s);
+	}
+}`)
+	if err != nil {
+		panic(err)
+	}
+
+	e := core.New(core.Config{Policy: core.Threshold{N: 3}})
+	if err := e.VM.Load(classes); err != nil {
+		panic(err)
+	}
+	main, err := e.VM.LookupMain()
+	if err != nil {
+		panic(err)
+	}
+	if err := e.Run(main); err != nil {
+		panic(err)
+	}
+
+	fmt.Println(e.VM.Out.String())
+	fmt.Printf("methods translated: %d\n", e.JIT.Translations)
+	// Output:
+	// 385
+	// methods translated: 1
+}

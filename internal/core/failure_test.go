@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/minijava"
+)
+
+// TestJITBailoutFallsBackToInterpreter: a method the compiler rejects
+// (operand stack deeper than the register file) must still execute —
+// interpreted — under a compile-everything policy, with correct results
+// and interop with compiled callers.
+func TestJITBailoutFallsBackToInterpreter(t *testing.T) {
+	c := &bytecode.Class{Name: "Main"}
+	deepRef := c.Pool.AddMethod("Main", "deep", "()I")
+	printRef := c.Pool.AddMethod("Sys", "printi", "(I)V")
+
+	// deep pushes 20 constants (depth 20 > MaxStackRegs 16) then sums.
+	deep := bytecode.NewAsm()
+	for i := 1; i <= 20; i++ {
+		deep.I(bytecode.IConst, int32(i))
+	}
+	for i := 0; i < 19; i++ {
+		deep.Emit(bytecode.IAdd)
+	}
+	deep.Emit(bytecode.IReturn)
+
+	main := bytecode.NewAsm().
+		I(bytecode.InvokeStatic, deepRef).
+		I(bytecode.InvokeStatic, printRef).
+		Emit(bytecode.Return)
+
+	sigV, _ := bytecode.ParseSignature("()V")
+	sigI, _ := bytecode.ParseSignature("()I")
+	c.Methods = []*bytecode.Method{
+		{Name: "main", Sig: sigV, Flags: bytecode.FlagStatic, MaxLocals: 1,
+			Code: main.MustAssemble()},
+		{Name: "deep", Sig: sigI, Flags: bytecode.FlagStatic, MaxLocals: 1,
+			Code: deep.MustAssemble()},
+	}
+
+	e := New(Config{Policy: CompileFirst{}})
+	if err := e.VM.Load([]*bytecode.Class{c, minijava.SysClass()}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.VM.LookupMain()
+	if err := e.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.VM.Out.String(); got != "210" {
+		t.Fatalf("output %q, want 210", got)
+	}
+	deepM := mustMethod(t, e, "Main", "deep")
+	if _, failed := e.JIT.Failed[deepM.ID]; !failed {
+		t.Fatal("deep should have been rejected by the compiler")
+	}
+	if st := e.Stats[deepM.ID]; st.InterpRuns != 1 {
+		t.Fatalf("deep should have run interpreted: %+v", st)
+	}
+	// main itself compiled fine.
+	mainM := mustMethod(t, e, "Main", "main")
+	if e.JIT.Lookup(mainM) == nil {
+		t.Fatal("main should have compiled")
+	}
+}
+
+// TestVerifierRejectsCorruptedBytecode: flipping an operand after
+// compilation must be caught at load time, not executed.
+func TestVerifierRejectsCorruptedBytecode(t *testing.T) {
+	classes, err := minijava.Compile("t.mj", `
+class Main {
+	static void main() {
+		int x = 1;
+		Sys.printi(x);
+	}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: point a branchless instruction's local slot out of range.
+	var corrupted bool
+	for _, c := range classes {
+		for _, m := range c.Methods {
+			for i, ins := range m.Code {
+				if ins.Op == bytecode.IStore {
+					m.Code[i].A = 99
+					corrupted = true
+				}
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("test setup: no istore found")
+	}
+	e := New(Config{})
+	err = e.VM.Load(classes)
+	if err == nil || !strings.Contains(err.Error(), "local slot") {
+		t.Fatalf("loader accepted corrupted code: %v", err)
+	}
+}
+
+// TestQuantumFairness: two spinning threads must both make progress
+// under the round-robin scheduler (no starvation), observable through a
+// shared counter they increment alternately-ish.
+func TestQuantumFairness(t *testing.T) {
+	src := `
+class W {
+	static int a;
+	static int b;
+	int who;
+	W(int w) { who = w; }
+	void run() {
+		for (int i = 0; i < 20000; i = i + 1) {
+			if (who == 1) { W.a = W.a + 1; } else { W.b = W.b + 1; }
+		}
+	}
+}
+class Main {
+	static void main() {
+		int t1 = Sys.spawn(new W(1));
+		int t2 = Sys.spawn(new W(2));
+		Sys.join(t1);
+		Sys.join(t2);
+		Sys.printi(W.a + W.b);
+	}
+}`
+	e, out := runMJ(t, src, CompileFirst{})
+	if out != "40000" {
+		t.Fatalf("output %q", out)
+	}
+	// Both worker threads ran to completion.
+	done := 0
+	for _, th := range e.VM.Threads() {
+		_ = th
+		done++
+	}
+	if done != 3 {
+		t.Fatalf("threads = %d", done)
+	}
+}

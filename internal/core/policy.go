@@ -1,0 +1,90 @@
+// Package core implements the paper's primary subject: the mixed-mode
+// Java runtime engine that decides, per method, whether to interpret or
+// JIT-compile — and the cost accounting (interpret cost I_i, translate
+// cost T_i, translated-execution cost E_i, invocation count n_i) behind
+// the §3 "when or whether to translate" study and its oracle.
+package core
+
+import (
+	"fmt"
+
+	"jrs/internal/bytecode"
+)
+
+// Policy decides whether to translate a method at invocation time.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// ShouldCompile is consulted when invoking a method that has no
+	// installed translation; invocations includes the current one.
+	ShouldCompile(m *bytecode.Method, invocations uint64) bool
+}
+
+// InterpretOnly never compiles (the paper's interpreter mode).
+type InterpretOnly struct{}
+
+// Name implements Policy.
+func (InterpretOnly) Name() string { return "interp" }
+
+// ShouldCompile implements Policy.
+func (InterpretOnly) ShouldCompile(*bytecode.Method, uint64) bool { return false }
+
+// CompileFirst translates every method on first invocation — the default
+// heuristic of Kaffe and JDK JITs the paper examines.
+type CompileFirst struct{}
+
+// Name implements Policy.
+func (CompileFirst) Name() string { return "jit" }
+
+// ShouldCompile implements Policy.
+func (CompileFirst) ShouldCompile(*bytecode.Method, uint64) bool { return true }
+
+// Threshold compiles a method once it has been invoked N times (the
+// count-based heuristic of later adaptive systems; the ablate-threshold
+// experiment sweeps N).
+type Threshold struct{ N uint64 }
+
+// Name implements Policy.
+func (p Threshold) Name() string { return fmt.Sprintf("threshold-%d", p.N) }
+
+// ShouldCompile implements Policy.
+func (p Threshold) ShouldCompile(_ *bytecode.Method, inv uint64) bool {
+	return inv > p.N
+}
+
+// TieredPolicy extends Policy with a second, hotter threshold at which
+// an already-translated method is *recompiled* at a higher optimization
+// tier — the §7 idea of a saturating hot-site counter triggering the
+// compiler.
+type TieredPolicy interface {
+	Policy
+	// ShouldOptimize is consulted when invoking a method whose installed
+	// translation is still tier 1.
+	ShouldOptimize(m *bytecode.Method, invocations uint64) bool
+}
+
+// Tiered compiles baseline code after N1 invocations and reoptimizes
+// (register-allocated code, no baseline glue) after N2.
+type Tiered struct{ N1, N2 uint64 }
+
+// Name implements Policy.
+func (p Tiered) Name() string { return fmt.Sprintf("tiered-%d-%d", p.N1, p.N2) }
+
+// ShouldCompile implements Policy.
+func (p Tiered) ShouldCompile(_ *bytecode.Method, inv uint64) bool { return inv > p.N1 }
+
+// ShouldOptimize implements TieredPolicy.
+func (p Tiered) ShouldOptimize(_ *bytecode.Method, inv uint64) bool { return inv > p.N2 }
+
+// Oracle compiles exactly the methods in Set (by method id) on first
+// invocation and interprets everything else. The §3 study builds Set from
+// profiling passes: compile method i iff n_i > N_i = T_i/(I_i - E_i).
+type Oracle struct{ Set map[int]bool }
+
+// Name implements Policy.
+func (Oracle) Name() string { return "opt" }
+
+// ShouldCompile implements Policy.
+func (p Oracle) ShouldCompile(m *bytecode.Method, _ uint64) bool {
+	return p.Set[m.ID]
+}

@@ -1,0 +1,62 @@
+package core
+
+import "testing"
+
+// TestTieredRecompilation: a hot method must be reoptimized at tier 2,
+// producing identical results and fewer total instructions than
+// baseline-only compilation.
+func TestTieredRecompilation(t *testing.T) {
+	src := `
+class Main {
+	static int kernel(int x) {
+		int s = 0;
+		for (int i = 0; i < 40; i = i + 1) { s = s + (x ^ i) * 3; }
+		return s;
+	}
+	static void main() {
+		int total = 0;
+		for (int r = 0; r < 100; r = r + 1) { total = total + kernel(r); }
+		Sys.printi(total);
+	}
+}`
+	base, outB := runMJ(t, src, CompileFirst{})
+	tiered, outT := runMJ(t, src, Tiered{N1: 0, N2: 10})
+	if outB != outT {
+		t.Fatalf("tiered output %q != baseline %q", outT, outB)
+	}
+	if tiered.JIT.Reoptimizations == 0 {
+		t.Fatal("hot kernel should have been reoptimized")
+	}
+	if tiered.TotalInstrs() >= base.TotalInstrs() {
+		t.Fatalf("tiered (%d instrs) should beat baseline-only (%d)",
+			tiered.TotalInstrs(), base.TotalInstrs())
+	}
+	// The reoptimized code is tier 2.
+	k := mustMethod(t, tiered, "Main", "kernel")
+	if cm := tiered.JIT.Lookup(k); cm == nil || cm.Tier != 2 {
+		t.Fatalf("kernel translation tier = %+v", cm)
+	}
+	// Cold main should stay at tier 1.
+	m := mustMethod(t, tiered, "Main", "main")
+	if cm := tiered.JIT.Lookup(m); cm == nil || cm.Tier != 1 {
+		t.Fatalf("main should remain tier 1: %+v", cm)
+	}
+}
+
+// TestTieredMidLoopConsistency: recompilation while older activations are
+// still running the tier-1 code must not corrupt execution (recursive
+// method crossing the optimize threshold mid-recursion).
+func TestTieredMidRecursion(t *testing.T) {
+	src := `
+class Main {
+	static int down(int n) {
+		if (n <= 0) { return 0; }
+		return n + down(n - 1);
+	}
+	static void main() { Sys.printi(down(60)); }
+}`
+	_, out := runMJ(t, src, Tiered{N1: 0, N2: 30})
+	if out != "1830" {
+		t.Fatalf("output %q, want 1830", out)
+	}
+}

@@ -1,0 +1,196 @@
+// Package harness drives the paper's experiments: one entry point per
+// table and figure of the evaluation (Figures 1-11, Tables 1-3) plus the
+// ablations DESIGN.md calls out. Each experiment returns a typed result
+// with a Render method producing the text report; cmd/jrs exposes them on
+// the command line and bench_test.go regenerates them under `go test
+// -bench`.
+package harness
+
+import (
+	"fmt"
+
+	"jrs/internal/core"
+	"jrs/internal/emit"
+	"jrs/internal/jit"
+	"jrs/internal/monitor"
+	"jrs/internal/trace"
+	"jrs/internal/workloads"
+)
+
+// Mode selects the execution style of a measured run.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeInterp interprets everything (the paper's interpreter runs).
+	ModeInterp Mode = iota
+	// ModeJIT translates every method on first invocation (the paper's
+	// JIT runs).
+	ModeJIT
+	// ModeAOT precompiles the whole program before measurement begins —
+	// the C/C++-like comparator of Figure 4.
+	ModeAOT
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeInterp:
+		return "interp"
+	case ModeJIT:
+		return "jit"
+	case ModeAOT:
+		return "aot"
+	}
+	return "unknown"
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale overrides every workload's input size (0 = each workload's
+	// default, the s1-like setting).
+	Scale int
+	// Workloads restricts the set (nil = the paper's seven, or eight
+	// where hello participates).
+	Workloads []workloads.Workload
+	// Quick selects each workload's reduced benchmark scale (tests and
+	// go-bench runs).
+	Quick bool
+}
+
+// scaleFor resolves the effective scale for one workload.
+func (o Options) scaleFor(w workloads.Workload) int {
+	if o.Quick && o.Scale == 0 {
+		return w.BenchN
+	}
+	return o.Scale
+}
+
+func (o Options) seven() []workloads.Workload {
+	if o.Workloads != nil {
+		return o.Workloads
+	}
+	return workloads.Seven()
+}
+
+// Run executes workload w at the scale under the mode, with the given
+// extra sinks attached to the native trace, and returns the finished
+// engine.
+func Run(w workloads.Workload, scale int, mode Mode, cfg core.Config, sinks ...trace.Sink) (*core.Engine, error) {
+	sw := &trace.Switchable{}
+	measured := trace.Tee(sinks...)
+	switch mode {
+	case ModeInterp:
+		if cfg.Policy == nil {
+			cfg.Policy = core.InterpretOnly{}
+		}
+		sw.S = measured
+	case ModeJIT:
+		if cfg.Policy == nil {
+			cfg.Policy = core.CompileFirst{}
+		}
+		sw.S = measured
+	case ModeAOT:
+		cfg.Policy = core.CompileFirst{}
+		// Measurement attaches only after precompilation below.
+	}
+	cfg.Sink = sw
+
+	e := core.New(cfg)
+	if err := e.VM.Load(w.Classes(scale)); err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	if mode == ModeAOT {
+		if err := e.PrecompileAll(); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		sw.S = measured
+	}
+	main, err := e.VM.LookupMain()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	if err := e.Run(main); err != nil {
+		return nil, fmt.Errorf("%s (%v): %w", w.Name, mode, err)
+	}
+	return e, nil
+}
+
+// MustRun is Run for harness-internal flows where workload failure is a
+// programming error.
+func MustRun(w workloads.Workload, scale int, mode Mode, cfg core.Config, sinks ...trace.Sink) *core.Engine {
+	e, err := Run(w, scale, mode, cfg, sinks...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ComputeOracle runs the two profiling passes of §3 (interpret-only and
+// JIT-always) and derives the opt set: compile method i iff invoking it
+// n_i times is cheaper translated, i.e. n_i > N_i = T_i / (I_i - E_i).
+func ComputeOracle(w workloads.Workload, scale int) (set map[int]bool, interp, jitRun *core.Engine, err error) {
+	interp, err = Run(w, scale, ModeInterp, core.Config{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	jitRun, err = Run(w, scale, ModeJIT, core.Config{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	set = make(map[int]bool)
+	for id := range jitRun.Stats {
+		sj := jitRun.Stats[id]
+		if sj.Invocations == 0 {
+			continue
+		}
+		var si core.MethodStats
+		if id < len(interp.Stats) {
+			si = interp.Stats[id]
+		}
+		n := float64(sj.Invocations)
+		interpTotal := n * si.InterpAvg()
+		jitTotal := float64(sj.TranslateInstrs) + n*sj.ExecAvg()
+		if sj.TranslateInstrs == 0 {
+			// Never translated in the profile (intrinsics); skip.
+			continue
+		}
+		if jitTotal < interpTotal {
+			set[id] = true
+		}
+	}
+	return set, interp, jitRun, nil
+}
+
+// RunOracle executes w under the opt policy derived from profiling.
+func RunOracle(w workloads.Workload, scale int, sinks ...trace.Sink) (*core.Engine, map[int]bool, error) {
+	set, _, _, err := ComputeOracle(w, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := Run(w, scale, ModeJIT, core.Config{Policy: core.Oracle{Set: set}}, sinks...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, set, nil
+}
+
+// monitorFactory adapts a named synchronization implementation.
+func monitorFactory(name string) func(*emit.Emitter) monitor.Manager {
+	switch name {
+	case "fat":
+		return func(em *emit.Emitter) monitor.Manager { return monitor.NewFat(em) }
+	case "thin":
+		return func(em *emit.Emitter) monitor.Manager { return monitor.NewThin(em) }
+	case "onebit":
+		return func(em *emit.Emitter) monitor.Manager { return monitor.NewOneBit(em) }
+	}
+	panic("unknown monitor implementation " + name)
+}
+
+// jitNoDevirt returns JIT options with virtual-call devirtualization off.
+func jitNoDevirt() jit.Options {
+	o := jit.DefaultOptions()
+	o.Devirtualize = false
+	return o
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderer is any experiment result.
+type Renderer interface{ Render() string }
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	Name string
+	// Desc maps it to the paper artifact.
+	Desc string
+	Run  func(Options) (Renderer, error)
+}
+
+// Experiments returns the full registry in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1: JIT translate/execute breakdown, oracle policy, JIT/interp ratios",
+			func(o Options) (Renderer, error) { return Fig1(o) }},
+		{"table1", "Table 1: memory requirement of interpreter vs JIT",
+			func(o Options) (Renderer, error) { return Table1(o) }},
+		{"fig2", "Figure 2: native instruction mix per execution mode",
+			func(o Options) (Renderer, error) { return Fig2(o) }},
+		{"table2", "Table 2: branch misprediction rates for four predictors",
+			func(o Options) (Renderer, error) { return Table2(o) }},
+		{"table3", "Table 3: L1 I/D cache references and misses",
+			func(o Options) (Renderer, error) { return Table3(o) }},
+		{"fig3", "Figure 3: share of data misses that are writes",
+			func(o Options) (Renderer, error) { return Fig3(o) }},
+		{"fig4", "Figure 4: average miss rates vs compiled (C-like) code",
+			func(o Options) (Renderer, error) { return Fig4(o) }},
+		{"fig5", "Figure 5: cache misses inside the translate portion",
+			func(o Options) (Renderer, error) { return Fig5(o) }},
+		{"fig6", "Figure 6: miss behaviour over time (db)",
+			func(o Options) (Renderer, error) { return Fig6(o) }},
+		{"fig7", "Figure 7: associativity sweep",
+			func(o Options) (Renderer, error) { return Fig7(o) }},
+		{"fig8", "Figure 8: line-size sweep",
+			func(o Options) (Renderer, error) { return Fig8(o) }},
+		{"fig9", "Figure 9: IPC vs issue width",
+			func(o Options) (Renderer, error) { return Fig9(o) }},
+		{"fig10", "Figure 10: normalized execution time vs issue width",
+			func(o Options) (Renderer, error) { return Fig10(o) }},
+		{"fig11", "Figure 11: synchronization cases and thin-lock speedup",
+			func(o Options) (Renderer, error) { return Fig11(o) }},
+		{"ablate-install", "A1/A2: code-installation policy (write-alloc / no-alloc / direct-to-I$)",
+			func(o Options) (Renderer, error) { return AblateInstall(o) }},
+		{"ablate-inline", "A3: JIT devirtualization on/off",
+			func(o Options) (Renderer, error) { return AblateInline(o) }},
+		{"ablate-threshold", "A4: translate-policy sweep",
+			func(o Options) (Renderer, error) { return AblateThreshold(o) }},
+		{"ablate-scale", "input-size sensitivity of the translate share",
+			func(o Options) (Renderer, error) { return AblateScale(o) }},
+		{"ablate-indirect", "extension: target-cache indirect predictor vs BTB",
+			func(o Options) (Renderer, error) { return AblateIndirect(o) }},
+		{"ablate-tiered", "extension: tiered recompilation of hot methods",
+			func(o Options) (Renderer, error) { return AblateTiered(o) }},
+		{"ablate-interp-ilp", "extension: interpreter IPC scaling with a target cache",
+			func(o Options) (Renderer, error) { return AblateInterpILP(o) }},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names returns all experiment names, sorted.
+func Names() []string {
+	var names []string
+	for _, e := range Experiments() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunAll executes every experiment and concatenates the reports. Figure
+// 10 shares Figure 9's superscalar runs instead of re-simulating.
+func RunAll(o Options, progress func(name string)) (string, error) {
+	out := ""
+	var fig9 *Fig9Result
+	for _, e := range Experiments() {
+		if progress != nil {
+			progress(e.Name)
+		}
+		var r Renderer
+		var err error
+		switch e.Name {
+		case "fig9":
+			fig9, err = Fig9(o)
+			r = fig9
+		case "fig10":
+			if fig9 != nil {
+				r = &Fig10Result{fig9}
+			} else {
+				r, err = e.Run(o)
+			}
+		default:
+			r, err = e.Run(o)
+		}
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		out += "## " + e.Name + " — " + e.Desc + "\n\n" + r.Render() + "\n"
+	}
+	return out, nil
+}

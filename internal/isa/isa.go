@@ -1,0 +1,208 @@
+// Package isa defines the target RISC instruction set that the JIT
+// compiler emits and the simulated native CPU executes.
+//
+// The ISA stands in for the UltraSPARC of the paper: a load/store RISC
+// with 32 integer registers, 32 floating-point registers, direct and
+// register-indirect control transfers, and a link-register call
+// convention. Instructions are held decoded (one Inst struct per 4-byte
+// architectural slot) in the simulated code cache; PCs advance by 4.
+package isa
+
+import "fmt"
+
+// WordSize is the architectural instruction width in bytes. All PCs are
+// multiples of WordSize.
+const WordSize = 4
+
+// Op enumerates native opcodes.
+type Op uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+
+	// Integer ALU, register-register: Rd = Rs1 <op> Rs2.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr  // arithmetic shift right
+	OpShru // logical shift right
+	OpSlt  // set-less-than: Rd = (Rs1 < Rs2) ? 1 : 0
+
+	// Integer ALU, register-immediate: Rd = Rs1 <op> Imm.
+	OpAddi
+	OpMuli
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSlti
+
+	// OpLui loads the immediate into Rd (load-upper style constant
+	// materialization; we model full-width constants in one slot).
+	OpLui
+
+	// Memory. Effective address = Rs1 + Imm. OpLd: Rd = mem[EA];
+	// OpSt: mem[EA] = Rs2.
+	OpLd
+	OpLdb // byte load (still one trace event; width matters only to heap)
+	OpSt
+	OpStb
+
+	// Floating point (operands in F registers, indexes share the same
+	// register file numbering space 32..63).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+	OpFMov // FRd = FRs1
+	OpFCmp // Rd(int) = -1,0,1 comparing FRs1, FRs2
+	OpI2F  // FRd = float(Rs1)
+	OpF2I  // Rd = int(FRs1)
+	OpFLd  // FRd = mem[Rs1+Imm]
+	OpFSt  // mem[Rs1+Imm] = FRs2
+
+	// Control transfers.
+	OpBeq  // branch to Target if Rs1 == Rs2
+	OpBne  // branch to Target if Rs1 != Rs2
+	OpBlt  // branch to Target if Rs1 < Rs2
+	OpBge  // branch to Target if Rs1 >= Rs2
+	OpBle  // branch to Target if Rs1 <= Rs2
+	OpBgt  // branch to Target if Rs1 > Rs2
+	OpJ    // unconditional direct jump to Target
+	OpJal  // direct call: LR = PC+4, jump to Target
+	OpJr   // indirect jump to Rs1 (switch dispatch, computed goto)
+	OpJalr // indirect call through Rs1 (virtual dispatch): LR = PC+4
+	OpRet  // return: jump to LR
+
+	// OpCallRT invokes a runtime service (allocation, monitor ops, I/O,
+	// class resolution) identified by Imm. The native CPU bridges these
+	// back into the VM. Architecturally it is modeled as a direct call
+	// into the runtime segment followed by the service's own trace.
+	OpCallRT
+
+	// OpHalt stops the current native activation (method return to the
+	// engine or end of program).
+	OpHalt
+
+	// NumOps is the number of native opcodes.
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	OpNop: "nop",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpShru: "shru", OpSlt: "slt",
+	OpAddi: "addi", OpMuli: "muli", OpAndi: "andi", OpOri: "ori",
+	OpXori: "xori", OpShli: "shli", OpShri: "shri", OpSlti: "slti",
+	OpLui: "lui",
+	OpLd:  "ld", OpLdb: "ldb", OpSt: "st", OpStb: "stb",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFNeg: "fneg", OpFMov: "fmov", OpFCmp: "fcmp", OpI2F: "i2f", OpF2I: "f2i",
+	OpFLd: "fld", OpFSt: "fst",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBle: "ble", OpBgt: "bgt",
+	OpJ: "j", OpJal: "jal", OpJr: "jr", OpJalr: "jalr", OpRet: "ret",
+	OpCallRT: "callrt", OpHalt: "halt",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Architectural registers. Integer registers are 0..31; by convention:
+const (
+	// RZero always reads as zero.
+	RZero = 0
+	// RSP is the native stack pointer (frame base for spills/locals).
+	RSP = 1
+	// RLR is the link register written by calls.
+	RLR = 2
+	// RThis holds the receiver on method entry.
+	RThis = 3
+	// RArg0 is the first of 8 argument registers (RArg0..RArg0+7).
+	RArg0 = 4
+	// RRet holds an integer return value.
+	RRet = 4
+	// RTmp0 is the first caller-saved scratch register.
+	RTmp0 = 12
+	// RVar0 is the first register available to the JIT's stack-cache
+	// allocator (RVar0..31, 16 registers).
+	RVar0 = 16
+	// NumIntRegs is the number of integer registers.
+	NumIntRegs = 32
+	// FReg0 is the register-file index of floating register f0. Floating
+	// registers occupy indices 32..63 in trace records so the pipeline's
+	// dependence tracking can treat the two files uniformly.
+	FReg0 = 32
+	// NumRegs is the total register-file size seen by the pipeline.
+	NumRegs = 64
+)
+
+// Inst is a decoded native instruction occupying one architectural slot.
+type Inst struct {
+	Op     Op
+	Rd     uint8 // destination register
+	Rs1    uint8 // first source
+	Rs2    uint8 // second source
+	Imm    int64 // immediate / displacement / runtime-service id
+	Target uint64
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool { return i.Op >= OpBeq && i.Op <= OpBgt }
+
+// IsControl reports whether the instruction transfers control.
+func (i Inst) IsControl() bool {
+	return (i.Op >= OpBeq && i.Op <= OpRet) || i.Op == OpCallRT
+}
+
+// Disassemble renders the instruction for debugging and test goldens.
+func (i Inst) Disassemble() string {
+	switch {
+	case i.Op == OpNop || i.Op == OpHalt:
+		return i.Op.String()
+	case i.Op == OpLui:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	case i.Op >= OpAdd && i.Op <= OpSlt:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case i.Op >= OpAddi && i.Op <= OpSlti:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case i.Op == OpLd || i.Op == OpLdb:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case i.Op == OpSt || i.Op == OpStb:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case i.Op == OpFLd:
+		return fmt.Sprintf("%s f%d, %d(r%d)", i.Op, i.Rd-FReg0, i.Imm, i.Rs1)
+	case i.Op == OpFSt:
+		return fmt.Sprintf("%s f%d, %d(r%d)", i.Op, i.Rs2-FReg0, i.Imm, i.Rs1)
+	case i.Op >= OpFAdd && i.Op <= OpFCmp:
+		return fmt.Sprintf("%s %d, %d, %d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case i.Op == OpI2F || i.Op == OpF2I:
+		return fmt.Sprintf("%s %d, %d", i.Op, i.Rd, i.Rs1)
+	case i.IsBranch():
+		return fmt.Sprintf("%s r%d, r%d, 0x%x", i.Op, i.Rs1, i.Rs2, i.Target)
+	case i.Op == OpJ || i.Op == OpJal:
+		return fmt.Sprintf("%s 0x%x", i.Op, i.Target)
+	case i.Op == OpJr || i.Op == OpJalr:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rs1)
+	case i.Op == OpRet:
+		return "ret"
+	case i.Op == OpCallRT:
+		return fmt.Sprintf("callrt %d", i.Imm)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}

@@ -1,0 +1,52 @@
+package jit
+
+import (
+	"testing"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/trace"
+	"jrs/internal/vm"
+)
+
+// TestDisassemblyGolden pins the tier-2 (register) code generated for a
+// tiny arithmetic method: `static int f(int a, int b) { return (a+b)*7 }`.
+// It documents the code generator precisely; change it deliberately.
+func TestDisassemblyGolden(t *testing.T) {
+	a := bytecode.NewAsm()
+	a.I(bytecode.ILoad, 0).I(bytecode.ILoad, 1).Emit(bytecode.IAdd).
+		I(bytecode.IConst, 7).Emit(bytecode.IMul).Emit(bytecode.IReturn)
+	sig, _ := bytecode.ParseSignature("(II)I")
+	m := &bytecode.Method{Name: "f", Sig: sig, Flags: bytecode.FlagStatic,
+		MaxLocals: 2, Code: a.MustAssemble()}
+	c := &bytecode.Class{Name: "A", Methods: []*bytecode.Method{m}}
+	v := vm.New(trace.Discard, nil)
+	if err := v.Load([]*bytecode.Class{c}); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.BaselineCodegen = false
+	jc := New(v, opts)
+	cm, err := jc.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"st r4, 0(r1)",      // prologue: spill arg a to local 0
+		"st r5, 8(r1)",      // prologue: spill arg b to local 1
+		"ld r16, 0(r1)",     // iload 0 -> stack slot 0
+		"ld r17, 8(r1)",     // iload 1 -> stack slot 1
+		"add r16, r16, r17", // iadd
+		"lui r17, 7",        // iconst 7
+		"mul r16, r16, r17", // imul
+		"addi r4, r16, 0",   // move result to RRet
+		"ret",
+	}
+	if len(cm.Code) != len(want) {
+		t.Fatalf("code length %d, want %d", len(cm.Code), len(want))
+	}
+	for i, w := range want {
+		if got := cm.Code[i].Disassemble(); got != w {
+			t.Errorf("instr %d: %q, want %q", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package jit
+
+import "jrs/internal/bytecode"
+
+// stackEffect returns how many operand-stack slots ins pops and the types
+// it pushes, given the stack state before it. The memory-stack code
+// generator uses it to surround each bytecode's native sequence with the
+// slot loads and stores a Kaffe-era naive JIT emitted.
+func stackEffect(c *bytecode.Class, ins bytecode.Instr, before []bytecode.Type) (pops int, pushes []bytecode.Type) {
+	I := bytecode.TInt
+	F := bytecode.TFloat
+	A := bytecode.TRef
+	switch op := ins.Op; op {
+	case bytecode.Nop, bytecode.IInc, bytecode.Goto:
+		return 0, nil
+	case bytecode.IConst:
+		return 0, []bytecode.Type{I}
+	case bytecode.FConst:
+		return 0, []bytecode.Type{F}
+	case bytecode.SConst, bytecode.AConstNull:
+		return 0, []bytecode.Type{A}
+	case bytecode.ILoad:
+		return 0, []bytecode.Type{I}
+	case bytecode.FLoad:
+		return 0, []bytecode.Type{F}
+	case bytecode.ALoad:
+		return 0, []bytecode.Type{A}
+	case bytecode.IStore, bytecode.FStore, bytecode.AStore, bytecode.Pop:
+		return 1, nil
+	case bytecode.Dup:
+		t := top(before, 0)
+		return 1, []bytecode.Type{t, t}
+	case bytecode.Swap:
+		return 2, []bytecode.Type{top(before, 0), top(before, 1)}
+	case bytecode.IAdd, bytecode.ISub, bytecode.IMul, bytecode.IDiv,
+		bytecode.IRem, bytecode.IAnd, bytecode.IOr, bytecode.IXor,
+		bytecode.IShl, bytecode.IShr, bytecode.IUshr:
+		return 2, []bytecode.Type{I}
+	case bytecode.INeg:
+		return 1, []bytecode.Type{I}
+	case bytecode.FAdd, bytecode.FSub, bytecode.FMul, bytecode.FDiv:
+		return 2, []bytecode.Type{F}
+	case bytecode.FNeg:
+		return 1, []bytecode.Type{F}
+	case bytecode.FCmp:
+		return 2, []bytecode.Type{I}
+	case bytecode.I2F:
+		return 1, []bytecode.Type{F}
+	case bytecode.F2I:
+		return 1, []bytecode.Type{I}
+	case bytecode.NewArray:
+		return 1, []bytecode.Type{A}
+	case bytecode.ArrayLength:
+		return 1, []bytecode.Type{I}
+	case bytecode.IALoad, bytecode.CALoad:
+		return 2, []bytecode.Type{I}
+	case bytecode.FALoad:
+		return 2, []bytecode.Type{F}
+	case bytecode.AALoad:
+		return 2, []bytecode.Type{A}
+	case bytecode.IAStore, bytecode.FAStore, bytecode.AAStore, bytecode.CAStore:
+		return 3, nil
+	case bytecode.IfEq, bytecode.IfNe, bytecode.IfLt, bytecode.IfGe,
+		bytecode.IfGt, bytecode.IfLe, bytecode.IfNull, bytecode.IfNonNull:
+		return 1, nil
+	case bytecode.IfICmpEq, bytecode.IfICmpNe, bytecode.IfICmpLt,
+		bytecode.IfICmpGe, bytecode.IfICmpGt, bytecode.IfICmpLe,
+		bytecode.IfACmpEq, bytecode.IfACmpNe:
+		return 2, nil
+	case bytecode.New:
+		return 0, []bytecode.Type{A}
+	case bytecode.GetField:
+		return 1, []bytecode.Type{c.Pool.Fields[ins.A].Resolved.Type}
+	case bytecode.PutField:
+		return 2, nil
+	case bytecode.GetStatic:
+		return 0, []bytecode.Type{c.Pool.Fields[ins.A].Resolved.Type}
+	case bytecode.PutStatic:
+		return 1, nil
+	case bytecode.InvokeVirtual, bytecode.InvokeStatic, bytecode.InvokeSpecial:
+		callee := c.Pool.Methods[ins.A].Resolved
+		k := len(callee.Sig.Params)
+		if !callee.IsStatic() {
+			k++
+		}
+		if callee.Sig.Ret == bytecode.TVoid {
+			return k, nil
+		}
+		return k, []bytecode.Type{callee.Sig.Ret}
+	case bytecode.Return:
+		return 0, nil
+	case bytecode.IReturn, bytecode.FReturn, bytecode.AReturn:
+		return 1, nil
+	case bytecode.MonitorEnter, bytecode.MonitorExit:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func top(s []bytecode.Type, fromTop int) bytecode.Type {
+	if i := len(s) - 1 - fromTop; i >= 0 {
+		return s[i]
+	}
+	return bytecode.TInt
+}

@@ -1,0 +1,215 @@
+package jit
+
+import (
+	"fmt"
+
+	"jrs/internal/bytecode"
+)
+
+// typeflow computes the operand-stack type vector at the entry of every
+// bytecode instruction of m, via a fixed-point worklist over the control
+// flow graph. The JIT needs it to assign stack slots to integer vs.
+// floating registers; it also doubles as a deeper verification layer than
+// bytecode.Verify (stack heights must be consistent at joins).
+func typeflow(c *bytecode.Class, m *bytecode.Method) ([][]bytecode.Type, error) {
+	n := len(m.Code)
+	in := make([][]bytecode.Type, n)
+	seen := make([]bool, n)
+	work := []int{0}
+	in[0] = []bytecode.Type{}
+	seen[0] = true
+
+	push := func(s []bytecode.Type, t bytecode.Type) []bytecode.Type {
+		return append(append([]bytecode.Type{}, s...), t)
+	}
+	popN := func(s []bytecode.Type, k int, at int) ([]bytecode.Type, error) {
+		if len(s) < k {
+			return nil, fmt.Errorf("%s @%d %s: stack underflow (%d < %d)",
+				m.FullName(), at, m.Code[at], len(s), k)
+		}
+		return append([]bytecode.Type{}, s[:len(s)-k]...), nil
+	}
+	flow := func(to int, s []bytecode.Type) error {
+		if to < 0 || to >= n {
+			return fmt.Errorf("%s: flow target %d out of range", m.FullName(), to)
+		}
+		if !seen[to] {
+			seen[to] = true
+			in[to] = s
+			work = append(work, to)
+			return nil
+		}
+		if len(in[to]) != len(s) {
+			return fmt.Errorf("%s @%d: inconsistent stack depth at join (%d vs %d)",
+				m.FullName(), to, len(in[to]), len(s))
+		}
+		for i := range s {
+			if in[to][i] != s[i] {
+				return fmt.Errorf("%s @%d: inconsistent stack type at join slot %d",
+					m.FullName(), to, i)
+			}
+		}
+		return nil
+	}
+
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := in[i]
+		ins := m.Code[i]
+		var err error
+		next := s
+
+		switch op := ins.Op; op {
+		case bytecode.Nop:
+		case bytecode.IConst:
+			next = push(s, bytecode.TInt)
+		case bytecode.FConst:
+			next = push(s, bytecode.TFloat)
+		case bytecode.SConst, bytecode.AConstNull:
+			next = push(s, bytecode.TRef)
+		case bytecode.ILoad:
+			next = push(s, bytecode.TInt)
+		case bytecode.FLoad:
+			next = push(s, bytecode.TFloat)
+		case bytecode.ALoad:
+			next = push(s, bytecode.TRef)
+		case bytecode.IStore, bytecode.FStore, bytecode.AStore:
+			next, err = popN(s, 1, i)
+		case bytecode.IInc:
+		case bytecode.Pop:
+			next, err = popN(s, 1, i)
+		case bytecode.Dup:
+			if len(s) < 1 {
+				err = fmt.Errorf("%s @%d: dup on empty stack", m.FullName(), i)
+				break
+			}
+			next = push(s, s[len(s)-1])
+		case bytecode.Swap:
+			if len(s) < 2 {
+				err = fmt.Errorf("%s @%d: swap needs two", m.FullName(), i)
+				break
+			}
+			next = append([]bytecode.Type{}, s...)
+			next[len(next)-1], next[len(next)-2] = next[len(next)-2], next[len(next)-1]
+		case bytecode.IAdd, bytecode.ISub, bytecode.IMul, bytecode.IDiv,
+			bytecode.IRem, bytecode.IAnd, bytecode.IOr, bytecode.IXor,
+			bytecode.IShl, bytecode.IShr, bytecode.IUshr:
+			if next, err = popN(s, 2, i); err == nil {
+				next = push(next, bytecode.TInt)
+			}
+		case bytecode.INeg:
+			if next, err = popN(s, 1, i); err == nil {
+				next = push(next, bytecode.TInt)
+			}
+		case bytecode.FAdd, bytecode.FSub, bytecode.FMul, bytecode.FDiv:
+			if next, err = popN(s, 2, i); err == nil {
+				next = push(next, bytecode.TFloat)
+			}
+		case bytecode.FNeg:
+			if next, err = popN(s, 1, i); err == nil {
+				next = push(next, bytecode.TFloat)
+			}
+		case bytecode.FCmp:
+			if next, err = popN(s, 2, i); err == nil {
+				next = push(next, bytecode.TInt)
+			}
+		case bytecode.I2F:
+			if next, err = popN(s, 1, i); err == nil {
+				next = push(next, bytecode.TFloat)
+			}
+		case bytecode.F2I:
+			if next, err = popN(s, 1, i); err == nil {
+				next = push(next, bytecode.TInt)
+			}
+		case bytecode.NewArray:
+			if next, err = popN(s, 1, i); err == nil {
+				next = push(next, bytecode.TRef)
+			}
+		case bytecode.ArrayLength:
+			if next, err = popN(s, 1, i); err == nil {
+				next = push(next, bytecode.TInt)
+			}
+		case bytecode.IALoad, bytecode.CALoad:
+			if next, err = popN(s, 2, i); err == nil {
+				next = push(next, bytecode.TInt)
+			}
+		case bytecode.FALoad:
+			if next, err = popN(s, 2, i); err == nil {
+				next = push(next, bytecode.TFloat)
+			}
+		case bytecode.AALoad:
+			if next, err = popN(s, 2, i); err == nil {
+				next = push(next, bytecode.TRef)
+			}
+		case bytecode.IAStore, bytecode.FAStore, bytecode.AAStore, bytecode.CAStore:
+			next, err = popN(s, 3, i)
+		case bytecode.Goto:
+			if err = flow(int(ins.A), s); err != nil {
+				return nil, err
+			}
+			continue
+		case bytecode.IfEq, bytecode.IfNe, bytecode.IfLt, bytecode.IfGe,
+			bytecode.IfGt, bytecode.IfLe, bytecode.IfNull, bytecode.IfNonNull:
+			if next, err = popN(s, 1, i); err == nil {
+				err = flow(int(ins.A), next)
+			}
+		case bytecode.IfICmpEq, bytecode.IfICmpNe, bytecode.IfICmpLt,
+			bytecode.IfICmpGe, bytecode.IfICmpGt, bytecode.IfICmpLe,
+			bytecode.IfACmpEq, bytecode.IfACmpNe:
+			if next, err = popN(s, 2, i); err == nil {
+				err = flow(int(ins.A), next)
+			}
+		case bytecode.New:
+			next = push(s, bytecode.TRef)
+		case bytecode.GetField:
+			if next, err = popN(s, 1, i); err == nil {
+				next = push(next, c.Pool.Fields[ins.A].Resolved.Type)
+			}
+		case bytecode.PutField:
+			next, err = popN(s, 2, i)
+		case bytecode.GetStatic:
+			next = push(s, c.Pool.Fields[ins.A].Resolved.Type)
+		case bytecode.PutStatic:
+			next, err = popN(s, 1, i)
+		case bytecode.InvokeVirtual, bytecode.InvokeStatic, bytecode.InvokeSpecial:
+			ref := c.Pool.Methods[ins.A]
+			callee := ref.Resolved
+			k := len(callee.Sig.Params)
+			if !callee.IsStatic() {
+				k++
+			}
+			if next, err = popN(s, k, i); err == nil {
+				if callee.Sig.Ret != bytecode.TVoid {
+					next = push(next, callee.Sig.Ret)
+				}
+			}
+		case bytecode.Return, bytecode.IReturn, bytecode.FReturn, bytecode.AReturn:
+			continue // no fallthrough
+		case bytecode.MonitorEnter, bytecode.MonitorExit:
+			next, err = popN(s, 1, i)
+		default:
+			err = fmt.Errorf("%s @%d: typeflow: unhandled opcode %v", m.FullName(), i, ins.Op)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if i+1 < n {
+			if err := flow(i+1, next); err != nil {
+				return nil, err
+			}
+		} else if !isTerminal(ins.Op) {
+			return nil, fmt.Errorf("%s: falls off the end", m.FullName())
+		}
+	}
+	return in, nil
+}
+
+func isTerminal(op bytecode.Op) bool {
+	switch op {
+	case bytecode.Return, bytecode.IReturn, bytecode.FReturn,
+		bytecode.AReturn, bytecode.Goto:
+		return true
+	}
+	return false
+}

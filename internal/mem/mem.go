@@ -1,0 +1,178 @@
+// Package mem defines the simulated flat address space shared by every
+// execution engine, and a word-granular sparse memory for data storage.
+//
+// The segment layout mirrors a JVM process image: the interpreter's
+// handler code, the JIT translator's own code, runtime services, the JIT
+// code cache, class metadata (where bytecodes live and are read as *data*
+// by the interpreter and the translator), the garbage-collected heap,
+// per-thread Java stacks, and VM-internal structures such as the monitor
+// cache. Keeping every engine in one address space is what lets the cache
+// studies observe effects like translated-code installation writes landing
+// in the D-cache while subsequent fetches hit the I-cache.
+package mem
+
+import "fmt"
+
+// Segment base addresses. Segments are far apart so no workload can
+// overflow one into the next; the cache simulators only see addresses, so
+// sparseness is free.
+const (
+	// HandlerBase is the interpreter's dispatch-loop and per-opcode
+	// handler code region (instruction side only).
+	HandlerBase uint64 = 0x0001_0000
+	// TranslatorBase is the JIT translator's code region.
+	TranslatorBase uint64 = 0x0010_0000
+	// RuntimeBase is the VM runtime services code region (allocation,
+	// monitors, class resolution, I/O intrinsics).
+	RuntimeBase uint64 = 0x0020_0000
+	// CodeCacheBase is where the JIT installs translated native code.
+	// Installation writes are data stores to these addresses; execution
+	// fetches are instruction reads from them.
+	CodeCacheBase uint64 = 0x0100_0000
+	// ClassBase is class metadata: bytecode streams, constant pools,
+	// method tables. Interpreter and translator read bytecodes from here
+	// as data.
+	ClassBase uint64 = 0x0800_0000
+	// HeapBase is the object heap.
+	HeapBase uint64 = 0x1000_0000
+	// StackBase is the bottom of the Java thread stack area; each thread
+	// gets a StackSize window.
+	StackBase uint64 = 0x4000_0000
+	// StackSize is the per-thread stack window.
+	StackSize uint64 = 1 << 20
+	// VMBase is VM-internal data: monitor cache, thread blocks, JIT
+	// bookkeeping.
+	VMBase uint64 = 0x6000_0000
+)
+
+// SegmentOf names the segment containing addr, for diagnostics.
+func SegmentOf(addr uint64) string {
+	switch {
+	case addr >= VMBase:
+		return "vm"
+	case addr >= StackBase:
+		return "stack"
+	case addr >= HeapBase:
+		return "heap"
+	case addr >= ClassBase:
+		return "class"
+	case addr >= CodeCacheBase:
+		return "codecache"
+	case addr >= RuntimeBase:
+		return "runtime"
+	case addr >= TranslatorBase:
+		return "translator"
+	case addr >= HandlerBase:
+		return "handler"
+	}
+	return "low"
+}
+
+// ThreadStackBase returns the stack window base for thread id.
+func ThreadStackBase(id int) uint64 {
+	return StackBase + uint64(id)*StackSize
+}
+
+// Memory is a sparse 64-bit-word-addressable store backing the simulated
+// data space. Pages are allocated on demand. Addresses are byte
+// addresses; loads and stores below word width are modeled at word
+// granularity for value storage (byte stores keep a full word per byte
+// address slot), which is fine because the architecture simulators care
+// about addresses, not packing.
+type Memory struct {
+	pages map[uint64]*page
+	// bytePages backs byte-granular storage (char arrays) separately so
+	// packed byte addresses don't alias word slots.
+	bytePages map[uint64]*bytePage
+	// Footprint counts distinct pages touched, an input to the Table 1
+	// memory-requirement study.
+	touched int
+}
+
+const (
+	pageShift = 12
+	pageWords = 1 << (pageShift - 3) // 512 words of 8 bytes
+)
+
+type page struct {
+	words [pageWords]int64
+}
+
+type bytePage struct {
+	bytes [1 << pageShift]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{
+		pages:     make(map[uint64]*page),
+		bytePages: make(map[uint64]*bytePage),
+	}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = &page{}
+		m.pages[pn] = p
+		m.touched++
+	}
+	return p
+}
+
+// Load returns the 64-bit word at byte address addr (word-aligned access
+// assumed by convention: the VM allocates all slots 8 bytes apart).
+func (m *Memory) Load(addr uint64) int64 {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p.words[(addr>>3)%pageWords]
+}
+
+// Store writes the 64-bit word at byte address addr.
+func (m *Memory) Store(addr uint64, v int64) {
+	p := m.pageFor(addr, true)
+	p.words[(addr>>3)%pageWords] = v
+}
+
+// LoadByte returns the byte at addr from the byte-granular plane (used
+// for char arrays, whose packed addressing matters to the cache studies).
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.bytePages[addr>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p.bytes[addr&((1<<pageShift)-1)]
+}
+
+// StoreByte writes the byte at addr on the byte-granular plane.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	pn := addr >> pageShift
+	p := m.bytePages[pn]
+	if p == nil {
+		p = &bytePage{}
+		m.bytePages[pn] = p
+		m.touched++
+	}
+	p.bytes[addr&((1<<pageShift)-1)] = v
+}
+
+// FootprintBytes returns the total size of pages touched so far. This is
+// the resident-set proxy used by the Table 1 reproduction.
+func (m *Memory) FootprintBytes() uint64 {
+	return uint64(m.touched) << pageShift
+}
+
+// Reset drops all contents.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*page)
+	m.bytePages = make(map[uint64]*bytePage)
+	m.touched = 0
+}
+
+// String summarizes the memory for debugging.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{%d pages, %d KB}", m.touched, m.FootprintBytes()>>10)
+}

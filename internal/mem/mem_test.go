@@ -1,0 +1,132 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreWords(t *testing.T) {
+	m := New()
+	if m.Load(HeapBase) != 0 {
+		t.Fatal("fresh memory should read zero")
+	}
+	m.Store(HeapBase, 42)
+	m.Store(HeapBase+8, -7)
+	if m.Load(HeapBase) != 42 || m.Load(HeapBase+8) != -7 {
+		t.Fatal("word round trip")
+	}
+	// Overwrite.
+	m.Store(HeapBase, 100)
+	if m.Load(HeapBase) != 100 {
+		t.Fatal("overwrite")
+	}
+}
+
+func TestBytePlane(t *testing.T) {
+	m := New()
+	// Adjacent byte addresses must not alias each other or words.
+	m.StoreByte(HeapBase+24, 'a')
+	m.StoreByte(HeapBase+25, 'b')
+	m.Store(HeapBase+24, 999)
+	if m.LoadByte(HeapBase+24) != 'a' || m.LoadByte(HeapBase+25) != 'b' {
+		t.Fatal("byte plane aliased")
+	}
+	if m.Load(HeapBase+24) != 999 {
+		t.Fatal("word plane clobbered")
+	}
+	if m.LoadByte(HeapBase+26) != 0 {
+		t.Fatal("untouched byte should be zero")
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	m := New()
+	f0 := m.FootprintBytes()
+	m.Store(HeapBase, 1)
+	f1 := m.FootprintBytes()
+	if f1 <= f0 {
+		t.Fatal("footprint should grow on first touch")
+	}
+	m.Store(HeapBase+8, 2) // same page
+	if m.FootprintBytes() != f1 {
+		t.Fatal("same-page store should not grow footprint")
+	}
+	m.Store(HeapBase+1<<20, 3)
+	if m.FootprintBytes() <= f1 {
+		t.Fatal("distant store should grow footprint")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	m.Store(HeapBase, 5)
+	m.StoreByte(HeapBase+100, 9)
+	m.Reset()
+	if m.Load(HeapBase) != 0 || m.LoadByte(HeapBase+100) != 0 {
+		t.Fatal("reset should clear")
+	}
+	if m.FootprintBytes() != 0 {
+		t.Fatal("reset should clear footprint")
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	cases := map[uint64]string{
+		HandlerBase:    "handler",
+		TranslatorBase: "translator",
+		RuntimeBase:    "runtime",
+		CodeCacheBase:  "codecache",
+		ClassBase:      "class",
+		HeapBase:       "heap",
+		StackBase:      "stack",
+		VMBase:         "vm",
+		0x10:           "low",
+	}
+	for addr, want := range cases {
+		if got := SegmentOf(addr); got != want {
+			t.Errorf("SegmentOf(%#x) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
+func TestThreadStackBase(t *testing.T) {
+	if ThreadStackBase(0) != StackBase {
+		t.Error("thread 0 base")
+	}
+	if ThreadStackBase(2)-ThreadStackBase(1) != StackSize {
+		t.Error("thread stride")
+	}
+}
+
+// Property: last-write-wins per address, words and bytes independent.
+func TestMemoryLastWriteWinsProperty(t *testing.T) {
+	f := func(writes []struct {
+		Off uint16
+		Val int64
+	}) bool {
+		m := New()
+		want := map[uint64]int64{}
+		for _, w := range writes {
+			addr := HeapBase + uint64(w.Off&^7) // word-aligned
+			m.Store(addr, w.Val)
+			want[addr] = w.Val
+		}
+		for addr, v := range want {
+			if m.Load(addr) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := New()
+	m.Store(HeapBase, 1)
+	if s := m.String(); s == "" {
+		t.Error("String should describe memory")
+	}
+}

@@ -1,0 +1,341 @@
+package minijava
+
+// Type is a MiniJava static type.
+type Type struct {
+	Kind TypeKind
+	// Class is the class name for KindClass (and element class for
+	// KindArray of class element).
+	Class string
+	// Elem is the element kind for KindArray (KindInt, KindFloat,
+	// KindChar or KindClass).
+	Elem TypeKind
+}
+
+// TypeKind enumerates type constructors.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindVoid TypeKind = iota
+	KindInt
+	KindFloat
+	KindChar // only as array element
+	KindClass
+	KindArray
+	KindNull // type of the null literal
+)
+
+// Common types.
+var (
+	TypeVoid  = Type{Kind: KindVoid}
+	TypeInt   = Type{Kind: KindInt}
+	TypeFloat = Type{Kind: KindFloat}
+	TypeNull  = Type{Kind: KindNull}
+)
+
+// ClassType returns the type of class name.
+func ClassType(name string) Type { return Type{Kind: KindClass, Class: name} }
+
+// ArrayOf returns the array type with the given element.
+func ArrayOf(elem Type) Type {
+	return Type{Kind: KindArray, Elem: elem.Kind, Class: elem.Class}
+}
+
+// ElemType returns an array type's element type.
+func (t Type) ElemType() Type {
+	return Type{Kind: t.Elem, Class: t.Class}
+}
+
+// IsRef reports whether values of t are references.
+func (t Type) IsRef() bool {
+	return t.Kind == KindClass || t.Kind == KindArray || t.Kind == KindNull
+}
+
+// String renders the type in source syntax.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindChar:
+		return "char"
+	case KindClass:
+		return t.Class
+	case KindNull:
+		return "null"
+	case KindArray:
+		return t.ElemType().String() + "[]"
+	}
+	return "?"
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl is one class.
+type ClassDecl struct {
+	Name    string
+	Extends string
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+	Line    int
+}
+
+// FieldDecl is one field.
+type FieldDecl struct {
+	Name   string
+	Type   Type
+	Static bool
+	Line   int
+}
+
+// MethodDecl is one method or constructor (constructors have Name ==
+// class name and IsCtor set).
+type MethodDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Static bool
+	Sync   bool
+	IsCtor bool
+	Body   *Block
+	Line   int
+	// MaxLocals is the frame size computed by the checker.
+	MaxLocals int
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is { stmts }.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarDecl declares a local, optionally initialized.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr
+	Line int
+	// Slot is the local slot assigned by the checker.
+	Slot int
+}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+	Line int
+}
+
+// While is a loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// For is the C-style loop (desugared at codegen).
+type For struct {
+	Init Stmt // VarDecl or ExprStmt or Assign, may be nil
+	Cond Expr // may be nil (true)
+	Post Stmt // may be nil
+	Body Stmt
+	Line int
+}
+
+// Return exits the method.
+type Return struct {
+	Val  Expr // nil for void
+	Line int
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int }
+
+// Continue jumps to the innermost loop's post/condition.
+type Continue struct{ Line int }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// Assign stores into a local, field, static or array element.
+type Assign struct {
+	Target Expr // Ident, FieldAccess or Index
+	Val    Expr
+	Line   int
+}
+
+// SuperCall is an explicit `super(args);` constructor chain call.
+type SuperCall struct {
+	Args []Expr
+	Line int
+}
+
+func (*Block) stmtNode()     {}
+func (*VarDecl) stmtNode()   {}
+func (*If) stmtNode()        {}
+func (*While) stmtNode()     {}
+func (*For) stmtNode()       {}
+func (*Return) stmtNode()    {}
+func (*Break) stmtNode()     {}
+func (*Continue) stmtNode()  {}
+func (*ExprStmt) stmtNode()  {}
+func (*Assign) stmtNode()    {}
+func (*SuperCall) stmtNode() {}
+
+// Expr is an expression node. The checker fills T.
+type Expr interface {
+	exprNode()
+	// TypeOf returns the checked type (valid after Check).
+	TypeOf() Type
+}
+
+type typed struct{ T Type }
+
+// TypeOf returns the checked type (valid after Check).
+func (t *typed) TypeOf() Type { return t.T }
+
+// IntLit is an integer or char literal.
+type IntLit struct {
+	typed
+	Val  int64
+	Line int
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	typed
+	Val  float64
+	Line int
+}
+
+// StringLit is a string literal (char[]).
+type StringLit struct {
+	typed
+	Val  string
+	Line int
+}
+
+// NullLit is null.
+type NullLit struct {
+	typed
+	Line int
+}
+
+// Ident references a local, parameter, field or static field.
+type Ident struct {
+	typed
+	Name string
+	Line int
+	// Resolution (set by the checker):
+	Local  int    // local slot, or -1
+	Field  string // unqualified field of this / own class static
+	Static bool
+	Owner  string // declaring class for field/static
+}
+
+// This is the receiver.
+type This struct {
+	typed
+	Line int
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	typed
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operation (arithmetic, comparison, logical).
+type Binary struct {
+	typed
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Cast is (int)e or (float)e.
+type Cast struct {
+	typed
+	To   Type
+	X    Expr
+	Line int
+}
+
+// Index is a[i].
+type Index struct {
+	typed
+	Arr, Idx Expr
+	Line     int
+}
+
+// FieldAccess is o.f, Class.f (static) or a.length.
+type FieldAccess struct {
+	typed
+	Obj  Expr   // nil for static via class name
+	Cls  string // class name for statics
+	Name string
+	Line int
+	// IsLength marks array .length.
+	IsLength bool
+	Static   bool
+	Owner    string
+}
+
+// Call is o.m(args), m(args), Class.m(args) or super-less ctor-chained
+// calls.
+type Call struct {
+	typed
+	Obj  Expr   // receiver, nil for static/implicit-this
+	Cls  string // class name for static calls (e.g. Sys)
+	Name string
+	Args []Expr
+	Line int
+	// Resolution:
+	Static  bool
+	Owner   string // declaring class
+	RetType Type
+}
+
+// New is new T(args), new int[n], new T[n].
+type New struct {
+	typed
+	// Of is the allocated type (class or array).
+	Of   Type
+	Args []Expr // ctor args (class) or the single length (array)
+	Line int
+}
+
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*StringLit) exprNode()   {}
+func (*NullLit) exprNode()     {}
+func (*Ident) exprNode()       {}
+func (*This) exprNode()        {}
+func (*Unary) exprNode()       {}
+func (*Binary) exprNode()      {}
+func (*Cast) exprNode()        {}
+func (*Index) exprNode()       {}
+func (*FieldAccess) exprNode() {}
+func (*Call) exprNode()        {}
+func (*New) exprNode()         {}

@@ -1,0 +1,297 @@
+package minijava
+
+import "fmt"
+
+// classInfo is the checker's view of one class.
+type classInfo struct {
+	decl  *ClassDecl
+	super *classInfo
+	// fields/statics/methods are the class's own members.
+	fields  map[string]*FieldDecl
+	statics map[string]*FieldDecl
+	methods map[string]*MethodDecl
+	ctor    *MethodDecl
+	builtin bool
+}
+
+// Checker resolves names and types over a program.
+type Checker struct {
+	classes map[string]*classInfo
+}
+
+// Check type-checks prog (mutating AST nodes with resolution results).
+func Check(prog *Program) error {
+	c := &Checker{classes: make(map[string]*classInfo)}
+	c.installSys()
+
+	// Collect.
+	for _, cd := range prog.Classes {
+		if _, dup := c.classes[cd.Name]; dup {
+			return fmt.Errorf("line %d: duplicate class %s", cd.Line, cd.Name)
+		}
+		ci := &classInfo{
+			decl:    cd,
+			fields:  make(map[string]*FieldDecl),
+			statics: make(map[string]*FieldDecl),
+			methods: make(map[string]*MethodDecl),
+		}
+		for _, f := range cd.Fields {
+			tbl := ci.fields
+			if f.Static {
+				tbl = ci.statics
+			}
+			if _, dup := tbl[f.Name]; dup {
+				return fmt.Errorf("line %d: duplicate field %s.%s", f.Line, cd.Name, f.Name)
+			}
+			tbl[f.Name] = f
+		}
+		for _, m := range cd.Methods {
+			if m.IsCtor {
+				if ci.ctor != nil {
+					return fmt.Errorf("line %d: %s has multiple constructors", m.Line, cd.Name)
+				}
+				ci.ctor = m
+				continue
+			}
+			if _, dup := ci.methods[m.Name]; dup {
+				return fmt.Errorf("line %d: duplicate method %s.%s (no overloading)",
+					m.Line, cd.Name, m.Name)
+			}
+			ci.methods[m.Name] = m
+		}
+		c.classes[cd.Name] = ci
+	}
+
+	// Link supers.
+	for _, cd := range prog.Classes {
+		ci := c.classes[cd.Name]
+		if cd.Extends == "" {
+			continue
+		}
+		super, ok := c.classes[cd.Extends]
+		if !ok {
+			return fmt.Errorf("line %d: %s extends unknown class %s", cd.Line, cd.Name, cd.Extends)
+		}
+		ci.super = super
+	}
+	for name, ci := range c.classes {
+		seen := map[*classInfo]bool{}
+		for k := ci; k != nil; k = k.super {
+			if seen[k] {
+				return fmt.Errorf("inheritance cycle involving %s", name)
+			}
+			seen[k] = true
+		}
+	}
+	// Validate override signatures.
+	for _, cd := range prog.Classes {
+		ci := c.classes[cd.Name]
+		for name, m := range ci.methods {
+			for k := ci.super; k != nil; k = k.super {
+				if sm, ok := k.methods[name]; ok {
+					if !sameSig(m, sm) {
+						return fmt.Errorf("line %d: %s.%s overrides with different signature",
+							m.Line, cd.Name, name)
+					}
+					if sm.Static != m.Static {
+						return fmt.Errorf("line %d: %s.%s changes staticness", m.Line, cd.Name, name)
+					}
+					break
+				}
+			}
+		}
+		// Field types must name known classes.
+		for _, f := range cd.Fields {
+			if err := c.validType(f.Type, f.Line); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Check bodies.
+	for _, cd := range prog.Classes {
+		ci := c.classes[cd.Name]
+		for _, m := range cd.Methods {
+			if err := c.checkMethod(ci, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sameSig(a, b *MethodDecl) bool {
+	if a.Ret != b.Ret || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i].Type != b.Params[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// installSys registers the intrinsic Sys class.
+func (c *Checker) installSys() {
+	mk := func(name string, ret Type, params ...Param) *MethodDecl {
+		return &MethodDecl{Name: name, Ret: ret, Params: params, Static: true}
+	}
+	sys := &classInfo{
+		decl:    &ClassDecl{Name: "Sys"},
+		fields:  map[string]*FieldDecl{},
+		statics: map[string]*FieldDecl{},
+		builtin: true,
+		methods: map[string]*MethodDecl{
+			"print":  mk("print", TypeVoid, Param{"s", ArrayOf(Type{Kind: KindChar})}),
+			"printi": mk("printi", TypeVoid, Param{"x", TypeInt}),
+			"printf": mk("printf", TypeVoid, Param{"x", TypeFloat}),
+			"printc": mk("printc", TypeVoid, Param{"x", TypeInt}),
+			"spawn":  mk("spawn", TypeInt, Param{"o", Type{Kind: KindClass, Class: "*"}}),
+			"join":   mk("join", TypeVoid, Param{"t", TypeInt}),
+			"yield":  mk("yield", TypeVoid),
+		},
+	}
+	c.classes["Sys"] = sys
+}
+
+func (c *Checker) validType(t Type, line int) error {
+	name := ""
+	switch {
+	case t.Kind == KindClass:
+		name = t.Class
+	case t.Kind == KindArray && t.Elem == KindClass:
+		name = t.Class
+	default:
+		return nil
+	}
+	if _, ok := c.classes[name]; !ok {
+		return fmt.Errorf("line %d: unknown class %s", line, name)
+	}
+	return nil
+}
+
+// descends reports whether sub is cls or a subclass of it.
+func (c *Checker) descends(sub, cls string) bool {
+	if cls == "*" { // Sys.spawn takes any object
+		_, ok := c.classes[sub]
+		return ok
+	}
+	for k := c.classes[sub]; k != nil; k = k.super {
+		if k.decl.Name == cls {
+			return true
+		}
+	}
+	return false
+}
+
+// assignable reports whether a value of type from may be stored into to,
+// and whether an int→float promotion is needed.
+func (c *Checker) assignable(to, from Type) (ok, promote bool) {
+	if to == from {
+		return true, false
+	}
+	if to.Kind == KindFloat && from.Kind == KindInt {
+		return true, true
+	}
+	if from.Kind == KindNull && to.IsRef() && to.Kind != KindNull {
+		return true, false
+	}
+	if to.Kind == KindClass && from.Kind == KindClass {
+		return c.descends(from.Class, to.Class), false
+	}
+	return false, false
+}
+
+// env is the per-method checking environment.
+type env struct {
+	c     *Checker
+	ci    *classInfo
+	m     *MethodDecl
+	scope []map[string]localVar
+	next  int
+	max   int
+	loops int
+}
+
+type localVar struct {
+	slot int
+	typ  Type
+}
+
+func (e *env) push() { e.scope = append(e.scope, map[string]localVar{}) }
+func (e *env) pop()  { e.scope = e.scope[:len(e.scope)-1] }
+
+func (e *env) define(name string, t Type, line int) (int, error) {
+	top := e.scope[len(e.scope)-1]
+	if _, dup := top[name]; dup {
+		return 0, fmt.Errorf("line %d: duplicate local %s", line, name)
+	}
+	slot := e.next
+	e.next++
+	if e.next > e.max {
+		e.max = e.next
+	}
+	top[name] = localVar{slot: slot, typ: t}
+	return slot, nil
+}
+
+func (e *env) lookup(name string) (localVar, bool) {
+	for i := len(e.scope) - 1; i >= 0; i-- {
+		if v, ok := e.scope[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (c *Checker) checkMethod(ci *classInfo, m *MethodDecl) error {
+	if err := c.validType(m.Ret, m.Line); err != nil {
+		return err
+	}
+	e := &env{c: c, ci: ci, m: m}
+	e.push()
+	if !m.Static {
+		if _, err := e.define("this", ClassType(ci.decl.Name), m.Line); err != nil {
+			return err
+		}
+	}
+	for _, p := range m.Params {
+		if err := c.validType(p.Type, m.Line); err != nil {
+			return err
+		}
+		if _, err := e.define(p.Name, p.Type, m.Line); err != nil {
+			return err
+		}
+	}
+	if err := e.stmt(m.Body); err != nil {
+		return err
+	}
+	if m.Ret.Kind != KindVoid && !terminates(m.Body) {
+		return fmt.Errorf("line %d: %s.%s: missing return",
+			m.Line, ci.decl.Name, m.Name)
+	}
+	m.MaxLocals = e.max
+	if m.MaxLocals == 0 {
+		m.MaxLocals = 1
+	}
+	return nil
+}
+
+// terminates reports whether the statement definitely returns.
+func terminates(s Stmt) bool {
+	switch st := s.(type) {
+	case *Return:
+		return true
+	case *Block:
+		for _, inner := range st.Stmts {
+			if terminates(inner) {
+				return true
+			}
+		}
+		return false
+	case *If:
+		return st.Else != nil && terminates(st.Then) && terminates(st.Else)
+	}
+	return false
+}

@@ -1,0 +1,351 @@
+package minijava
+
+import "fmt"
+
+func (e *env) expr(x Expr) error {
+	switch ex := x.(type) {
+	case *IntLit:
+		ex.T = TypeInt
+	case *FloatLit:
+		ex.T = TypeFloat
+	case *StringLit:
+		ex.T = ArrayOf(Type{Kind: KindChar})
+	case *NullLit:
+		ex.T = TypeNull
+
+	case *This:
+		if e.m.Static {
+			return e.errf(ex.Line, "this in static method")
+		}
+		ex.T = ClassType(e.ci.decl.Name)
+
+	case *Ident:
+		if v, ok := e.lookup(ex.Name); ok {
+			ex.Local = v.slot
+			ex.T = v.typ
+			return nil
+		}
+		ex.Local = -1
+		// Field of the current class chain (instance then static).
+		for k := e.ci; k != nil; k = k.super {
+			if f, ok := k.fields[ex.Name]; ok {
+				if e.m.Static {
+					return e.errf(ex.Line, "instance field %s in static method", ex.Name)
+				}
+				ex.Field = f.Name
+				ex.Owner = k.decl.Name
+				ex.T = f.Type
+				return nil
+			}
+			if f, ok := k.statics[ex.Name]; ok {
+				ex.Field = f.Name
+				ex.Owner = k.decl.Name
+				ex.Static = true
+				ex.T = f.Type
+				return nil
+			}
+		}
+		return e.errf(ex.Line, "undefined name %s", ex.Name)
+
+	case *Unary:
+		if err := e.expr(ex.X); err != nil {
+			return err
+		}
+		t := ex.X.TypeOf()
+		switch ex.Op {
+		case "-":
+			if t.Kind != KindInt && t.Kind != KindFloat {
+				return e.errf(ex.Line, "cannot negate %s", t)
+			}
+			ex.T = t
+		case "!":
+			if t.Kind != KindInt {
+				return e.errf(ex.Line, "! requires int, got %s", t)
+			}
+			ex.T = TypeInt
+		}
+
+	case *Binary:
+		return e.binaryExpr(ex)
+
+	case *Cast:
+		if err := e.expr(ex.X); err != nil {
+			return err
+		}
+		from := ex.X.TypeOf()
+		if from.Kind != KindInt && from.Kind != KindFloat {
+			return e.errf(ex.Line, "cannot cast %s", from)
+		}
+		ex.T = ex.To
+
+	case *Index:
+		if err := e.expr(ex.Arr); err != nil {
+			return err
+		}
+		if err := e.expr(ex.Idx); err != nil {
+			return err
+		}
+		at := ex.Arr.TypeOf()
+		if at.Kind != KindArray {
+			return e.errf(ex.Line, "indexing non-array %s", at)
+		}
+		if ex.Idx.TypeOf().Kind != KindInt {
+			return e.errf(ex.Line, "array index must be int")
+		}
+		et := at.ElemType()
+		if et.Kind == KindChar {
+			et = TypeInt // char elements read/write as int
+		}
+		ex.T = et
+
+	case *FieldAccess:
+		return e.fieldAccess(ex)
+
+	case *Call:
+		return e.call(ex)
+
+	case *New:
+		return e.newExpr(ex)
+
+	default:
+		return fmt.Errorf("checker: unhandled expression %T", x)
+	}
+	return nil
+}
+
+func (e *env) binaryExpr(ex *Binary) error {
+	if err := e.expr(ex.L); err != nil {
+		return err
+	}
+	if err := e.expr(ex.R); err != nil {
+		return err
+	}
+	lt, rt := ex.L.TypeOf(), ex.R.TypeOf()
+	numeric := func(t Type) bool { return t.Kind == KindInt || t.Kind == KindFloat }
+
+	switch ex.Op {
+	case "+", "-", "*", "/":
+		if !numeric(lt) || !numeric(rt) {
+			return e.errf(ex.Line, "%s requires numeric operands, got %s and %s", ex.Op, lt, rt)
+		}
+		if lt.Kind == KindFloat || rt.Kind == KindFloat {
+			if lt.Kind == KindInt {
+				ex.L = promoteExpr(ex.L)
+			}
+			if rt.Kind == KindInt {
+				ex.R = promoteExpr(ex.R)
+			}
+			ex.T = TypeFloat
+		} else {
+			ex.T = TypeInt
+		}
+	case "%", "&", "|", "^", "<<", ">>", ">>>", "&&", "||":
+		if lt.Kind != KindInt || rt.Kind != KindInt {
+			return e.errf(ex.Line, "%s requires int operands, got %s and %s", ex.Op, lt, rt)
+		}
+		ex.T = TypeInt
+	case "<", "<=", ">", ">=":
+		if !numeric(lt) || !numeric(rt) {
+			return e.errf(ex.Line, "%s requires numeric operands, got %s and %s", ex.Op, lt, rt)
+		}
+		if lt.Kind == KindFloat || rt.Kind == KindFloat {
+			if lt.Kind == KindInt {
+				ex.L = promoteExpr(ex.L)
+			}
+			if rt.Kind == KindInt {
+				ex.R = promoteExpr(ex.R)
+			}
+		}
+		ex.T = TypeInt
+	case "==", "!=":
+		switch {
+		case numeric(lt) && numeric(rt):
+			if lt.Kind == KindFloat || rt.Kind == KindFloat {
+				if lt.Kind == KindInt {
+					ex.L = promoteExpr(ex.L)
+				}
+				if rt.Kind == KindInt {
+					ex.R = promoteExpr(ex.R)
+				}
+			}
+		case lt.IsRef() && rt.IsRef():
+		default:
+			return e.errf(ex.Line, "%s: incomparable types %s and %s", ex.Op, lt, rt)
+		}
+		ex.T = TypeInt
+	default:
+		return e.errf(ex.Line, "unknown operator %s", ex.Op)
+	}
+	return nil
+}
+
+func (e *env) fieldAccess(ex *FieldAccess) error {
+	// Static access via class name: Ident naming a class that is not a
+	// local variable.
+	if id, ok := ex.Obj.(*Ident); ok {
+		if _, isLocal := e.lookup(id.Name); !isLocal {
+			if ci, isClass := e.c.classes[id.Name]; isClass {
+				for k := ci; k != nil; k = k.super {
+					if f, ok := k.statics[ex.Name]; ok {
+						ex.Obj = nil
+						ex.Cls = id.Name
+						ex.Static = true
+						ex.Owner = k.decl.Name
+						ex.T = f.Type
+						return nil
+					}
+				}
+				return e.errf(ex.Line, "no static field %s.%s", id.Name, ex.Name)
+			}
+		}
+	}
+
+	if err := e.expr(ex.Obj); err != nil {
+		return err
+	}
+	ot := ex.Obj.TypeOf()
+	if ot.Kind == KindArray && ex.Name == "length" {
+		ex.IsLength = true
+		ex.T = TypeInt
+		return nil
+	}
+	if ot.Kind != KindClass {
+		return e.errf(ex.Line, "field access on %s", ot)
+	}
+	for k := e.c.classes[ot.Class]; k != nil; k = k.super {
+		if f, ok := k.fields[ex.Name]; ok {
+			ex.Owner = k.decl.Name
+			ex.T = f.Type
+			return nil
+		}
+	}
+	return e.errf(ex.Line, "no field %s in %s", ex.Name, ot.Class)
+}
+
+func (e *env) call(ex *Call) error {
+	// Determine receiver/class.
+	var ci *classInfo
+	switch {
+	case ex.Obj == nil && ex.Cls == "":
+		// Unqualified: method of the current class chain.
+		ci = e.ci
+	default:
+		if id, ok := ex.Obj.(*Ident); ok {
+			if _, isLocal := e.lookup(id.Name); !isLocal {
+				if k, isClass := e.c.classes[id.Name]; isClass {
+					ex.Obj = nil
+					ex.Cls = id.Name
+					ci = k
+				}
+			}
+		}
+		if ci == nil {
+			if err := e.expr(ex.Obj); err != nil {
+				return err
+			}
+			ot := ex.Obj.TypeOf()
+			if ot.Kind != KindClass {
+				return e.errf(ex.Line, "method call on %s", ot)
+			}
+			ci = e.c.classes[ot.Class]
+		}
+	}
+
+	// Resolve the method up the chain.
+	var decl *MethodDecl
+	var owner *classInfo
+	for k := ci; k != nil; k = k.super {
+		if m, ok := k.methods[ex.Name]; ok {
+			decl, owner = m, k
+			break
+		}
+	}
+	if decl == nil {
+		return e.errf(ex.Line, "no method %s in %s", ex.Name, ci.decl.Name)
+	}
+	if ex.Cls != "" && !decl.Static {
+		return e.errf(ex.Line, "instance method %s.%s called statically", ex.Cls, ex.Name)
+	}
+	if ex.Obj == nil && ex.Cls == "" && !decl.Static {
+		// Implicit this.
+		if e.m.Static {
+			return e.errf(ex.Line, "instance method %s called from static context", ex.Name)
+		}
+		this := &This{Line: ex.Line}
+		this.T = ClassType(e.ci.decl.Name)
+		ex.Obj = this
+	}
+
+	if len(ex.Args) != len(decl.Params) {
+		return e.errf(ex.Line, "%s takes %d args, got %d", ex.Name, len(decl.Params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		if err := e.expr(a); err != nil {
+			return err
+		}
+		want := decl.Params[i].Type
+		if want.Kind == KindClass && want.Class == "*" {
+			// Sys.spawn: any object.
+			if a.TypeOf().Kind != KindClass {
+				return e.errf(ex.Line, "arg %d must be an object, got %s", i, a.TypeOf())
+			}
+			continue
+		}
+		ok, promote := e.c.assignable(want, a.TypeOf())
+		if !ok {
+			return e.errf(ex.Line, "arg %d: cannot pass %s as %s", i, a.TypeOf(), want)
+		}
+		if promote {
+			ex.Args[i] = promoteExpr(a)
+		}
+	}
+	ex.Static = decl.Static
+	ex.Owner = owner.decl.Name
+	ex.RetType = decl.Ret
+	ex.T = decl.Ret
+	return nil
+}
+
+func (e *env) newExpr(ex *New) error {
+	if err := e.c.validType(ex.Of, ex.Line); err != nil {
+		return err
+	}
+	if ex.Of.Kind == KindArray {
+		n := ex.Args[0]
+		if err := e.expr(n); err != nil {
+			return err
+		}
+		if n.TypeOf().Kind != KindInt {
+			return e.errf(ex.Line, "array length must be int")
+		}
+		ex.T = ex.Of
+		return nil
+	}
+	ci := e.c.classes[ex.Of.Class]
+	if ci.builtin {
+		return e.errf(ex.Line, "cannot instantiate %s", ex.Of.Class)
+	}
+	var params []Param
+	if ci.ctor != nil {
+		params = ci.ctor.Params
+	}
+	if len(ex.Args) != len(params) {
+		return e.errf(ex.Line, "%s constructor takes %d args, got %d",
+			ex.Of.Class, len(params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		if err := e.expr(a); err != nil {
+			return err
+		}
+		ok, promote := e.c.assignable(params[i].Type, a.TypeOf())
+		if !ok {
+			return e.errf(ex.Line, "ctor arg %d: cannot pass %s as %s",
+				i, a.TypeOf(), params[i].Type)
+		}
+		if promote {
+			ex.Args[i] = promoteExpr(a)
+		}
+	}
+	ex.T = ex.Of
+	return nil
+}

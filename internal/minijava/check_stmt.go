@@ -1,0 +1,212 @@
+package minijava
+
+import "fmt"
+
+func (e *env) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d (%s.%s): %s", line, e.ci.decl.Name, e.m.Name,
+		fmt.Sprintf(format, args...))
+}
+
+func (e *env) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		e.push()
+		defer e.pop()
+		for _, inner := range st.Stmts {
+			if err := e.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *VarDecl:
+		if err := e.c.validType(st.Type, st.Line); err != nil {
+			return err
+		}
+		if st.Type.Kind == KindVoid {
+			return e.errf(st.Line, "void variable %s", st.Name)
+		}
+		if st.Init != nil {
+			if err := e.expr(st.Init); err != nil {
+				return err
+			}
+			ok, promote := e.c.assignable(st.Type, st.Init.TypeOf())
+			if !ok {
+				return e.errf(st.Line, "cannot initialize %s %s with %s",
+					st.Type, st.Name, st.Init.TypeOf())
+			}
+			if promote {
+				st.Init = promoteExpr(st.Init)
+			}
+		}
+		slot, err := e.define(st.Name, st.Type, st.Line)
+		if err != nil {
+			return err
+		}
+		st.Slot = slot
+		return nil
+
+	case *If:
+		if err := e.cond(st.Cond, st.Line); err != nil {
+			return err
+		}
+		if err := e.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return e.stmt(st.Else)
+		}
+		return nil
+
+	case *While:
+		if err := e.cond(st.Cond, st.Line); err != nil {
+			return err
+		}
+		e.loops++
+		defer func() { e.loops-- }()
+		return e.stmt(st.Body)
+
+	case *For:
+		e.push()
+		defer e.pop()
+		if st.Init != nil {
+			if err := e.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := e.cond(st.Cond, st.Line); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := e.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		e.loops++
+		defer func() { e.loops-- }()
+		return e.stmt(st.Body)
+
+	case *Return:
+		want := e.m.Ret
+		if st.Val == nil {
+			if want.Kind != KindVoid {
+				return e.errf(st.Line, "missing return value (%s expected)", want)
+			}
+			return nil
+		}
+		if want.Kind == KindVoid {
+			return e.errf(st.Line, "unexpected return value in void method")
+		}
+		if err := e.expr(st.Val); err != nil {
+			return err
+		}
+		ok, promote := e.c.assignable(want, st.Val.TypeOf())
+		if !ok {
+			return e.errf(st.Line, "cannot return %s as %s", st.Val.TypeOf(), want)
+		}
+		if promote {
+			st.Val = promoteExpr(st.Val)
+		}
+		return nil
+
+	case *Break:
+		if e.loops == 0 {
+			return e.errf(st.Line, "break outside loop")
+		}
+		return nil
+	case *Continue:
+		if e.loops == 0 {
+			return e.errf(st.Line, "continue outside loop")
+		}
+		return nil
+
+	case *ExprStmt:
+		return e.expr(st.X)
+
+	case *Assign:
+		if err := e.expr(st.Val); err != nil {
+			return err
+		}
+		switch tgt := st.Target.(type) {
+		case *Ident:
+			if err := e.expr(tgt); err != nil {
+				return err
+			}
+		case *Index:
+			if err := e.expr(tgt); err != nil {
+				return err
+			}
+		case *FieldAccess:
+			if err := e.expr(tgt); err != nil {
+				return err
+			}
+			if tgt.IsLength {
+				return e.errf(st.Line, "cannot assign to array length")
+			}
+		default:
+			return e.errf(st.Line, "bad assignment target")
+		}
+		ok, promote := e.c.assignable(st.Target.TypeOf(), st.Val.TypeOf())
+		if !ok {
+			return e.errf(st.Line, "cannot assign %s to %s",
+				st.Val.TypeOf(), st.Target.TypeOf())
+		}
+		if promote {
+			st.Val = promoteExpr(st.Val)
+		}
+		return nil
+
+	case *SuperCall:
+		if !e.m.IsCtor {
+			return e.errf(st.Line, "super(...) only allowed in constructors")
+		}
+		super := e.ci.super
+		if super == nil {
+			return e.errf(st.Line, "%s has no superclass", e.ci.decl.Name)
+		}
+		var params []Param
+		if super.ctor != nil {
+			params = super.ctor.Params
+		}
+		if len(st.Args) != len(params) {
+			return e.errf(st.Line, "super constructor takes %d args, got %d",
+				len(params), len(st.Args))
+		}
+		for i, a := range st.Args {
+			if err := e.expr(a); err != nil {
+				return err
+			}
+			ok, promote := e.c.assignable(params[i].Type, a.TypeOf())
+			if !ok {
+				return e.errf(st.Line, "super arg %d: cannot pass %s as %s",
+					i, a.TypeOf(), params[i].Type)
+			}
+			if promote {
+				st.Args[i] = promoteExpr(a)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("checker: unhandled statement %T", s)
+}
+
+// cond checks a condition expression (must be int; comparisons and
+// logical operators produce int).
+func (e *env) cond(x Expr, line int) error {
+	if err := e.expr(x); err != nil {
+		return err
+	}
+	if x.TypeOf().Kind != KindInt {
+		return e.errf(line, "condition must be int, got %s", x.TypeOf())
+	}
+	return nil
+}
+
+// promoteExpr wraps x in an int→float cast.
+func promoteExpr(x Expr) Expr {
+	c := &Cast{To: TypeFloat, X: x}
+	c.T = TypeFloat
+	return c
+}

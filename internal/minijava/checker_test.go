@@ -1,0 +1,261 @@
+package minijava_test
+
+import (
+	"strings"
+	"testing"
+
+	"jrs/internal/core"
+	"jrs/internal/minijava"
+)
+
+// expectError compiles src and requires an error containing want.
+func expectError(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := minijava.Compile("t.mj", src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, compiled fine", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestCheckerRejections(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknownType",
+			`class Main { static void main() { Foo f = null; } }`, "unknown class"},
+		{"unknownFieldType",
+			`class A { Foo f; } class Main { static void main() { } }`, "unknown class"},
+		{"badExtends",
+			`class A extends Zed { } class Main { static void main() { } }`, "unknown class"},
+		{"inheritCycle",
+			`class A extends B { } class B extends A { } class Main { static void main() { } }`,
+			"cycle"},
+		{"overloadBan",
+			`class A { int f() { return 1; } int f(int x) { return x; } }
+			 class Main { static void main() { } }`, "duplicate method"},
+		{"overrideSig",
+			`class A { int f() { return 1; } }
+			 class B extends A { float f() { return 1.0; } }
+			 class Main { static void main() { } }`, "different signature"},
+		{"overrideStatic",
+			`class A { static int f() { return 1; } }
+			 class B extends A { int f() { return 2; } }
+			 class Main { static void main() { } }`, "staticness"},
+		{"dupField",
+			`class A { int x; int x; } class Main { static void main() { } }`, "duplicate field"},
+		{"dupLocal",
+			`class Main { static void main() { int a = 1; int a = 2; } }`, "duplicate local"},
+		{"condNotInt",
+			`class Main { static void main() { if (1.5) { } } }`, "condition must be int"},
+		{"whileBadCond",
+			`class B { } class Main { static void main() { B b = null; while (b) { } } }`,
+			"condition must be int"},
+		{"floatMod",
+			`class Main { static void main() { float f = 5.0 % 2.0; } }`, "requires int"},
+		{"refArith",
+			`class B { } class Main { static void main() {
+				B b = null; int x = b + 1; } }`, "numeric"},
+		{"assignRefToInt",
+			`class B { } class Main { static void main() { int x = new B(); } }`,
+			"cannot initialize"},
+		{"narrowingNeedsCast",
+			`class Main { static void main() { int x = 1.5; } }`, "cannot initialize"},
+		{"unrelatedClassAssign",
+			`class A { } class B { } class Main { static void main() {
+				A a = new B(); } }`, "cannot initialize"},
+		{"voidVar",
+			`class Main { static void main() { void v; } }`, "expected expression"},
+		{"returnFromVoid",
+			`class Main { static void main() { return 3; } }`, "unexpected return value"},
+		{"missingReturnValue",
+			`class Main { static int f() { return; } static void main() { } }`,
+			"missing return value"},
+		{"continueOutside",
+			`class Main { static void main() { continue; } }`, "continue outside"},
+		{"lengthAssign",
+			`class Main { static void main() { int[] a = new int[3]; a.length = 5; } }`,
+			"length"},
+		{"indexNonArray",
+			`class Main { static void main() { int x = 5; int y = x[0]; } }`, "non-array"},
+		{"floatIndex",
+			`class Main { static void main() { int[] a = new int[3];
+				int y = a[1.5]; } }`, "index must be int"},
+		{"callOnInt",
+			`class Main { static void main() { int x = 3; x.foo(); } }`, "method call on"},
+		{"staticCallOnInstanceMethod",
+			`class A { int f() { return 1; } }
+			 class Main { static void main() { Sys.printi(A.f()); } }`, "called statically"},
+		{"instanceFromStatic",
+			`class Main { int g() { return 1; } static void main() { Sys.printi(g()); } }`,
+			"static context"},
+		{"thisInStatic",
+			`class Main { int v; static void main() { Main m = this; } }`, "this in static"},
+		{"ctorArity",
+			`class A { A(int x) { } } class Main { static void main() { A a = new A(); } }`,
+			"constructor takes"},
+		{"newSys",
+			`class Main { static void main() { Sys s = new Sys(); } }`, "cannot instantiate"},
+		{"spawnNonObject",
+			`class Main { static void main() { Sys.spawn(5); } }`, "must be an object"},
+		{"superOutsideCtor",
+			`class A { } class B extends A { void f() { super(); } }
+			 class Main { static void main() { } }`, "only allowed in constructors"},
+		{"superNoParent",
+			`class A { A() { super(); } } class Main { static void main() { } }`,
+			"no superclass"},
+		{"charScalar",
+			`class Main { static void main() { char c = 'x'; } }`, "char is only usable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { expectError(t, tc.src, tc.want) })
+	}
+}
+
+func TestParserRejections(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"eofInClass", `class A {`, "expected"},
+		{"badMember", `class A { 42; }`, "expected"},
+		{"unterminatedString", `class A { void f() { Sys.print("oops); } }`, "unterminated"},
+		{"unterminatedComment", `class A { /* forever }`, "unterminated block comment"},
+		{"badChar", "class A { void f() { int x = $; } }", "unexpected character"},
+		{"assignToCall", `class Main { static void main() { Sys.printi(1) = 2; } }`,
+			"assignment target"},
+		{"exprStmtNotCall", `class Main { static void main() { 1 + 2; } }`, "must be a call"},
+		{"staticCtor", `class A { static A() { } } class Main { static void main() { } }`,
+			"constructor cannot be static"},
+		{"badEscape", `class Main { static void main() { Sys.print("\q"); } }`, "bad escape"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { expectError(t, tc.src, tc.want) })
+	}
+}
+
+// TestPromotions: implicit int->float conversion points.
+func TestPromotions(t *testing.T) {
+	src := `
+class Main {
+	static float half(float x) { return x / 2; }
+	static void main() {
+		float a = 3;           // init promotion
+		float b = a + 1;       // binary promotion
+		float c = half(7);     // argument promotion
+		int cmp = 0;
+		if (2 < 2.5) { cmp = 1; }  // comparison promotion
+		Sys.printi((int)(a + b + c) * 10 + cmp);
+	}
+}`
+	classes, err := minijava.Compile("t.mj", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(core.Config{Policy: core.CompileFirst{}})
+	if err := e.VM.Load(classes); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.VM.LookupMain()
+	if err := e.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	// a=3, b=4, c=3.5 -> int(10.5)=10 -> 101
+	if got := e.VM.Out.String(); got != "101" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+// TestScoping: block scoping and shadowing across blocks.
+func TestScoping(t *testing.T) {
+	src := `
+class Main {
+	static void main() {
+		int x = 1;
+		{
+			int y = 10;
+			x = x + y;
+		}
+		{
+			int y = 100;  // distinct slot, re-declarable in a sibling block
+			x = x + y;
+		}
+		for (int i = 0; i < 3; i = i + 1) { x = x + 1; }
+		for (int i = 0; i < 3; i = i + 1) { x = x + 1; }
+		Sys.printi(x);
+	}
+}`
+	classes, err := minijava.Compile("t.mj", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(core.Config{})
+	if err := e.VM.Load(classes); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.VM.LookupMain()
+	if err := e.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.VM.Out.String(); got != "117" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+// TestShortCircuit: && and || must not evaluate their right side when
+// the left decides (observable via a side-effecting call).
+func TestShortCircuit(t *testing.T) {
+	src := `
+class Main {
+	static int calls;
+	static int bump() { calls = calls + 1; return 1; }
+	static void main() {
+		int a = 0;
+		if (a == 1 && bump() == 1) { Sys.printc('x'); }
+		if (a == 0 || bump() == 1) { }
+		Sys.printi(calls);
+	}
+}`
+	classes, err := minijava.Compile("t.mj", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(core.Config{Policy: core.CompileFirst{}})
+	if err := e.VM.Load(classes); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.VM.LookupMain()
+	if err := e.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.VM.Out.String(); got != "0" {
+		t.Fatalf("short-circuit broke: calls = %q", got)
+	}
+}
+
+// TestBooleanAsValue: comparisons materialized as 0/1 values.
+func TestBooleanAsValue(t *testing.T) {
+	src := `
+class Main {
+	static void main() {
+		int a = 5;
+		int isBig = a > 3;
+		int isSmall = a < 3;
+		int notSmall = !isSmall;
+		int combo = (a > 0) && (a < 10);
+		Sys.printi(isBig * 1000 + isSmall * 100 + notSmall * 10 + combo);
+	}
+}`
+	classes, err := minijava.Compile("t.mj", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(core.Config{Policy: core.InterpretOnly{}})
+	if err := e.VM.Load(classes); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.VM.LookupMain()
+	if err := e.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.VM.Out.String(); got != "1011" {
+		t.Fatalf("output %q", got)
+	}
+}

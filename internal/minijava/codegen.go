@@ -1,0 +1,396 @@
+package minijava
+
+import (
+	"fmt"
+
+	"jrs/internal/bytecode"
+)
+
+// bcType maps a MiniJava type to a bytecode value type.
+func bcType(t Type) bytecode.Type {
+	switch t.Kind {
+	case KindVoid:
+		return bytecode.TVoid
+	case KindInt:
+		return bytecode.TInt
+	case KindFloat:
+		return bytecode.TFloat
+	default:
+		return bytecode.TRef
+	}
+}
+
+// sigOf renders a method's bytecode signature string.
+func sigOf(m *MethodDecl) string {
+	s := "("
+	for _, p := range m.Params {
+		s += bcType(p.Type).String()
+	}
+	return s + ")" + bcType(m.Ret).String()
+}
+
+// Generate lowers a checked program to bytecode classes (including the
+// intrinsic Sys class).
+func Generate(prog *Program) ([]*bytecode.Class, error) {
+	ctors := make(map[string]bool)
+	for _, cd := range prog.Classes {
+		for _, m := range cd.Methods {
+			if m.IsCtor {
+				ctors[cd.Name] = true
+			}
+		}
+	}
+	var classes []*bytecode.Class
+	for _, cd := range prog.Classes {
+		bc, err := genClass(cd, ctors)
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, bc)
+	}
+	classes = append(classes, SysClass())
+	return classes, nil
+}
+
+// SysClass returns the bytecode declaration of the intrinsic runtime
+// class. Its method bodies are placeholders — the engines intercept
+// calls to Sys.* and run the corresponding runtime service.
+func SysClass() *bytecode.Class {
+	mk := func(name, sig string) *bytecode.Method {
+		s, err := bytecode.ParseSignature(sig)
+		if err != nil {
+			panic(err)
+		}
+		return &bytecode.Method{
+			Name: name, Sig: s, Flags: bytecode.FlagStatic, MaxLocals: 2,
+			Code: []bytecode.Instr{{Op: bytecode.Return}},
+		}
+	}
+	return &bytecode.Class{
+		Name: "Sys",
+		Methods: []*bytecode.Method{
+			mk("print", "(A)V"), mk("printi", "(I)V"), mk("printf", "(F)V"),
+			mk("printc", "(I)V"), mk("spawn", "(A)I"), mk("join", "(I)V"),
+			mk("yield", "()V"),
+		},
+	}
+}
+
+func genClass(cd *ClassDecl, ctors map[string]bool) (*bytecode.Class, error) {
+	bc := &bytecode.Class{Name: cd.Name, SuperName: cd.Extends}
+	for _, f := range cd.Fields {
+		fd := bytecode.Field{Name: f.Name, Type: bcType(f.Type)}
+		if f.Static {
+			bc.Statics = append(bc.Statics, fd)
+		} else {
+			bc.Fields = append(bc.Fields, fd)
+		}
+	}
+	for _, m := range cd.Methods {
+		bm, err := genMethod(bc, cd, m, ctors)
+		if err != nil {
+			return nil, err
+		}
+		bc.Methods = append(bc.Methods, bm)
+	}
+	return bc, nil
+}
+
+// mgen is the per-method generation context.
+type mgen struct {
+	cls    *bytecode.Class
+	cd     *ClassDecl
+	m      *MethodDecl
+	asm    *bytecode.Asm
+	labels int
+	ctors  map[string]bool
+	// loop label stack for break/continue.
+	breaks    []string
+	continues []string
+}
+
+func genMethod(cls *bytecode.Class, cd *ClassDecl, m *MethodDecl, ctors map[string]bool) (*bytecode.Method, error) {
+	g := &mgen{cls: cls, cd: cd, m: m, asm: bytecode.NewAsm(), ctors: ctors}
+	if err := g.stmt(m.Body); err != nil {
+		return nil, err
+	}
+	// Terminal return: natural for void methods/ctors, unreachable
+	// otherwise (and a safe target for end-of-method labels).
+	g.asm.Emit(bytecode.Return)
+	code, err := g.asm.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("%s.%s: %v", cd.Name, m.Name, err)
+	}
+
+	sig, err := bytecode.ParseSignature(sigOf(m))
+	if err != nil {
+		return nil, err
+	}
+	var flags uint32
+	if m.Static {
+		flags |= bytecode.FlagStatic
+	}
+	if m.Sync {
+		flags |= bytecode.FlagSynchronized
+	}
+	name := m.Name
+	if m.IsCtor {
+		name = "<init>"
+	}
+	return &bytecode.Method{
+		Name: name, Sig: sig, Flags: flags,
+		MaxLocals: m.MaxLocals, Code: code,
+	}, nil
+}
+
+func (g *mgen) fresh(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s%d", prefix, g.labels)
+}
+
+func (g *mgen) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d (%s.%s): %s", line, g.cd.Name, g.m.Name,
+		fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------
+// Statements.
+
+func (g *mgen) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		for _, inner := range st.Stmts {
+			if err := g.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *VarDecl:
+		if st.Init != nil {
+			if err := g.expr(st.Init); err != nil {
+				return err
+			}
+		} else {
+			g.zeroValue(st.Type)
+		}
+		g.storeLocal(st.Slot, st.Type)
+		return nil
+
+	case *If:
+		lElse := g.fresh("else")
+		lEnd := g.fresh("endif")
+		if err := g.branch(st.Cond, lElse, false); err != nil {
+			return err
+		}
+		if err := g.stmt(st.Then); err != nil {
+			return err
+		}
+		g.asm.Branch(bytecode.Goto, lEnd)
+		g.asm.Label(lElse)
+		if st.Else != nil {
+			if err := g.stmt(st.Else); err != nil {
+				return err
+			}
+		}
+		g.asm.Label(lEnd)
+		return nil
+
+	case *While:
+		lCond := g.fresh("wcond")
+		lEnd := g.fresh("wend")
+		g.asm.Label(lCond)
+		if err := g.branch(st.Cond, lEnd, false); err != nil {
+			return err
+		}
+		g.breaks = append(g.breaks, lEnd)
+		g.continues = append(g.continues, lCond)
+		err := g.stmt(st.Body)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+		if err != nil {
+			return err
+		}
+		g.asm.Branch(bytecode.Goto, lCond)
+		g.asm.Label(lEnd)
+		return nil
+
+	case *For:
+		lCond := g.fresh("fcond")
+		lPost := g.fresh("fpost")
+		lEnd := g.fresh("fend")
+		if st.Init != nil {
+			if err := g.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		g.asm.Label(lCond)
+		if st.Cond != nil {
+			if err := g.branch(st.Cond, lEnd, false); err != nil {
+				return err
+			}
+		}
+		g.breaks = append(g.breaks, lEnd)
+		g.continues = append(g.continues, lPost)
+		err := g.stmt(st.Body)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.continues = g.continues[:len(g.continues)-1]
+		if err != nil {
+			return err
+		}
+		g.asm.Label(lPost)
+		if st.Post != nil {
+			if err := g.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		g.asm.Branch(bytecode.Goto, lCond)
+		g.asm.Label(lEnd)
+		return nil
+
+	case *Return:
+		if st.Val == nil {
+			g.asm.Emit(bytecode.Return)
+			return nil
+		}
+		if err := g.expr(st.Val); err != nil {
+			return err
+		}
+		switch bcType(st.Val.TypeOf()) {
+		case bytecode.TInt:
+			g.asm.Emit(bytecode.IReturn)
+		case bytecode.TFloat:
+			g.asm.Emit(bytecode.FReturn)
+		default:
+			g.asm.Emit(bytecode.AReturn)
+		}
+		return nil
+
+	case *Break:
+		g.asm.Branch(bytecode.Goto, g.breaks[len(g.breaks)-1])
+		return nil
+	case *Continue:
+		g.asm.Branch(bytecode.Goto, g.continues[len(g.continues)-1])
+		return nil
+
+	case *ExprStmt:
+		if err := g.expr(st.X); err != nil {
+			return err
+		}
+		if st.X.TypeOf().Kind != KindVoid {
+			g.asm.Emit(bytecode.Pop)
+		}
+		return nil
+
+	case *Assign:
+		return g.assign(st)
+
+	case *SuperCall:
+		g.asm.I(bytecode.ALoad, 0)
+		for _, a := range st.Args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		sig := "("
+		for _, a := range st.Args {
+			sig += bcType(a.TypeOf()).String()
+		}
+		sig += ")V"
+		ref := g.cls.Pool.AddMethod(g.cd.Extends, "<init>", sig)
+		g.asm.I(bytecode.InvokeSpecial, ref)
+		return nil
+	}
+	return fmt.Errorf("codegen: unhandled statement %T", s)
+}
+
+func (g *mgen) zeroValue(t Type) {
+	switch t.Kind {
+	case KindInt:
+		g.asm.I(bytecode.IConst, 0)
+	case KindFloat:
+		g.asm.I(bytecode.FConst, g.cls.Pool.AddFloat(0))
+	default:
+		g.asm.Emit(bytecode.AConstNull)
+	}
+}
+
+func (g *mgen) storeLocal(slot int, t Type) {
+	switch t.Kind {
+	case KindInt:
+		g.asm.I(bytecode.IStore, int32(slot))
+	case KindFloat:
+		g.asm.I(bytecode.FStore, int32(slot))
+	default:
+		g.asm.I(bytecode.AStore, int32(slot))
+	}
+}
+
+func (g *mgen) assign(st *Assign) error {
+	switch tgt := st.Target.(type) {
+	case *Ident:
+		if tgt.Local >= 0 {
+			if err := g.expr(st.Val); err != nil {
+				return err
+			}
+			g.storeLocal(tgt.Local, tgt.T)
+			return nil
+		}
+		ref := g.cls.Pool.AddField(tgt.Owner, tgt.Field)
+		if tgt.Static {
+			if err := g.expr(st.Val); err != nil {
+				return err
+			}
+			g.asm.I(bytecode.PutStatic, ref)
+			return nil
+		}
+		g.asm.I(bytecode.ALoad, 0)
+		if err := g.expr(st.Val); err != nil {
+			return err
+		}
+		g.asm.I(bytecode.PutField, ref)
+		return nil
+
+	case *FieldAccess:
+		ref := g.cls.Pool.AddField(tgt.Owner, tgt.Name)
+		if tgt.Static {
+			if err := g.expr(st.Val); err != nil {
+				return err
+			}
+			g.asm.I(bytecode.PutStatic, ref)
+			return nil
+		}
+		if err := g.expr(tgt.Obj); err != nil {
+			return err
+		}
+		if err := g.expr(st.Val); err != nil {
+			return err
+		}
+		g.asm.I(bytecode.PutField, ref)
+		return nil
+
+	case *Index:
+		if err := g.expr(tgt.Arr); err != nil {
+			return err
+		}
+		if err := g.expr(tgt.Idx); err != nil {
+			return err
+		}
+		if err := g.expr(st.Val); err != nil {
+			return err
+		}
+		at := tgt.Arr.TypeOf()
+		switch at.Elem {
+		case KindInt:
+			g.asm.Emit(bytecode.IAStore)
+		case KindFloat:
+			g.asm.Emit(bytecode.FAStore)
+		case KindChar:
+			g.asm.Emit(bytecode.CAStore)
+		default:
+			g.asm.Emit(bytecode.AAStore)
+		}
+		return nil
+	}
+	return fmt.Errorf("codegen: bad assign target %T", st.Target)
+}

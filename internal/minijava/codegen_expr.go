@@ -1,0 +1,443 @@
+package minijava
+
+import (
+	"fmt"
+
+	"jrs/internal/bytecode"
+)
+
+// expr generates code leaving x's value on the operand stack.
+func (g *mgen) expr(x Expr) error {
+	switch ex := x.(type) {
+	case *IntLit:
+		g.intConst(ex.Val)
+	case *FloatLit:
+		g.asm.I(bytecode.FConst, g.cls.Pool.AddFloat(ex.Val))
+	case *StringLit:
+		g.asm.I(bytecode.SConst, g.cls.Pool.AddString(ex.Val))
+	case *NullLit:
+		g.asm.Emit(bytecode.AConstNull)
+	case *This:
+		g.asm.I(bytecode.ALoad, 0)
+
+	case *Ident:
+		if ex.Local >= 0 {
+			switch ex.T.Kind {
+			case KindInt:
+				g.asm.I(bytecode.ILoad, int32(ex.Local))
+			case KindFloat:
+				g.asm.I(bytecode.FLoad, int32(ex.Local))
+			default:
+				g.asm.I(bytecode.ALoad, int32(ex.Local))
+			}
+			return nil
+		}
+		ref := g.cls.Pool.AddField(ex.Owner, ex.Field)
+		if ex.Static {
+			g.asm.I(bytecode.GetStatic, ref)
+			return nil
+		}
+		g.asm.I(bytecode.ALoad, 0)
+		g.asm.I(bytecode.GetField, ref)
+
+	case *Unary:
+		switch ex.Op {
+		case "-":
+			if err := g.expr(ex.X); err != nil {
+				return err
+			}
+			if ex.T.Kind == KindFloat {
+				g.asm.Emit(bytecode.FNeg)
+			} else {
+				g.asm.Emit(bytecode.INeg)
+			}
+		case "!":
+			return g.boolValue(ex)
+		}
+
+	case *Binary:
+		switch ex.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", ">>>":
+			if err := g.expr(ex.L); err != nil {
+				return err
+			}
+			if err := g.expr(ex.R); err != nil {
+				return err
+			}
+			g.asm.Emit(arithOp(ex.Op, ex.T.Kind == KindFloat))
+		default:
+			// Comparisons and logical operators materialize 0/1.
+			return g.boolValue(ex)
+		}
+
+	case *Cast:
+		if err := g.expr(ex.X); err != nil {
+			return err
+		}
+		from := ex.X.TypeOf().Kind
+		switch {
+		case ex.To.Kind == KindFloat && from == KindInt:
+			g.asm.Emit(bytecode.I2F)
+		case ex.To.Kind == KindInt && from == KindFloat:
+			g.asm.Emit(bytecode.F2I)
+		}
+
+	case *Index:
+		if err := g.expr(ex.Arr); err != nil {
+			return err
+		}
+		if err := g.expr(ex.Idx); err != nil {
+			return err
+		}
+		switch ex.Arr.TypeOf().Elem {
+		case KindInt:
+			g.asm.Emit(bytecode.IALoad)
+		case KindFloat:
+			g.asm.Emit(bytecode.FALoad)
+		case KindChar:
+			g.asm.Emit(bytecode.CALoad)
+		default:
+			g.asm.Emit(bytecode.AALoad)
+		}
+
+	case *FieldAccess:
+		if ex.IsLength {
+			if err := g.expr(ex.Obj); err != nil {
+				return err
+			}
+			g.asm.Emit(bytecode.ArrayLength)
+			return nil
+		}
+		ref := g.cls.Pool.AddField(ex.Owner, ex.Name)
+		if ex.Static {
+			g.asm.I(bytecode.GetStatic, ref)
+			return nil
+		}
+		if err := g.expr(ex.Obj); err != nil {
+			return err
+		}
+		g.asm.I(bytecode.GetField, ref)
+
+	case *Call:
+		return g.call(ex)
+
+	case *New:
+		return g.newExpr(ex)
+
+	default:
+		return fmt.Errorf("codegen: unhandled expression %T", x)
+	}
+	return nil
+}
+
+// intConst pushes an arbitrary int64 (IConst carries 32-bit operands;
+// wider constants are composed).
+func (g *mgen) intConst(v int64) {
+	if v >= -1<<31 && v < 1<<31 {
+		g.asm.I(bytecode.IConst, int32(v))
+		return
+	}
+	hi, lo := int32(v>>32), int32(v)
+	g.asm.I(bytecode.IConst, hi)
+	g.asm.I(bytecode.IConst, 32)
+	g.asm.Emit(bytecode.IShl)
+	g.asm.I(bytecode.IConst, lo)
+	g.asm.I(bytecode.IConst, 32)
+	g.asm.Emit(bytecode.IShl)
+	g.asm.I(bytecode.IConst, 32)
+	g.asm.Emit(bytecode.IUshr)
+	g.asm.Emit(bytecode.IOr)
+}
+
+func (g *mgen) call(ex *Call) error {
+	sig := "("
+	if ex.Obj != nil {
+		if err := g.expr(ex.Obj); err != nil {
+			return err
+		}
+	}
+	for _, a := range ex.Args {
+		if err := g.expr(a); err != nil {
+			return err
+		}
+		sig += bcType(a.TypeOf()).String()
+	}
+	sig += ")" + bcType(ex.RetType).String()
+	owner := ex.Owner
+	ref := g.cls.Pool.AddMethod(owner, ex.Name, sig)
+	if ex.Static {
+		g.asm.I(bytecode.InvokeStatic, ref)
+	} else {
+		g.asm.I(bytecode.InvokeVirtual, ref)
+	}
+	return nil
+}
+
+func (g *mgen) newExpr(ex *New) error {
+	if ex.Of.Kind == KindArray {
+		if err := g.expr(ex.Args[0]); err != nil {
+			return err
+		}
+		var kind int32
+		switch ex.Of.Elem {
+		case KindInt:
+			kind = bytecode.KindInt
+		case KindFloat:
+			kind = bytecode.KindFloat
+		case KindChar:
+			kind = bytecode.KindChar
+		default:
+			kind = bytecode.KindRef
+		}
+		g.asm.I(bytecode.NewArray, kind)
+		return nil
+	}
+	clsRef := g.cls.Pool.AddClass(ex.Of.Class)
+	g.asm.I(bytecode.New, clsRef)
+	// Invoke the constructor when one exists (the checker validated
+	// arity; classes without a constructor rely on zeroed fields).
+	if g.ctors[ex.Of.Class] {
+		sig := "("
+		for _, a := range ex.Args {
+			sig += bcType(a.TypeOf()).String()
+		}
+		sig += ")V"
+		g.asm.Emit(bytecode.Dup)
+		for _, a := range ex.Args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		ref := g.cls.Pool.AddMethod(ex.Of.Class, "<init>", sig)
+		g.asm.I(bytecode.InvokeSpecial, ref)
+	}
+	return nil
+}
+
+func arithOp(op string, isFloat bool) bytecode.Op {
+	if isFloat {
+		switch op {
+		case "+":
+			return bytecode.FAdd
+		case "-":
+			return bytecode.FSub
+		case "*":
+			return bytecode.FMul
+		case "/":
+			return bytecode.FDiv
+		}
+	}
+	switch op {
+	case "+":
+		return bytecode.IAdd
+	case "-":
+		return bytecode.ISub
+	case "*":
+		return bytecode.IMul
+	case "/":
+		return bytecode.IDiv
+	case "%":
+		return bytecode.IRem
+	case "&":
+		return bytecode.IAnd
+	case "|":
+		return bytecode.IOr
+	case "^":
+		return bytecode.IXor
+	case "<<":
+		return bytecode.IShl
+	case ">>":
+		return bytecode.IShr
+	case ">>>":
+		return bytecode.IUshr
+	}
+	panic("arithOp: " + op)
+}
+
+// boolValue materializes a boolean-producing expression as 0/1.
+func (g *mgen) boolValue(x Expr) error {
+	lTrue := g.fresh("btrue")
+	lEnd := g.fresh("bend")
+	if err := g.branch(x, lTrue, true); err != nil {
+		return err
+	}
+	g.asm.I(bytecode.IConst, 0)
+	g.asm.Branch(bytecode.Goto, lEnd)
+	g.asm.Label(lTrue)
+	g.asm.I(bytecode.IConst, 1)
+	g.asm.Label(lEnd)
+	// The label at lEnd needs a following instruction; emit Nop so a
+	// trailing boolValue at method end still verifies.
+	g.asm.Emit(bytecode.Nop)
+	return nil
+}
+
+// branch emits control flow jumping to target when x's truth equals
+// jumpIfTrue, falling through otherwise.
+func (g *mgen) branch(x Expr, target string, jumpIfTrue bool) error {
+	switch ex := x.(type) {
+	case *IntLit:
+		if (ex.Val != 0) == jumpIfTrue {
+			g.asm.Branch(bytecode.Goto, target)
+		}
+		return nil
+
+	case *Unary:
+		if ex.Op == "!" {
+			return g.branch(ex.X, target, !jumpIfTrue)
+		}
+
+	case *Binary:
+		switch ex.Op {
+		case "&&":
+			if jumpIfTrue {
+				lOut := g.fresh("and")
+				if err := g.branch(ex.L, lOut, false); err != nil {
+					return err
+				}
+				if err := g.branch(ex.R, target, true); err != nil {
+					return err
+				}
+				g.asm.Label(lOut)
+				g.asm.Emit(bytecode.Nop)
+				return nil
+			}
+			if err := g.branch(ex.L, target, false); err != nil {
+				return err
+			}
+			return g.branch(ex.R, target, false)
+		case "||":
+			if jumpIfTrue {
+				if err := g.branch(ex.L, target, true); err != nil {
+					return err
+				}
+				return g.branch(ex.R, target, true)
+			}
+			lOut := g.fresh("or")
+			if err := g.branch(ex.L, lOut, true); err != nil {
+				return err
+			}
+			if err := g.branch(ex.R, target, false); err != nil {
+				return err
+			}
+			g.asm.Label(lOut)
+			g.asm.Emit(bytecode.Nop)
+			return nil
+		case "<", "<=", ">", ">=", "==", "!=":
+			return g.compare(ex, target, jumpIfTrue)
+		}
+	}
+
+	// General: evaluate to int and test against zero.
+	if err := g.expr(x); err != nil {
+		return err
+	}
+	if jumpIfTrue {
+		g.asm.Branch(bytecode.IfNe, target)
+	} else {
+		g.asm.Branch(bytecode.IfEq, target)
+	}
+	return nil
+}
+
+// compare emits a comparison branch.
+func (g *mgen) compare(ex *Binary, target string, jumpIfTrue bool) error {
+	lt, rt := ex.L.TypeOf(), ex.R.TypeOf()
+	op := ex.Op
+	if !jumpIfTrue {
+		op = negateCmp(op)
+	}
+
+	// Reference comparison.
+	if lt.IsRef() && rt.IsRef() {
+		if err := g.expr(ex.L); err != nil {
+			return err
+		}
+		if err := g.expr(ex.R); err != nil {
+			return err
+		}
+		if op == "==" {
+			g.asm.Branch(bytecode.IfACmpEq, target)
+		} else {
+			g.asm.Branch(bytecode.IfACmpNe, target)
+		}
+		return nil
+	}
+
+	// Float comparison via FCmp.
+	if lt.Kind == KindFloat || rt.Kind == KindFloat {
+		if err := g.expr(ex.L); err != nil {
+			return err
+		}
+		if err := g.expr(ex.R); err != nil {
+			return err
+		}
+		g.asm.Emit(bytecode.FCmp)
+		g.asm.Branch(unaryCmpOp(op), target)
+		return nil
+	}
+
+	// Integer comparison.
+	if err := g.expr(ex.L); err != nil {
+		return err
+	}
+	if err := g.expr(ex.R); err != nil {
+		return err
+	}
+	g.asm.Branch(binCmpOp(op), target)
+	return nil
+}
+
+func negateCmp(op string) string {
+	switch op {
+	case "<":
+		return ">="
+	case "<=":
+		return ">"
+	case ">":
+		return "<="
+	case ">=":
+		return "<"
+	case "==":
+		return "!="
+	case "!=":
+		return "=="
+	}
+	panic("negateCmp: " + op)
+}
+
+func binCmpOp(op string) bytecode.Op {
+	switch op {
+	case "<":
+		return bytecode.IfICmpLt
+	case "<=":
+		return bytecode.IfICmpLe
+	case ">":
+		return bytecode.IfICmpGt
+	case ">=":
+		return bytecode.IfICmpGe
+	case "==":
+		return bytecode.IfICmpEq
+	case "!=":
+		return bytecode.IfICmpNe
+	}
+	panic("binCmpOp: " + op)
+}
+
+func unaryCmpOp(op string) bytecode.Op {
+	switch op {
+	case "<":
+		return bytecode.IfLt
+	case "<=":
+		return bytecode.IfLe
+	case ">":
+		return bytecode.IfGt
+	case ">=":
+		return bytecode.IfGe
+	case "==":
+		return bytecode.IfEq
+	case "!=":
+		return bytecode.IfNe
+	}
+	panic("unaryCmpOp: " + op)
+}

@@ -1,0 +1,192 @@
+package minijava_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jrs/internal/core"
+	"jrs/internal/minijava"
+)
+
+// exprGen builds random fully-parenthesized integer expressions from a
+// deterministic seed, together with their Go-evaluated ground truth.
+// Division and shifts are constrained so the expression is total.
+type exprGen struct{ s uint64 }
+
+func (g *exprGen) next() uint64 {
+	g.s ^= g.s << 13
+	g.s ^= g.s >> 7
+	g.s ^= g.s << 17
+	return g.s
+}
+
+func (g *exprGen) rng(n int) int { return int(g.next() % uint64(n)) }
+
+// gen returns (source, value) for an expression of the given depth using
+// variables a..d with known values.
+func (g *exprGen) gen(depth int, vars map[string]int64) (string, int64) {
+	if depth == 0 || g.rng(4) == 0 {
+		if g.rng(2) == 0 {
+			v := int64(g.rng(200) - 100)
+			return fmt.Sprint(v), v
+		}
+		names := []string{"a", "b", "c", "d"}
+		n := names[g.rng(len(names))]
+		return n, vars[n]
+	}
+	l, lv := g.gen(depth-1, vars)
+	r, rv := g.gen(depth-1, vars)
+	switch g.rng(8) {
+	case 0:
+		return "(" + l + " + " + r + ")", lv + rv
+	case 1:
+		return "(" + l + " - " + r + ")", lv - rv
+	case 2:
+		return "(" + l + " * " + r + ")", lv * rv
+	case 3:
+		if rv == 0 {
+			return "(" + l + " + " + r + ")", lv + rv
+		}
+		return "(" + l + " / " + r + ")", lv / rv
+	case 4:
+		return "(" + l + " & " + r + ")", lv & rv
+	case 5:
+		return "(" + l + " | " + r + ")", lv | rv
+	case 6:
+		return "(" + l + " ^ " + r + ")", lv ^ rv
+	default:
+		sh := int64(g.rng(5))
+		return "(" + l + " << " + fmt.Sprint(sh) + ")", lv << uint(sh)
+	}
+}
+
+// TestDifferentialExpressions: for random expression programs, the
+// MiniJava compiler + interpreter, the JIT, and a Go-side evaluator must
+// all agree.
+func TestDifferentialExpressions(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := &exprGen{s: seed*2654435761 + 12345}
+		vars := map[string]int64{
+			"a": int64(g.rng(50)), "b": int64(g.rng(50)) - 25,
+			"c": int64(g.rng(9)) + 1, "d": int64(g.rng(1000)),
+		}
+		expr, want := g.gen(4, vars)
+		src := fmt.Sprintf(`
+class Main {
+	static void main() {
+		int a = %d; int b = %d; int c = %d; int d = %d;
+		Sys.printi(%s);
+	}
+}`, vars["a"], vars["b"], vars["c"], vars["d"], expr)
+
+		classes, err := minijava.Compile("diff.mj", src)
+		if err != nil {
+			t.Logf("seed %d: compile error: %v\n%s", seed, err, src)
+			return false
+		}
+		wantStr := fmt.Sprint(want)
+		for _, p := range []core.Policy{core.InterpretOnly{}, core.CompileFirst{}} {
+			e := core.New(core.Config{Policy: p})
+			if err := e.VM.Load(classes); err != nil {
+				t.Logf("seed %d: load: %v", seed, err)
+				return false
+			}
+			m, _ := e.VM.LookupMain()
+			if err := e.Run(m); err != nil {
+				t.Logf("seed %d (%s): run: %v\n%s", seed, p.Name(), err, src)
+				return false
+			}
+			if got := e.VM.Out.String(); got != wantStr {
+				t.Logf("seed %d (%s): got %s want %s\nexpr: %s",
+					seed, p.Name(), got, wantStr, expr)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialControlFlow: random chains of guarded updates agree
+// across engines (exercises branches, loops and comparisons together).
+func TestDifferentialControlFlow(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := &exprGen{s: seed ^ 0x9E3779B97F4A7C15}
+		var body strings.Builder
+		x := int64(g.rng(20))
+		want := x
+		for i := 0; i < 12; i++ {
+			k := int64(g.rng(30) - 15)
+			switch g.rng(4) {
+			case 0:
+				fmt.Fprintf(&body, "if (x > %d) { x = x - %d; }\n", k, i+1)
+				if want > k {
+					want -= int64(i + 1)
+				}
+			case 1:
+				fmt.Fprintf(&body, "if (x != %d) { x = x * 3 + 1; } else { x = x + 2; }\n", k)
+				if want != k {
+					want = want*3 + 1
+				} else {
+					want += 2
+				}
+			case 2:
+				n := g.rng(5) + 1
+				fmt.Fprintf(&body, "for (int i = 0; i < %d; i = i + 1) { x = x + i; }\n", n)
+				for j := 0; j < n; j++ {
+					want += int64(j)
+				}
+			default:
+				fmt.Fprintf(&body, "while (x > 100) { x = x / 2; }\n")
+				for want > 100 {
+					want /= 2
+				}
+			}
+		}
+		src := fmt.Sprintf(`
+class Main {
+	static void main() {
+		int x = %d;
+		%s
+		Sys.printi(x);
+	}
+}`, x, body.String())
+		classes, err := minijava.Compile("cf.mj", src)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		wantStr := fmt.Sprint(want)
+		for _, p := range []core.Policy{core.InterpretOnly{}, core.CompileFirst{}} {
+			e := core.New(core.Config{Policy: p})
+			if err := e.VM.Load(classes); err != nil {
+				return false
+			}
+			m, _ := e.VM.LookupMain()
+			if err := e.Run(m); err != nil {
+				t.Logf("seed %d (%s): %v\n%s", seed, p.Name(), err, src)
+				return false
+			}
+			if got := e.VM.Out.String(); got != wantStr {
+				t.Logf("seed %d (%s): got %s want %s\n%s", seed, p.Name(), got, wantStr, src)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package minijava
+
+// Binary operator precedence, loosest first. All binary operators are
+// left-associative.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>", ">>>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+// expr parses a full expression.
+func (p *Parser) expr() (Expr, error) { return p.binary(0) }
+
+func (p *Parser) binary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	l, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.tok.Kind == TokOp && p.tok.Text == op {
+				line := p.tok.Line
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				r, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &Binary{Op: op, L: l, R: r, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	line := p.tok.Line
+	if p.tok.Kind == TokOp && (p.tok.Text == "-" || p.tok.Text == "!") {
+		op := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x, Line: line}, nil
+	}
+
+	// Cast: '(' int|float ')' unary.
+	if p.is("(") {
+		save := p.snapshot()
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.is("int") || p.is("float") {
+			t := TypeInt
+			if p.is("float") {
+				t = TypeFloat
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.is(")") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				x, err := p.unary()
+				if err != nil {
+					return nil, err
+				}
+				return &Cast{To: t, X: x, Line: line}, nil
+			}
+		}
+		p.restore(save)
+	}
+
+	return p.postfix()
+}
+
+// postfix parses a primary followed by .name, .name(args) and [idx].
+func (p *Parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.is("."):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			line := p.prev.Line
+			if p.is("(") {
+				args, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				// Class-name receivers (static calls) are recognized by
+				// the checker when x is an Ident naming a class.
+				x = &Call{Obj: x, Name: name, Args: args, Line: line}
+			} else {
+				x = &FieldAccess{Obj: x, Name: name, Line: line}
+			}
+		case p.is("["):
+			line := p.tok.Line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Arr: x, Idx: idx, Line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) args() ([]Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.is(")") {
+		if len(args) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, p.advance()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	line := p.tok.Line
+	switch {
+	case p.tok.Kind == TokInt:
+		v := p.tok.IntVal
+		return &IntLit{Val: v, Line: line}, p.advance()
+	case p.tok.Kind == TokChar:
+		v := p.tok.IntVal
+		return &IntLit{Val: v, Line: line}, p.advance()
+	case p.tok.Kind == TokFloat:
+		v := p.tok.FloatVal
+		return &FloatLit{Val: v, Line: line}, p.advance()
+	case p.tok.Kind == TokString:
+		v := p.tok.Text
+		return &StringLit{Val: v, Line: line}, p.advance()
+	case p.is("null"):
+		return &NullLit{Line: line}, p.advance()
+	case p.is("this"):
+		return &This{Line: line}, p.advance()
+
+	case p.is("new"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var base Type
+		switch {
+		case p.is("int"):
+			base = TypeInt
+		case p.is("float"):
+			base = TypeFloat
+		case p.is("char"):
+			base = Type{Kind: KindChar}
+		case p.tok.Kind == TokIdent:
+			base = ClassType(p.tok.Text)
+		default:
+			return nil, p.errf("expected type after new")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.is("[") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			n, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &New{Of: ArrayOf(base), Args: []Expr{n}, Line: line}, nil
+		}
+		if base.Kind != KindClass {
+			return nil, p.errf("new %s requires []", base)
+		}
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return &New{Of: base, Args: args, Line: line}, nil
+
+	case p.is("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+
+	case p.tok.Kind == TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.is("(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Name: name, Args: args, Line: line}, nil
+		}
+		return &Ident{Name: name, Line: line}, nil
+	}
+	return nil, p.errf("expected expression")
+}

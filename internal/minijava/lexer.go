@@ -1,0 +1,307 @@
+// Package minijava implements a compiler for MiniJava — a small,
+// statically typed Java subset — targeting the repository's bytecode ISA.
+//
+// It fills the role javac fills for the paper's benchmarks: the eight
+// SpecJVM98-like workloads are written in MiniJava source (embedded in
+// internal/workloads) and compiled to bytecode classes at program build
+// time. The language covers what the workloads need: classes with
+// single inheritance and virtual methods, constructors, static and
+// instance fields and methods, synchronized methods, int/float/char[]
+// arithmetic, one-dimensional arrays, strings as char arrays, control
+// flow, and the Sys.* runtime intrinsics (console I/O and threads).
+package minijava
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokChar
+	TokOp
+)
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokKind
+	Text string
+	// IntVal/FloatVal are set for literals.
+	IntVal   int64
+	FloatVal float64
+	Line     int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"class": true, "extends": true, "static": true, "sync": true,
+	"int": true, "float": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"new": true, "null": true, "this": true, "super": true,
+}
+
+// Lexer tokenizes MiniJava source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	// File names the source in errors.
+	File string
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, line: 1, File: file}
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", l.File, l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) at(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+// skipSpace consumes whitespace and comments.
+func (l *Lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.at(1) == '*':
+			l.pos += 2
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.at(1) == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// multi-character operators, longest first.
+var operators = []string{
+	">>>", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".",
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line}, nil
+	}
+	start := l.pos
+	line := l.line
+	c := l.src[l.pos]
+
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && (isIdentStart(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line}, nil
+
+	case isDigit(c):
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		isFloat := false
+		if l.peekByte() == '.' && isDigit(l.at(1)) {
+			isFloat = true
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		if b := l.peekByte(); b == 'e' || b == 'E' {
+			save := l.pos
+			l.pos++
+			if b2 := l.peekByte(); b2 == '+' || b2 == '-' {
+				l.pos++
+			}
+			if isDigit(l.peekByte()) {
+				isFloat = true
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			var fv float64
+			if _, err := fmt.Sscanf(text, "%g", &fv); err != nil {
+				return Token{}, l.errf("bad float literal %q", text)
+			}
+			return Token{Kind: TokFloat, Text: text, FloatVal: fv, Line: line}, nil
+		}
+		var iv int64
+		if _, err := fmt.Sscanf(text, "%d", &iv); err != nil {
+			return Token{}, l.errf("bad int literal %q", text)
+		}
+		return Token{Kind: TokInt, Text: text, IntVal: iv, Line: line}, nil
+
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string")
+			}
+			ch := l.src[l.pos]
+			if ch == '"' {
+				l.pos++
+				break
+			}
+			if ch == '\n' {
+				return Token{}, l.errf("newline in string")
+			}
+			if ch == '\\' {
+				l.pos++
+				esc, err := l.escape()
+				if err != nil {
+					return Token{}, err
+				}
+				sb.WriteByte(esc)
+				continue
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: sb.String(), Line: line}, nil
+
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf("unterminated char literal")
+		}
+		var val byte
+		if l.src[l.pos] == '\\' {
+			l.pos++
+			esc, err := l.escape()
+			if err != nil {
+				return Token{}, err
+			}
+			val = esc
+		} else {
+			val = l.src[l.pos]
+			l.pos++
+		}
+		if l.peekByte() != '\'' {
+			return Token{}, l.errf("unterminated char literal")
+		}
+		l.pos++
+		return Token{Kind: TokChar, Text: string(val), IntVal: int64(val), Line: line}, nil
+	}
+
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += len(op)
+			return Token{Kind: TokOp, Text: op, Line: line}, nil
+		}
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}
+
+func (l *Lexer) escape() (byte, error) {
+	if l.pos >= len(l.src) {
+		return 0, l.errf("unterminated escape")
+	}
+	c := l.src[l.pos]
+	l.pos++
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, l.errf("bad escape \\%c", c)
+}
+
+// LexAll tokenizes the whole input (testing convenience).
+func LexAll(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package minijava_test
+
+import (
+	"strings"
+	"testing"
+
+	"jrs/internal/core"
+	"jrs/internal/minijava"
+)
+
+// run compiles src and executes it under policy p, returning output.
+func run(t *testing.T, src string, p core.Policy) string {
+	t.Helper()
+	classes, err := minijava.Compile("test.mj", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	e := core.New(core.Config{Policy: p})
+	if err := e.VM.Load(classes); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	main, err := e.VM.LookupMain()
+	if err != nil {
+		t.Fatalf("main: %v", err)
+	}
+	if err := e.Run(main); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return e.VM.Out.String()
+}
+
+// runBoth checks interp and JIT agree on the output.
+func runBoth(t *testing.T, src, want string) {
+	t.Helper()
+	if got := run(t, src, core.InterpretOnly{}); got != want {
+		t.Errorf("interp: got %q, want %q", got, want)
+	}
+	if got := run(t, src, core.CompileFirst{}); got != want {
+		t.Errorf("jit: got %q, want %q", got, want)
+	}
+	if got := run(t, src, core.Threshold{N: 2}); got != want {
+		t.Errorf("mixed: got %q, want %q", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	runBoth(t, `
+class Main {
+	static void main() {
+		int a = 7 * 6;
+		int b = (100 - 10) / 3;
+		int c = 17 % 5;
+		int d = (1 << 10) | 3;
+		int e = 255 & 15;
+		int f = -8 >> 2;
+		int g = -8 >>> 60;
+		Sys.printi(a); Sys.printc(' ');
+		Sys.printi(b); Sys.printc(' ');
+		Sys.printi(c); Sys.printc(' ');
+		Sys.printi(d); Sys.printc(' ');
+		Sys.printi(e); Sys.printc(' ');
+		Sys.printi(f); Sys.printc(' ');
+		Sys.printi(g);
+	}
+}`, "42 30 2 1027 15 -2 15")
+}
+
+func TestFloatsAndCasts(t *testing.T) {
+	runBoth(t, `
+class Main {
+	static void main() {
+		float x = 3.5;
+		float y = x * 2.0 + 1.0;
+		int i = (int)y;
+		float z = (float)i / 4;
+		Sys.printi(i);
+		Sys.printc(' ');
+		if (z > 1.9 && z < 2.1) { Sys.print("ok"); } else { Sys.print("bad"); }
+	}
+}`, "8 ok")
+}
+
+func TestControlFlow(t *testing.T) {
+	runBoth(t, `
+class Main {
+	static void main() {
+		int s = 0;
+		for (int i = 0; i < 10; i = i + 1) {
+			if (i % 2 == 0) { continue; }
+			if (i == 9) { break; }
+			s = s + i;
+		}
+		int j = 0;
+		while (j < 3) { s = s * 2; j = j + 1; }
+		Sys.printi(s);
+	}
+}`, "128")
+}
+
+func TestArraysAndStrings(t *testing.T) {
+	runBoth(t, `
+class Main {
+	static void main() {
+		int[] a = new int[5];
+		for (int i = 0; i < a.length; i = i + 1) { a[i] = i * i; }
+		int s = 0;
+		for (int i = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+		Sys.printi(s);
+		char[] msg = "hello";
+		Sys.printc(' ');
+		Sys.print(msg);
+		Sys.printc(' ');
+		Sys.printi(msg.length);
+		char[] up = new char[msg.length];
+		for (int i = 0; i < msg.length; i = i + 1) { up[i] = msg[i] - 32; }
+		Sys.printc(' ');
+		Sys.print(up);
+	}
+}`, "30 hello 5 HELLO")
+}
+
+func TestObjectsAndVirtualDispatch(t *testing.T) {
+	runBoth(t, `
+class Shape {
+	int tag;
+	Shape(int t) { tag = t; }
+	int area() { return 0; }
+	int describe() { return tag * 1000 + area(); }
+}
+class Square extends Shape {
+	int side;
+	Square(int s) { super(1); side = s; }
+	int area() { return side * side; }
+}
+class Rect extends Shape {
+	int w, h;
+	Rect(int a, int b) { super(2); w = a; h = b; }
+	int area() { return w * h; }
+}
+class Main {
+	static void main() {
+		Shape[] shapes = new Shape[3];
+		shapes[0] = new Square(4);
+		shapes[1] = new Rect(3, 5);
+		shapes[2] = new Shape(9);
+		int total = 0;
+		for (int i = 0; i < shapes.length; i = i + 1) {
+			total = total + shapes[i].describe();
+		}
+		Sys.printi(total);
+	}
+}`, "12031")
+}
+
+func TestStaticsAndRecursion(t *testing.T) {
+	runBoth(t, `
+class Main {
+	static int calls;
+	static int fib(int n) {
+		calls = calls + 1;
+		if (n < 2) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	static void main() {
+		Sys.printi(fib(12));
+		Sys.printc(' ');
+		Sys.printi(calls);
+	}
+}`, "144 465")
+}
+
+func TestThreadsAndSync(t *testing.T) {
+	runBoth(t, `
+class Counter {
+	int value;
+	sync void add(int n) {
+		for (int i = 0; i < n; i = i + 1) { value = value + 1; }
+	}
+}
+class Worker {
+	Counter c;
+	int amount;
+	Worker(Counter cc, int n) { c = cc; amount = n; }
+	void run() { c.add(amount); }
+}
+class Main {
+	static void main() {
+		Counter c = new Counter();
+		int t1 = Sys.spawn(new Worker(c, 4000));
+		int t2 = Sys.spawn(new Worker(c, 5000));
+		c.add(1000);
+		Sys.join(t1);
+		Sys.join(t2);
+		Sys.printi(c.value);
+	}
+}`, "10000")
+}
+
+func TestNullAndRefEquality(t *testing.T) {
+	runBoth(t, `
+class Box { int v; }
+class Main {
+	static void main() {
+		Box a = new Box();
+		Box b = a;
+		Box c = null;
+		if (a == b) { Sys.print("same "); }
+		if (a != c) { Sys.print("notnull "); }
+		if (c == null) { Sys.print("isnull"); }
+	}
+}`, "same notnull isnull")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined", `class Main { static void main() { x = 1; } }`, "undefined"},
+		{"typeMismatch", `class Main { static void main() { int x = null; } }`, "cannot initialize"},
+		{"badCall", `class Main { static void main() { foo(); } }`, "no method"},
+		{"dupClass", `class A {} class A {}`, "duplicate class"},
+		{"missingReturn", `class Main { static int f() { int x = 1; } static void main() {} }`, "missing return"},
+		{"breakOutside", `class Main { static void main() { break; } }`, "break outside"},
+		{"thisInStatic", `class Main { int f; static void main() { int x = f; } }`, "static"},
+		{"badArity", `class Main { static int g(int a) { return a; } static void main() { Sys.printi(g(1, 2)); } }`, "takes 1 args"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := minijava.Compile("t.mj", tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := minijava.LexAll("t.mj", `class X { /* c */ int a = 10; float f = 2.5e1; } // end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []minijava.TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	if toks[len(toks)-1].Kind != minijava.TokEOF {
+		t.Fatal("missing EOF")
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == minijava.TokFloat && tk.FloatVal == 25.0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("float literal 2.5e1 not lexed: %v", kinds)
+	}
+}
+
+func TestLargeIntConstant(t *testing.T) {
+	runBoth(t, `
+class Main {
+	static void main() {
+		int big = 5000000000;
+		Sys.printi(big);
+	}
+}`, "5000000000")
+}

@@ -1,0 +1,516 @@
+package minijava
+
+import "fmt"
+
+// Parser builds the AST with one token of lookahead.
+type Parser struct {
+	lex  *Lexer
+	tok  Token
+	prev Token
+}
+
+// Parse parses a compilation unit.
+func Parse(file, src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(file, src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != TokEOF {
+		c, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Classes = append(prog.Classes, c)
+	}
+	return prog, nil
+}
+
+// pstate snapshots the parser (including the lexer's value state) for
+// the two spots that need speculative parsing.
+type pstate struct {
+	lex  Lexer
+	tok  Token
+	prev Token
+}
+
+func (p *Parser) snapshot() pstate { return pstate{lex: *p.lex, tok: p.tok, prev: p.prev} }
+
+func (p *Parser) restore(s pstate) {
+	*p.lex = s.lex
+	p.tok = s.tok
+	p.prev = s.prev
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s (at %q)", p.lex.File, p.tok.Line,
+		fmt.Sprintf(format, args...), p.tok.String())
+}
+
+func (p *Parser) advance() error {
+	p.prev = p.tok
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// is reports whether the current token is the keyword/operator text.
+func (p *Parser) is(text string) bool {
+	return (p.tok.Kind == TokKeyword || p.tok.Kind == TokOp) && p.tok.Text == text
+}
+
+// accept consumes text if present.
+func (p *Parser) accept(text string) (bool, error) {
+	if p.is(text) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+// expect consumes text or fails.
+func (p *Parser) expect(text string) error {
+	if !p.is(text) {
+		return p.errf("expected %q", text)
+	}
+	return p.advance()
+}
+
+func (p *Parser) ident() (string, error) {
+	if p.tok.Kind != TokIdent {
+		return "", p.errf("expected identifier")
+	}
+	name := p.tok.Text
+	return name, p.advance()
+}
+
+// typeNameStart reports whether the current token can begin a type.
+func (p *Parser) typeNameStart() bool {
+	return p.is("int") || p.is("float") || p.is("char") || p.tok.Kind == TokIdent
+}
+
+// parseType parses `int|float|char|Ident` with optional `[]`.
+func (p *Parser) parseType() (Type, error) {
+	var base Type
+	switch {
+	case p.is("int"):
+		base = TypeInt
+	case p.is("float"):
+		base = TypeFloat
+	case p.is("char"):
+		base = Type{Kind: KindChar}
+	case p.tok.Kind == TokIdent:
+		base = ClassType(p.tok.Text)
+	default:
+		return Type{}, p.errf("expected type")
+	}
+	if err := p.advance(); err != nil {
+		return Type{}, err
+	}
+	if p.is("[") {
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		if err := p.expect("]"); err != nil {
+			return Type{}, err
+		}
+		return ArrayOf(base), nil
+	}
+	if base.Kind == KindChar {
+		return Type{}, p.errf("char is only usable as char[]")
+	}
+	return base, nil
+}
+
+func (p *Parser) classDecl() (*ClassDecl, error) {
+	line := p.tok.Line
+	if err := p.expect("class"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	c := &ClassDecl{Name: name, Line: line}
+	if ok, err := p.accept("extends"); err != nil {
+		return nil, err
+	} else if ok {
+		if c.Extends, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.is("}") {
+		if err := p.member(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, p.advance()
+}
+
+// member parses a field, method or constructor.
+func (p *Parser) member(c *ClassDecl) error {
+	line := p.tok.Line
+	static, err := p.accept("static")
+	if err != nil {
+		return err
+	}
+	sync, err := p.accept("sync")
+	if err != nil {
+		return err
+	}
+
+	// Constructor: Ident '(' with Ident == class name.
+	if !sync && p.tok.Kind == TokIdent && p.tok.Text == c.Name {
+		// Could be a constructor or a field of class type; peek for '('.
+		save := p.snapshot()
+		if _, err := p.ident(); err != nil {
+			return err
+		}
+		if p.is("(") {
+			if static {
+				return p.errf("constructor cannot be static")
+			}
+			m := &MethodDecl{Name: "<init>", Ret: TypeVoid, IsCtor: true, Line: line}
+			if err := p.methodRest(m); err != nil {
+				return err
+			}
+			c.Methods = append(c.Methods, m)
+			return nil
+		}
+		p.restore(save)
+	}
+
+	// void method.
+	if p.is("void") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		m := &MethodDecl{Name: name, Ret: TypeVoid, Static: static, Sync: sync, Line: line}
+		if err := p.methodRest(m); err != nil {
+			return err
+		}
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+
+	t, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if p.is("(") {
+		m := &MethodDecl{Name: name, Ret: t, Static: static, Sync: sync, Line: line}
+		if err := p.methodRest(m); err != nil {
+			return err
+		}
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+	if sync {
+		return p.errf("sync applies to methods only")
+	}
+	// Field list.
+	c.Fields = append(c.Fields, &FieldDecl{Name: name, Type: t, Static: static, Line: line})
+	for p.is(",") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		n2, err := p.ident()
+		if err != nil {
+			return err
+		}
+		c.Fields = append(c.Fields, &FieldDecl{Name: n2, Type: t, Static: static, Line: line})
+	}
+	return p.expect(";")
+}
+
+func (p *Parser) methodRest(m *MethodDecl) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for !p.is(")") {
+		if len(m.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		m.Params = append(m.Params, Param{Name: name, Type: t})
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	b, err := p.block()
+	if err != nil {
+		return err
+	}
+	m.Body = b
+	return nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	line := p.tok.Line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Line: line}
+	for !p.is("}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	line := p.tok.Line
+	switch {
+	case p.is("{"):
+		return p.block()
+
+	case p.is("if"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Cond: cond, Then: then, Line: line}
+		if ok, err := p.accept("else"); err != nil {
+			return nil, err
+		} else if ok {
+			if st.Else, err = p.stmt(); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+
+	case p.is("while"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Line: line}, nil
+
+	case p.is("for"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &For{Line: line}
+		if !p.is(";") {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.is(";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.is(")") {
+			post, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case p.is("return"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st := &Return{Line: line}
+		if !p.is(";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Val = v
+		}
+		return st, p.expect(";")
+
+	case p.is("break"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Break{Line: line}, p.expect(";")
+
+	case p.is("continue"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Continue{Line: line}, p.expect(";")
+
+	case p.is("super"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &SuperCall{Line: line}
+		for !p.is(")") {
+			if len(st.Args) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Args = append(st.Args, a)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return st, p.expect(";")
+	}
+
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	return s, p.expect(";")
+}
+
+// simpleStmt parses a declaration, assignment or call (no trailing ';').
+func (p *Parser) simpleStmt() (Stmt, error) {
+	line := p.tok.Line
+
+	// Variable declaration: Type Ident [= expr]. Disambiguate from
+	// expression starting with an identifier by speculative parsing.
+	if p.is("int") || p.is("float") || p.is("char") {
+		return p.varDecl(line)
+	}
+	if p.tok.Kind == TokIdent {
+		save := p.snapshot()
+		if t, err := p.parseType(); err == nil && p.tok.Kind == TokIdent {
+			// "Ident Ident" or "Ident[] Ident" — a declaration.
+			name, _ := p.ident()
+			vd := &VarDecl{Name: name, Type: t, Line: line}
+			if ok, err := p.accept("="); err != nil {
+				return nil, err
+			} else if ok {
+				init, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = init
+			}
+			return vd, nil
+		}
+		p.restore(save)
+	}
+
+	// Expression or assignment.
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if ok, err := p.accept("="); err != nil {
+		return nil, err
+	} else if ok {
+		switch x.(type) {
+		case *Ident, *FieldAccess, *Index:
+		default:
+			return nil, p.errf("invalid assignment target")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Target: x, Val: v, Line: line}, nil
+	}
+	if _, ok := x.(*Call); !ok {
+		return nil, p.errf("expression statement must be a call")
+	}
+	return &ExprStmt{X: x, Line: line}, nil
+}
+
+func (p *Parser) varDecl(line int) (Stmt, error) {
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	vd := &VarDecl{Name: name, Type: t, Line: line}
+	if ok, err := p.accept("="); err != nil {
+		return nil, err
+	} else if ok {
+		if vd.Init, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	return vd, nil
+}

@@ -1,0 +1,234 @@
+// Package monitor implements the two synchronization substrates compared
+// in §5 of the paper: the JDK 1.1.6-style *monitor cache* (a globally
+// locked 128-bucket open hash of fat monitors, space-efficient but slow in
+// the uncontended case) and Bacon-style *thin locks* (a lock word in every
+// object header with a one-bit fat/thin flag, an 8-bit recursion count and
+// a 15-bit owner id, falling back to the fat path on deep recursion or
+// contention). A third, one-bit variant models the paper's §6 observation
+// that a single header bit optimizing only case (a) captures ~80% of
+// operations.
+//
+// Every lock operation is classified into the paper's four cases:
+//
+//	(a) locking an unlocked object
+//	(b) recursive lock by the owner, depth < 256
+//	(c) recursive lock by the owner, depth >= 256
+//	(d) lock attempt on an object held by another thread (contended)
+//
+// Managers emit their native instruction sequences through an emit.Emitter
+// whose Count serves as the synchronization time measure of Figure 11(ii).
+package monitor
+
+import (
+	"fmt"
+
+	"jrs/internal/emit"
+	"jrs/internal/mem"
+)
+
+// Case indexes the four-way classification above.
+type Case int
+
+// The four synchronization cases of §5.
+const (
+	CaseA Case = iota // unlocked
+	CaseB             // shallow recursive
+	CaseC             // deep recursive (depth >= Threshold)
+	CaseD             // contended
+)
+
+// Threshold is the recursion depth separating cases (b) and (c); thin
+// locks can only count to it.
+const Threshold = 256
+
+// String names the case.
+func (c Case) String() string { return string(rune('a' + int(c))) }
+
+// Stats aggregates a manager's activity.
+type Stats struct {
+	// Enters counts monitorenter operations (including retries after
+	// blocking, each retry classified again).
+	Enters uint64
+	// Exits counts monitorexit operations.
+	Exits uint64
+	// Cases counts enters per classification.
+	Cases [4]uint64
+	// BlockEvents counts enters that could not take the lock.
+	BlockEvents uint64
+	// Instrs is the native instruction cost of all operations.
+	Instrs uint64
+}
+
+// Ops returns total lock operations (enters + exits).
+func (s Stats) Ops() uint64 { return s.Enters + s.Exits }
+
+// CaseFrac returns the fraction of enters in case c.
+func (s Stats) CaseFrac(c Case) float64 {
+	if s.Enters == 0 {
+		return 0
+	}
+	return float64(s.Cases[c]) / float64(s.Enters)
+}
+
+// Manager is a synchronization implementation. Thread ids are small
+// positive integers; object identities are heap addresses.
+type Manager interface {
+	// Name identifies the implementation in reports.
+	Name() string
+	// Enter attempts to lock obj for thread tid. It returns false when
+	// the thread must block (case d); the engine re-invokes Enter after
+	// the owner exits.
+	Enter(tid int, obj uint64) bool
+	// Exit unlocks one level of obj for tid. It panics if tid is not
+	// the owner — the bytecode is structured, so that indicates a VM bug.
+	Exit(tid int, obj uint64)
+	// Stats returns accumulated statistics.
+	Stats() Stats
+	// Reset clears all lock state and statistics.
+	Reset()
+}
+
+// classify determines the case for an enter given current owner and depth.
+func classify(owner, tid int, depth int) Case {
+	switch {
+	case owner == 0:
+		return CaseA
+	case owner == tid && depth < Threshold:
+		return CaseB
+	case owner == tid:
+		return CaseC
+	default:
+		return CaseD
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fat manager: the JDK 1.1.6 monitor cache.
+
+const (
+	fatBuckets = 128
+	// Simulated addresses of the monitor-cache structures in the VM
+	// segment.
+	fatCacheLockAddr = mem.VMBase + 0x0000
+	fatBucketBase    = mem.VMBase + 0x0100
+	fatNodeBase      = mem.VMBase + 0x1_0000
+	fatNodeSize      = 32
+	// Code-region PCs of the fat lock/unlock routines.
+	fatEnterPC = mem.RuntimeBase + 0x1000
+	fatExitPC  = mem.RuntimeBase + 0x1400
+)
+
+type fatMonitor struct {
+	obj   uint64
+	owner int
+	depth int
+	// addr is the node's simulated address for trace purposes.
+	addr uint64
+	next *fatMonitor
+}
+
+// Fat is the monitor-cache manager.
+type Fat struct {
+	em      *emit.Emitter
+	buckets [fatBuckets]*fatMonitor
+	nodes   int
+	stats   Stats
+}
+
+// NewFat returns a monitor-cache manager emitting through em.
+func NewFat(em *emit.Emitter) *Fat { return &Fat{em: em} }
+
+// Name implements Manager.
+func (*Fat) Name() string { return "monitor-cache" }
+
+// Stats implements Manager.
+func (f *Fat) Stats() Stats {
+	s := f.stats
+	return s
+}
+
+// Reset implements Manager.
+func (f *Fat) Reset() {
+	f.buckets = [fatBuckets]*fatMonitor{}
+	f.nodes = 0
+	f.stats = Stats{}
+}
+
+func (f *Fat) bucketOf(obj uint64) int { return int((obj >> 4) % fatBuckets) }
+
+// lookup walks the bucket chain, emitting the traversal's memory traffic,
+// and returns the monitor (allocating one if absent).
+func (f *Fat) lookup(s *emit.Seq, obj uint64) *fatMonitor {
+	b := f.bucketOf(obj)
+	// Hash and bucket-head load.
+	s.ALU(2).Load(fatBucketBase + uint64(b)*8)
+	var prev *fatMonitor
+	for m := f.buckets[b]; m != nil; m = m.next {
+		// Compare node's object field.
+		s.Load(m.addr).ALU(1)
+		if m.obj == obj {
+			s.Branch(true, s.PC()+64)
+			return m
+		}
+		s.Branch(false, s.PC()+64)
+		prev = m
+	}
+	_ = prev
+	// Allocate and link a new node (stores to the node and bucket head).
+	m := &fatMonitor{obj: obj, addr: fatNodeBase + uint64(f.nodes)*fatNodeSize,
+		next: f.buckets[b]}
+	f.nodes++
+	f.buckets[b] = m
+	s.ALU(2).Store(m.addr).Store(m.addr + 8).Store(fatBucketBase + uint64(b)*8)
+	return m
+}
+
+// Enter implements Manager.
+func (f *Fat) Enter(tid int, obj uint64) bool {
+	c0 := f.em.Count
+	f.stats.Enters++
+	s := f.em.At(fatEnterPC)
+	// Lock the monitor cache itself (test-and-set on the global lock).
+	s.Load(fatCacheLockAddr).ALU(1).Branch(false, fatEnterPC).Store(fatCacheLockAddr)
+	m := f.lookup(s, obj)
+	cse := classify(m.owner, tid, m.depth)
+	f.stats.Cases[cse]++
+	entered := true
+	switch cse {
+	case CaseA:
+		m.owner, m.depth = tid, 1
+		s.ALU(1).Store(m.addr + 16).Store(m.addr + 24)
+	case CaseB, CaseC:
+		m.depth++
+		s.Load(m.addr + 24).ALU(1).Store(m.addr + 24)
+	case CaseD:
+		entered = false
+		f.stats.BlockEvents++
+		s.Load(m.addr + 16).ALU(1)
+	}
+	// Unlock the monitor cache and return.
+	s.Break().Store(fatCacheLockAddr).Ret(0)
+	f.stats.Instrs += f.em.Count - c0
+	return entered
+}
+
+// Exit implements Manager.
+func (f *Fat) Exit(tid int, obj uint64) {
+	c0 := f.em.Count
+	f.stats.Exits++
+	s := f.em.At(fatExitPC)
+	s.Load(fatCacheLockAddr).ALU(1).Branch(false, fatExitPC).Store(fatCacheLockAddr)
+	m := f.lookup(s, obj)
+	if m.owner != tid {
+		panic(fmt.Sprintf("monitor: thread %d exiting monitor owned by %d", tid, m.owner))
+	}
+	m.depth--
+	if m.depth == 0 {
+		m.owner = 0
+		s.ALU(1).Store(m.addr + 16).Store(m.addr + 24)
+	} else {
+		s.Load(m.addr + 24).ALU(1).Store(m.addr + 24)
+	}
+	s.Break().Store(fatCacheLockAddr).Ret(0)
+	f.stats.Instrs += f.em.Count - c0
+}

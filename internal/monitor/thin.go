@@ -1,0 +1,292 @@
+package monitor
+
+import (
+	"jrs/internal/emit"
+	"jrs/internal/mem"
+)
+
+// Thin-lock code-region PCs.
+const (
+	thinEnterPC = mem.RuntimeBase + 0x2000
+	thinExitPC  = mem.RuntimeBase + 0x2200
+)
+
+// HeaderOffset is the byte offset of the lock word within an object
+// header (word 1; word 0 is the class id). Thin-lock traffic therefore
+// lands on the object's own cache line, as in Bacon's design.
+const HeaderOffset = 8
+
+// thinState is the decoded lock word for one object.
+type thinState struct {
+	fat   bool
+	owner int
+	depth int
+}
+
+// Thin is the Bacon-style thin-lock manager: 24 header bits (1 fat flag,
+// 8 recursion, 15 owner id) with the monitor cache as the fallback fat
+// path for deep recursion and contention.
+type Thin struct {
+	em    *emit.Emitter
+	words map[uint64]*thinState
+	// fallback handles inflated locks.
+	fallback *Fat
+	stats    Stats
+	// Inflations counts thin->fat transitions.
+	Inflations uint64
+}
+
+// NewThin returns a thin-lock manager emitting through em.
+func NewThin(em *emit.Emitter) *Thin {
+	return &Thin{em: em, words: make(map[uint64]*thinState), fallback: NewFat(em)}
+}
+
+// Name implements Manager.
+func (*Thin) Name() string { return "thin-lock" }
+
+// Stats implements Manager. The fallback's instruction cost is already
+// included because both emit through the same emitter and enters/exits on
+// the fat path are counted here, not double-counted there.
+func (t *Thin) Stats() Stats { return t.stats }
+
+// Reset implements Manager.
+func (t *Thin) Reset() {
+	t.words = make(map[uint64]*thinState)
+	t.fallback.Reset()
+	t.stats = Stats{}
+	t.Inflations = 0
+}
+
+func (t *Thin) state(obj uint64) *thinState {
+	w := t.words[obj]
+	if w == nil {
+		w = &thinState{}
+		t.words[obj] = w
+	}
+	return w
+}
+
+// Enter implements Manager.
+func (t *Thin) Enter(tid int, obj uint64) bool {
+	c0 := t.em.Count
+	t.stats.Enters++
+	w := t.state(obj)
+	cse := classify(w.owner, tid, w.depth)
+	if w.fat {
+		// Inflated: the word says "fat", go straight to the monitor
+		// cache (its own classification is not recounted).
+		t.stats.Cases[cse]++
+		s := t.em.At(thinEnterPC)
+		s.Load(obj+HeaderOffset).ALU(1).Branch(true, fatEnterPC)
+		entered := t.enterFat(tid, obj, w)
+		if !entered {
+			t.stats.BlockEvents++
+		}
+		t.stats.Instrs += t.em.Count - c0
+		return entered
+	}
+	t.stats.Cases[cse]++
+	s := t.em.At(thinEnterPC)
+	// Load the header word and test.
+	s.Load(obj + HeaderOffset).ALU(1)
+	entered := true
+	switch cse {
+	case CaseA:
+		// Compose owner|depth=1 and store: the whole fast path is
+		// load, test, branch, compose, store.
+		w.owner, w.depth = tid, 1
+		s.Branch(false, s.PC()+32).ALU(2).Store(obj + HeaderOffset)
+	case CaseB:
+		// Owner match: bump the recursion bits.
+		w.depth++
+		s.Branch(true, s.PC()+16).ALU(3).Store(obj + HeaderOffset)
+	case CaseC:
+		// Recursion overflow: inflate.
+		t.inflate(s, tid, obj, w)
+		w2 := w // inflated; take the fat lock (owner is self, recursive)
+		entered = t.enterFat(tid, obj, w2)
+	case CaseD:
+		// Contended: inflate and block.
+		t.inflate(s, tid, obj, w)
+		entered = t.enterFat(tid, obj, w)
+		if !entered {
+			t.stats.BlockEvents++
+		}
+	}
+	s.Break().Ret(0)
+	t.stats.Instrs += t.em.Count - c0
+	return entered
+}
+
+// inflate converts obj's lock to the fat representation, transferring the
+// current thin owner/depth into the monitor cache.
+func (t *Thin) inflate(s *emit.Seq, tid int, obj uint64, w *thinState) {
+	t.Inflations++
+	// Mark the word fat.
+	s.ALU(1).Store(obj + HeaderOffset).Jump(fatEnterPC)
+	// Transfer existing ownership into the fallback by replaying the
+	// holds (functional only; costs are dominated by the call below).
+	if w.owner != 0 {
+		for i := 0; i < w.depth; i++ {
+			t.fallback.Enter(w.owner, obj)
+		}
+		// The replay is bookkeeping, not program-visible lock traffic.
+		t.fallback.stats.Enters -= uint64(w.depth)
+	}
+	w.fat = true
+}
+
+// enterFat takes the fat lock and mirrors the outcome into w for
+// classification bookkeeping.
+func (t *Thin) enterFat(tid int, obj uint64, w *thinState) bool {
+	ok := t.fallback.Enter(tid, obj)
+	// Fold the fallback's op counters into ours; its classification is
+	// an implementation detail of the inflated path.
+	t.fallback.stats.Enters--
+	if !ok {
+		t.fallback.stats.BlockEvents--
+		return false
+	}
+	if w.owner == tid {
+		w.depth++
+	} else {
+		w.owner, w.depth = tid, 1
+	}
+	return true
+}
+
+// Exit implements Manager.
+func (t *Thin) Exit(tid int, obj uint64) {
+	c0 := t.em.Count
+	t.stats.Exits++
+	w := t.state(obj)
+	if w.fat {
+		s := t.em.At(thinExitPC)
+		s.Load(obj+HeaderOffset).ALU(1).Branch(true, fatExitPC)
+		t.fallback.Exit(tid, obj)
+		t.fallback.stats.Exits--
+		w.depth--
+		if w.depth == 0 {
+			w.owner = 0
+		}
+		t.stats.Instrs += t.em.Count - c0
+		return
+	}
+	if w.owner != tid {
+		panic("monitor: thin exit by non-owner")
+	}
+	s := t.em.At(thinExitPC)
+	w.depth--
+	if w.depth == 0 {
+		w.owner = 0
+		s.Load(obj + HeaderOffset).ALU(2).Store(obj + HeaderOffset)
+	} else {
+		s.Load(obj + HeaderOffset).ALU(3).Store(obj + HeaderOffset)
+	}
+	s.Break().Ret(0)
+	t.stats.Instrs += t.em.Count - c0
+}
+
+// OneBit is the §6 single-bit variant: one header bit distinguishes
+// "unlocked" from "locked at least once"; only case (a) enter and its
+// matching exit take the fast path, everything else defers to the monitor
+// cache.
+type OneBit struct {
+	em       *emit.Emitter
+	words    map[uint64]*thinState
+	fallback *Fat
+	stats    Stats
+}
+
+// NewOneBit returns the one-bit manager emitting through em.
+func NewOneBit(em *emit.Emitter) *OneBit {
+	return &OneBit{em: em, words: make(map[uint64]*thinState), fallback: NewFat(em)}
+}
+
+// Name implements Manager.
+func (*OneBit) Name() string { return "one-bit" }
+
+// Stats implements Manager.
+func (o *OneBit) Stats() Stats { return o.stats }
+
+// Reset implements Manager.
+func (o *OneBit) Reset() {
+	o.words = make(map[uint64]*thinState)
+	o.fallback.Reset()
+	o.stats = Stats{}
+}
+
+// Enter implements Manager.
+func (o *OneBit) Enter(tid int, obj uint64) bool {
+	c0 := o.em.Count
+	o.stats.Enters++
+	w := o.words[obj]
+	if w == nil {
+		w = &thinState{}
+		o.words[obj] = w
+	}
+	cse := classify(w.owner, tid, w.depth)
+	o.stats.Cases[cse]++
+	s := o.em.At(thinEnterPC)
+	s.Load(obj + HeaderOffset).ALU(1)
+	entered := true
+	if cse == CaseA && !w.fat {
+		// Fast path: set the bit.
+		w.owner, w.depth = tid, 1
+		s.Branch(false, s.PC()+32).ALU(1).Store(obj + HeaderOffset)
+	} else {
+		// Everything else: fat path (bit already set or contended).
+		if !w.fat && w.owner != 0 {
+			// First inflation of a held lock: transfer the existing hold
+			// into the monitor cache.
+			for i := 0; i < w.depth; i++ {
+				o.fallback.Enter(w.owner, obj)
+				o.fallback.stats.Enters--
+			}
+		}
+		w.fat = true
+		s.Branch(true, fatEnterPC)
+		entered = o.fallback.Enter(tid, obj)
+		o.fallback.stats.Enters--
+		if entered {
+			if w.owner == tid {
+				w.depth++
+			} else {
+				w.owner, w.depth = tid, 1
+			}
+		} else {
+			o.fallback.stats.BlockEvents--
+			o.stats.BlockEvents++
+		}
+	}
+	s.Break().Ret(0)
+	o.stats.Instrs += o.em.Count - c0
+	return entered
+}
+
+// Exit implements Manager.
+func (o *OneBit) Exit(tid int, obj uint64) {
+	c0 := o.em.Count
+	o.stats.Exits++
+	w := o.words[obj]
+	if w == nil || w.owner != tid {
+		panic("monitor: one-bit exit by non-owner")
+	}
+	s := o.em.At(thinExitPC)
+	if !w.fat && w.depth == 1 {
+		w.owner, w.depth = 0, 0
+		s.Load(obj + HeaderOffset).ALU(1).Store(obj + HeaderOffset)
+	} else {
+		s.Load(obj+HeaderOffset).ALU(1).Branch(true, fatExitPC)
+		if w.fat {
+			o.fallback.Exit(tid, obj)
+			o.fallback.stats.Exits--
+		}
+		w.depth--
+		if w.depth == 0 {
+			w.owner = 0
+		}
+	}
+	s.Break().Ret(0)
+	o.stats.Instrs += o.em.Count - c0
+}

@@ -1,0 +1,272 @@
+// Package pipeline implements the trace-driven superscalar processor
+// timing model behind the paper's ILP study (Figures 9 and 10).
+//
+// The model is an out-of-order core in the style of the cycle-level
+// simulators of the era: instructions are fetched in program order at up
+// to IssueWidth per cycle (stalling on I-cache misses and after branch
+// mispredictions), enter a reorder window of WindowSize entries, issue
+// out of order when their source registers are ready subject to the
+// per-cycle issue width, execute with class-specific latencies (loads pay
+// the D-cache miss penalty), and retire in order. Branch direction comes
+// from a Gshare unit with a BTB, matching the best predictor of Table 2.
+package pipeline
+
+import (
+	"jrs/internal/branch"
+	"jrs/internal/cache"
+	"jrs/internal/trace"
+)
+
+// Config parameterizes the core.
+type Config struct {
+	// IssueWidth is both the fetch and issue width (1, 2, 4, 8 in the
+	// paper's sweep).
+	IssueWidth int
+	// WindowSize is the reorder-window capacity.
+	WindowSize int
+	// MispredictPenalty is the fetch-bubble length after a mispredicted
+	// control transfer resolves.
+	MispredictPenalty uint64
+	// MissPenalty is the L1 miss penalty in cycles (applied to both
+	// instruction fetch stalls and load latency).
+	MissPenalty uint64
+	// IntLatency, FPLatency, LoadLatency are hit execution latencies.
+	IntLatency, FPLatency, LoadLatency uint64
+	// ForwardLatency is the store-to-load forwarding delay through the
+	// store buffer (a dependent load sees the stored value this many
+	// cycles after the store completes).
+	ForwardLatency uint64
+	// TargetCache swaps the front end's BTB for the two-level indirect
+	// target predictor (the paper's §4.4 "architectural support"
+	// hypothesis for interpreter scaling).
+	TargetCache bool
+	// ICache and DCache configure the core's own L1 caches.
+	ICache, DCache cache.Config
+}
+
+// DefaultConfig returns the configuration used by the Figure 9/10
+// reproduction at the given issue width: 64-entry window, 64KB L1s as in
+// the cache study, 20-cycle miss penalty, 5-cycle mispredict penalty.
+func DefaultConfig(width int) Config {
+	return Config{
+		IssueWidth:        width,
+		WindowSize:        64,
+		MispredictPenalty: 5,
+		MissPenalty:       20,
+		IntLatency:        1,
+		FPLatency:         3,
+		LoadLatency:       2,
+		ForwardLatency:    3,
+		ICache:            cache.Config{Name: "I", Size: 64 << 10, LineSize: 32, Assoc: 2, WriteAllocate: true},
+		DCache:            cache.Config{Name: "D", Size: 64 << 10, LineSize: 32, Assoc: 4, WriteAllocate: true},
+	}
+}
+
+// predictor abstracts the front-end prediction unit.
+type predictor interface {
+	Observe(trace.Inst) bool
+}
+
+// Core is the timing model. It implements trace.Sink; feed it a
+// program's native trace and read IPC afterwards.
+type Core struct {
+	cfg  Config
+	ic   *cache.Cache
+	dc   *cache.Cache
+	pred predictor
+
+	// regReady[r] is the cycle register r's value becomes available
+	// (indexable by any register byte incl. RegNone, which is never
+	// written).
+	regReady [256]uint64
+	// window holds completion cycles of in-flight instructions in fetch
+	// order (ring buffer of WindowSize).
+	window []uint64
+	wHead  int // index of oldest
+	wCount int
+
+	// fetchCycle is the cycle the next instruction can be fetched.
+	fetchCycle uint64
+	// fetchedThisCycle counts instructions fetched at fetchCycle.
+	fetchedThisCycle int
+
+	// issued tracks per-cycle issue-slot occupancy in a ring.
+	issued    []uint8
+	issueMask uint64
+	clearedTo uint64
+
+	// memReady[addr>>3] is the cycle the last store to that word
+	// completes; loads from the word wait for it (store-to-load
+	// forwarding). This carries the true memory dependences — loop
+	// variables the JIT keeps in frame slots, the interpreter's operand
+	// stack — without which the model overstates ILP badly.
+	memReady map[uint64]uint64
+
+	// Instrs counts retired instructions; LastCycle the final completion.
+	Instrs    uint64
+	LastCycle uint64
+}
+
+// New builds a core.
+func New(cfg Config) *Core {
+	const issueRing = 1 << 16
+	var pred predictor = branch.NewUnit(branch.NewGshare(2048, 5), 1024)
+	if cfg.TargetCache {
+		pred = branch.NewIndirectUnit()
+	}
+	c := &Core{
+		cfg:       cfg,
+		ic:        cache.New(cfg.ICache),
+		dc:        cache.New(cfg.DCache),
+		pred:      pred,
+		window:    make([]uint64, cfg.WindowSize),
+		issued:    make([]uint8, issueRing),
+		issueMask: issueRing - 1,
+		memReady:  make(map[uint64]uint64),
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// IPC returns retired instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.LastCycle == 0 {
+		return 0
+	}
+	return float64(c.Instrs) / float64(c.LastCycle)
+}
+
+// Cycles returns the total simulated cycles.
+func (c *Core) Cycles() uint64 { return c.LastCycle }
+
+// advanceIssueRing clears issue-slot bookkeeping for cycles that can no
+// longer be used (anything before the in-order fetch frontier).
+func (c *Core) advanceIssueRing(frontier uint64) {
+	for c.clearedTo < frontier {
+		c.issued[c.clearedTo&c.issueMask] = 0
+		c.clearedTo++
+	}
+}
+
+// issueSlot finds the first cycle >= earliest with a free issue slot,
+// claims it, and returns it.
+func (c *Core) issueSlot(earliest uint64) uint64 {
+	cy := earliest
+	for {
+		i := cy & c.issueMask
+		if int(c.issued[i]) < c.cfg.IssueWidth {
+			c.issued[i]++
+			return cy
+		}
+		cy++
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Emit implements trace.Sink, timing one instruction.
+func (c *Core) Emit(in trace.Inst) {
+	cfg := &c.cfg
+
+	// Window: the next instruction cannot enter until the oldest retires.
+	if c.wCount == cfg.WindowSize {
+		oldest := c.window[c.wHead]
+		c.wHead = (c.wHead + 1) % cfg.WindowSize
+		c.wCount--
+		if oldest+1 > c.fetchCycle {
+			c.fetchCycle = oldest + 1
+			c.fetchedThisCycle = 0
+		}
+	}
+
+	// Fetch bandwidth.
+	if c.fetchedThisCycle >= cfg.IssueWidth {
+		c.fetchCycle++
+		c.fetchedThisCycle = 0
+	}
+	// I-cache.
+	if !c.ic.Access(in.PC, false) {
+		c.fetchCycle += cfg.MissPenalty
+		c.fetchedThisCycle = 0
+	}
+	fetchAt := c.fetchCycle
+	c.fetchedThisCycle++
+	c.advanceIssueRing(fetchAt)
+
+	// Source readiness.
+	ready := fetchAt + 1 // decode
+	if in.Src1 != trace.RegNone {
+		ready = maxU64(ready, c.regReady[in.Src1])
+	}
+	if in.Src2 != trace.RegNone {
+		ready = maxU64(ready, c.regReady[in.Src2])
+	}
+
+	issueAt := c.issueSlot(ready)
+
+	// Execution latency.
+	var lat uint64
+	var complete uint64
+	switch in.Class {
+	case trace.FPU:
+		lat = cfg.FPLatency
+		complete = issueAt + lat
+	case trace.Load:
+		lat = cfg.LoadLatency
+		if !c.dc.Access(in.Addr, false) {
+			lat += cfg.MissPenalty
+		}
+		complete = issueAt + lat
+		// Store-to-load dependence: the value isn't available before the
+		// producing store completes (forwarded same-cycle).
+		if sr, ok := c.memReady[in.Addr>>3]; ok && sr+cfg.ForwardLatency > complete {
+			complete = sr + cfg.ForwardLatency
+		}
+	case trace.Store:
+		lat = 1
+		// A write-allocate store miss must fetch the line; the era's
+		// shallow write buffers expose that latency to dependants (this
+		// is what makes JIT code installation expensive, §6).
+		if !c.dc.Access(in.Addr, true) {
+			lat += cfg.MissPenalty
+		}
+		complete = issueAt + lat
+		c.memReady[in.Addr>>3] = complete
+	default:
+		lat = cfg.IntLatency
+		complete = issueAt + lat
+	}
+
+	if in.Dst != trace.RegNone {
+		c.regReady[in.Dst] = complete
+	}
+
+	// Control transfers: on a misprediction the fetch of younger
+	// instructions resumes only after resolution plus the penalty.
+	if in.Class.IsControl() {
+		if c.pred.Observe(in) {
+			resume := complete + cfg.MispredictPenalty
+			if resume > c.fetchCycle {
+				c.fetchCycle = resume
+				c.fetchedThisCycle = 0
+			}
+		}
+	}
+
+	// Enter window.
+	tail := (c.wHead + c.wCount) % cfg.WindowSize
+	c.window[tail] = complete
+	c.wCount++
+
+	c.Instrs++
+	if complete > c.LastCycle {
+		c.LastCycle = complete
+	}
+}

@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"testing"
+
+	"jrs/internal/trace"
+)
+
+// seqALU feeds n independent ALU instructions from a small hot loop (so
+// the I-cache stays warm and issue width is the only limiter).
+func seqALU(c *Core, n int) {
+	for i := 0; i < n; i++ {
+		c.Emit(trace.Inst{PC: uint64(i%256) * 4, Class: trace.ALU,
+			Src1: trace.RegNone, Src2: trace.RegNone, Dst: trace.RegNone})
+	}
+}
+
+func TestIndependentALUIPCApproachesWidth(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		c := New(DefaultConfig(w))
+		seqALU(c, 20000)
+		ipc := c.IPC()
+		if ipc < float64(w)*0.8 {
+			t.Errorf("width %d: independent ALU IPC %.2f should approach width", w, ipc)
+		}
+		if ipc > float64(w)+0.01 {
+			t.Errorf("width %d: IPC %.2f exceeds issue width", w, ipc)
+		}
+	}
+}
+
+func TestDependentChainIPCIsOne(t *testing.T) {
+	c := New(DefaultConfig(4))
+	for i := 0; i < 10000; i++ {
+		c.Emit(trace.Inst{PC: uint64(i%16) * 4, Class: trace.ALU,
+			Src1: 5, Src2: trace.RegNone, Dst: 5})
+	}
+	if ipc := c.IPC(); ipc > 1.05 {
+		t.Errorf("serial dependence chain IPC %.2f should be ~1", ipc)
+	}
+}
+
+func TestMispredictsThrottle(t *testing.T) {
+	// Alternating-target indirect jumps defeat the BTB.
+	good := New(DefaultConfig(4))
+	seqALU(good, 8000)
+	bad := New(DefaultConfig(4))
+	for i := 0; i < 1000; i++ {
+		for j := 0; j < 7; j++ {
+			bad.Emit(trace.Inst{PC: uint64(j * 4), Class: trace.ALU,
+				Src1: trace.RegNone, Src2: trace.RegNone, Dst: trace.RegNone})
+		}
+		tgt := uint64(0x100)
+		if i%2 == 1 {
+			tgt = 0x200
+		}
+		bad.Emit(trace.Inst{PC: 64, Class: trace.IndirectJump, Target: tgt,
+			Taken: true, Src1: 3, Src2: trace.RegNone, Dst: trace.RegNone})
+	}
+	if bad.IPC() >= good.IPC()*0.8 {
+		t.Errorf("mispredicting stream IPC %.2f should trail clean stream %.2f",
+			bad.IPC(), good.IPC())
+	}
+}
+
+func TestCacheMissesThrottle(t *testing.T) {
+	hit := New(DefaultConfig(4))
+	for i := 0; i < 5000; i++ {
+		hit.Emit(trace.Inst{PC: 0x40, Class: trace.Load, Addr: 0x1000,
+			Src1: trace.RegNone, Src2: trace.RegNone, Dst: uint8(i % 8)})
+	}
+	missy := New(DefaultConfig(4))
+	for i := 0; i < 5000; i++ {
+		// Strided far beyond 64K: every load misses.
+		missy.Emit(trace.Inst{PC: 0x40, Class: trace.Load,
+			Addr: uint64(i) * 4096, Src1: trace.RegNone,
+			Src2: trace.RegNone, Dst: uint8(i % 8)})
+	}
+	if missy.IPC() >= hit.IPC()*0.8 {
+		t.Errorf("missing loads IPC %.2f should be well below hitting %.2f",
+			missy.IPC(), hit.IPC())
+	}
+}
+
+func TestStoreToLoadDependence(t *testing.T) {
+	// A tight store->load chain through one address serializes.
+	chained := New(DefaultConfig(8))
+	for i := 0; i < 4000; i++ {
+		chained.Emit(trace.Inst{PC: 0x10, Class: trace.Store, Addr: 0x5000,
+			Src1: 4, Src2: 4, Dst: trace.RegNone})
+		chained.Emit(trace.Inst{PC: 0x14, Class: trace.Load, Addr: 0x5000,
+			Src1: trace.RegNone, Src2: trace.RegNone, Dst: 4})
+	}
+	free := New(DefaultConfig(8))
+	for i := 0; i < 4000; i++ {
+		free.Emit(trace.Inst{PC: 0x10, Class: trace.Store,
+			Addr: 0x5000 + uint64(i%64)*8, Src1: 4, Src2: 4, Dst: trace.RegNone})
+		free.Emit(trace.Inst{PC: 0x14, Class: trace.Load,
+			Addr: 0x9000 + uint64(i%64)*8, Src1: trace.RegNone,
+			Src2: trace.RegNone, Dst: uint8(16 + i%8)})
+	}
+	if chained.IPC() >= free.IPC()*0.8 {
+		t.Errorf("memory-dependent stream IPC %.2f should trail independent %.2f",
+			chained.IPC(), free.IPC())
+	}
+}
+
+func TestWiderNeverSlower(t *testing.T) {
+	mk := func(w int) uint64 {
+		c := New(DefaultConfig(w))
+		// Mixed realistic stream.
+		for i := 0; i < 5000; i++ {
+			c.Emit(trace.Inst{PC: uint64(i%64) * 4, Class: trace.ALU,
+				Src1: uint8(i % 4), Src2: trace.RegNone, Dst: uint8((i + 1) % 4)})
+			if i%5 == 0 {
+				c.Emit(trace.Inst{PC: 0x400, Class: trace.Load,
+					Addr: uint64(i%128) * 32, Src1: trace.RegNone,
+					Src2: trace.RegNone, Dst: 9})
+			}
+			if i%7 == 0 {
+				c.Emit(trace.Inst{PC: 0x500, Class: trace.Branch, Target: 0x600,
+					Taken: i%14 == 0, Src1: 9, Src2: trace.RegNone, Dst: trace.RegNone})
+			}
+		}
+		return c.Cycles()
+	}
+	c1, c2, c4 := mk(1), mk(2), mk(4)
+	if c2 > c1 || c4 > c2 {
+		t.Errorf("cycles must not grow with width: %d, %d, %d", c1, c2, c4)
+	}
+}
+
+func TestZeroRun(t *testing.T) {
+	c := New(DefaultConfig(4))
+	if c.IPC() != 0 || c.Cycles() != 0 {
+		t.Fatal("empty core should report zeros")
+	}
+	if c.Config().IssueWidth != 4 {
+		t.Fatal("config accessor")
+	}
+}

@@ -1,0 +1,73 @@
+// Package rt defines the control-transfer protocol between the execution
+// engines (interpreter, native CPU) and the mixed-mode trampoline in
+// internal/core.
+//
+// Neither engine recurses into method calls: executing an invoke, return,
+// blocking monitor operation or thread primitive suspends the engine and
+// surfaces a Trap. The trampoline owns all frames, which is what makes
+// mixed interpret/compile execution (the paper's §3 subject) a first-class
+// citizen rather than a special case.
+package rt
+
+import "jrs/internal/bytecode"
+
+// Kind discriminates trap reasons.
+type Kind int
+
+// Trap kinds.
+const (
+	// TrapNone means the quantum expired; reschedule and continue.
+	TrapNone Kind = iota
+	// TrapCall requests invocation of Target with Args (receiver first
+	// for instance methods). The trapping frame has already advanced
+	// past the call site.
+	TrapCall
+	// TrapReturn ends the current frame, optionally carrying Val.
+	TrapReturn
+	// TrapBlock means a monitorenter could not take the lock on Obj;
+	// the instruction will re-execute when the thread wakes.
+	TrapBlock
+	// TrapSpawn requests a new thread running Args[0]'s run() method;
+	// the spawner receives the thread id as the operation's result.
+	TrapSpawn
+	// TrapJoin waits for thread id Args[0] to finish.
+	TrapJoin
+	// TrapYield voluntarily ends the quantum.
+	TrapYield
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TrapNone:
+		return "none"
+	case TrapCall:
+		return "call"
+	case TrapReturn:
+		return "return"
+	case TrapBlock:
+		return "block"
+	case TrapSpawn:
+		return "spawn"
+	case TrapJoin:
+		return "join"
+	case TrapYield:
+		return "yield"
+	}
+	return "unknown"
+}
+
+// Trap is the engine→trampoline message.
+type Trap struct {
+	Kind   Kind
+	Target *bytecode.Method
+	Args   []int64
+	// Val / HasVal carry a return value for TrapReturn.
+	Val    int64
+	HasVal bool
+	// Obj is the monitor object for TrapBlock.
+	Obj uint64
+	// Virtual marks TrapCall sites that dispatched through a vtable
+	// (engine statistics only).
+	Virtual bool
+}

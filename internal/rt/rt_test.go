@@ -1,0 +1,30 @@
+package rt
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		TrapNone:   "none",
+		TrapCall:   "call",
+		TrapReturn: "return",
+		TrapBlock:  "block",
+		TrapSpawn:  "spawn",
+		TrapJoin:   "join",
+		TrapYield:  "yield",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("out-of-range kind")
+	}
+}
+
+func TestZeroTrapIsNone(t *testing.T) {
+	var tr Trap
+	if tr.Kind != TrapNone {
+		t.Fatal("zero trap must mean TrapNone (engines rely on it)")
+	}
+}

@@ -1,0 +1,158 @@
+// Package stats provides the table formatting and small numeric helpers
+// used by the experiment harness to render the paper's tables and figures
+// as text.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept, shorter
+// rows are padded.
+func (t *Table) AddRow(cells ...string) *Table {
+	t.Rows = append(t.Rows, cells)
+	return t
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	cell := func(r []string, i int) string {
+		if i < len(r) {
+			return r[i]
+		}
+		return ""
+	}
+	for i := 0; i < cols; i++ {
+		if i < len(t.Headers) && len(t.Headers[i]) > widths[i] {
+			widths[i] = len(t.Headers[i])
+		}
+		for _, r := range t.Rows {
+			if len(cell(r, i)) > widths[i] {
+				widths[i] = len(cell(r, i))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(r []string) {
+		for i := 0; i < cols; i++ {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell(r, i))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		line(t.Headers)
+		total := 0
+		for i, w := range widths {
+			if i > 0 {
+				total += 2
+			}
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// F2 formats with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// F3 formats with three decimals.
+func F3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Count formats a count with M/K suffixes the way the paper's Table 3
+// reports reference counts.
+func Count(n uint64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%dK", n/1000)
+	default:
+		return fmt.Sprint(n)
+	}
+}
+
+// KB formats a byte count in KB.
+func KB(n uint64) string { return fmt.Sprintf("%dKB", n>>10) }
+
+// Series is a labeled sequence of float values (a figure's line).
+type Series struct {
+	Label  string
+	Points []float64
+}
+
+// Sparkline renders the series as a compact unicode bar strip, giving the
+// text reports a visual for the figure-shaped results.
+func (s Series) Sparkline() string {
+	if len(s.Points) == 0 {
+		return ""
+	}
+	min, max := s.Points[0], s.Points[0]
+	for _, p := range s.Points {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, p := range s.Points {
+		idx := 0
+		if max > min {
+			idx = int((p - min) / (max - min) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

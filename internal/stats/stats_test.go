@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("muchlongername", "22")
+	tb.Note("a note with %d", 5)
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Column 2 should start at the same offset in both rows.
+	i1 := strings.Index(lines[3], "1")
+	i2 := strings.Index(lines[4], "22")
+	if i1 != i2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", i1, i2, out)
+	}
+	if !strings.Contains(out, "a note with 5") {
+		t.Error("note missing")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x")
+	tb.AddRow("y", "z", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Errorf("Pct: %s", Pct(0.1234))
+	}
+	if F2(1.005) == "" || F3(0.5) != "0.500" {
+		t.Error("float formatters")
+	}
+	cases := map[uint64]string{
+		5:          "5",
+		9_999:      "9999",
+		50_000:     "50K",
+		1_500_000:  "1.5M",
+		25_000_000: "25M",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if KB(2048) != "2KB" {
+		t.Errorf("KB: %s", KB(2048))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Series{Points: []float64{0, 1, 2, 3}}
+	sl := s.Sparkline()
+	if len([]rune(sl)) != 4 {
+		t.Fatalf("sparkline runes: %q", sl)
+	}
+	runes := []rune(sl)
+	if runes[0] >= runes[3] {
+		t.Error("sparkline should ascend")
+	}
+	if (Series{}).Sparkline() != "" {
+		t.Error("empty series")
+	}
+	flat := Series{Points: []float64{5, 5, 5}}
+	if len([]rune(flat.Sparkline())) != 3 {
+		t.Error("flat series length")
+	}
+}

@@ -1,0 +1,266 @@
+// Package trace defines the native-instruction event stream that every
+// architectural simulator in this repository consumes.
+//
+// It plays the role Shade played in the paper: each simulated native
+// instruction retired by any execution engine (interpreter templates, JIT
+// translator, JIT-generated code, AOT code) is emitted exactly once as an
+// Inst record to a Sink. Simulators (instruction-mix counters, cache
+// models, branch predictors, the superscalar pipeline) attach as sinks and
+// observe the same stream a hardware tracer would.
+package trace
+
+// Class is the architectural class of a native instruction. The classes
+// mirror the categories the paper reports in its instruction-mix study
+// (Figure 2): ALU, FPU, loads, stores, conditional branches, direct
+// jumps/calls, returns, and register-indirect jumps/calls.
+type Class uint8
+
+const (
+	// ALU is an integer arithmetic/logic instruction.
+	ALU Class = iota
+	// FPU is a floating-point instruction.
+	FPU
+	// Load is a memory read; Inst.Addr holds the effective address.
+	Load
+	// Store is a memory write; Inst.Addr holds the effective address.
+	Store
+	// Branch is a conditional direct branch; Taken and Target are valid.
+	Branch
+	// Jump is an unconditional direct jump; Target is valid.
+	Jump
+	// Call is a direct call; Target is valid.
+	Call
+	// Ret is a function return (indirect transfer through the link
+	// register); Target is valid.
+	Ret
+	// IndirectJump is a register-indirect jump (e.g. the interpreter's
+	// switch dispatch); Target is valid.
+	IndirectJump
+	// IndirectCall is a register-indirect call (e.g. a virtual method
+	// dispatch through a table); Target is valid.
+	IndirectCall
+	// NumClasses is the number of instruction classes.
+	NumClasses
+)
+
+// String returns the lower-case mnemonic name of the class.
+func (c Class) String() string {
+	switch c {
+	case ALU:
+		return "alu"
+	case FPU:
+		return "fpu"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case Jump:
+		return "jump"
+	case Call:
+		return "call"
+	case Ret:
+		return "ret"
+	case IndirectJump:
+		return "ijump"
+	case IndirectCall:
+		return "icall"
+	}
+	return "unknown"
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsControl reports whether the class is a control transfer.
+func (c Class) IsControl() bool { return c >= Branch && c <= IndirectCall }
+
+// IsIndirect reports whether the transfer target comes from a register
+// (unpredictable without a BTB-style structure).
+func (c Class) IsIndirect() bool {
+	return c == Ret || c == IndirectJump || c == IndirectCall
+}
+
+// Phase tags which part of the runtime produced an instruction, so the
+// cache studies can isolate the translate portion of JIT execution the way
+// the paper does in Figure 5.
+type Phase uint8
+
+const (
+	// PhaseExec covers application execution: interpreter dispatch and
+	// handlers, JIT-generated code, AOT code, and runtime services called
+	// on their behalf.
+	PhaseExec Phase = iota
+	// PhaseTranslate covers the JIT translator: bytecode walking, code
+	// generation and installation.
+	PhaseTranslate
+	// PhaseLoad covers class loading and resolution.
+	PhaseLoad
+	// NumPhases is the number of phases.
+	NumPhases
+)
+
+// String returns the name of the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseExec:
+		return "exec"
+	case PhaseTranslate:
+		return "translate"
+	case PhaseLoad:
+		return "load"
+	}
+	return "unknown"
+}
+
+// Inst is one retired native instruction. It carries everything the
+// downstream simulators need: the PC (for the I-cache and predictors), the
+// class, the effective address for memory operations, the control-flow
+// target and outcome, and the architectural registers for dependence
+// modeling in the pipeline simulator.
+type Inst struct {
+	// PC is the address of the instruction itself.
+	PC uint64
+	// Addr is the effective data address for Load/Store.
+	Addr uint64
+	// Target is the (resolved) destination for control transfers.
+	Target uint64
+	// Class is the architectural class.
+	Class Class
+	// Phase tags the producing runtime component.
+	Phase Phase
+	// Taken reports the outcome for conditional branches (always true
+	// for unconditional transfers).
+	Taken bool
+	// Src1, Src2 and Dst are architectural register numbers (RegNone if
+	// unused) used by the pipeline model for dependences.
+	Src1, Src2, Dst uint8
+}
+
+// RegNone marks an unused register slot in an Inst.
+const RegNone uint8 = 0xFF
+
+// Sink receives the instruction stream. Emit is called once per retired
+// instruction in program order per simulated core.
+type Sink interface {
+	Emit(Inst)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Inst)
+
+// Emit calls f(i).
+func (f SinkFunc) Emit(i Inst) { f(i) }
+
+// Discard is a Sink that drops every instruction. Useful for running an
+// engine purely for its architectural side counters.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+// Emit implements Sink by dropping the instruction.
+func (discard) Emit(Inst) {}
+
+// Tee fans the stream out to several sinks in order. A nil entry is
+// skipped. Tee of zero or one sinks collapses to the trivial sink.
+func Tee(sinks ...Sink) Sink {
+	live := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Discard
+	case 1:
+		return live[0]
+	}
+	return &tee{sinks: live}
+}
+
+type tee struct{ sinks []Sink }
+
+// Emit implements Sink, fanning the instruction to every member.
+func (t *tee) Emit(i Inst) {
+	for _, s := range t.sinks {
+		s.Emit(i)
+	}
+}
+
+// Switchable is a Sink whose destination can be swapped mid-run. The
+// harness uses it to exclude phases from measurement — e.g. the AOT
+// ("C/C++-like") configuration precompiles every method while S is nil
+// and only then attaches the simulators, so the measured trace contains
+// pure native execution the way a compiled C program's would.
+type Switchable struct{ S Sink }
+
+// Emit implements Sink.
+func (s *Switchable) Emit(i Inst) {
+	if s.S != nil {
+		s.S.Emit(i)
+	}
+}
+
+// Counter is a Sink that accumulates the instruction-mix statistics the
+// paper reports in Figure 2, split by phase.
+type Counter struct {
+	// Total is the number of instructions observed.
+	Total uint64
+	// ByClass counts instructions per class.
+	ByClass [NumClasses]uint64
+	// ByPhase counts instructions per phase.
+	ByPhase [NumPhases]uint64
+	// ByClassPhase counts instructions per (class, phase).
+	ByClassPhase [NumClasses][NumPhases]uint64
+}
+
+// Emit implements Sink.
+func (c *Counter) Emit(i Inst) {
+	c.Total++
+	c.ByClass[i.Class]++
+	c.ByPhase[i.Phase]++
+	c.ByClassPhase[i.Class][i.Phase]++
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { *c = Counter{} }
+
+// Frac returns the fraction of the stream in class cl, or 0 when empty.
+func (c *Counter) Frac(cl Class) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.ByClass[cl]) / float64(c.Total)
+}
+
+// MemFrac returns the fraction of instructions that access data memory.
+func (c *Counter) MemFrac() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.ByClass[Load]+c.ByClass[Store]) / float64(c.Total)
+}
+
+// ControlFrac returns the fraction of instructions that transfer control.
+func (c *Counter) ControlFrac() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	var n uint64
+	for cl := Branch; cl <= IndirectCall; cl++ {
+		n += c.ByClass[cl]
+	}
+	return float64(n) / float64(c.Total)
+}
+
+// IndirectFrac returns the fraction of instructions that are indirect
+// control transfers (returns, indirect jumps, indirect calls).
+func (c *Counter) IndirectFrac() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	n := c.ByClass[Ret] + c.ByClass[IndirectJump] + c.ByClass[IndirectCall]
+	return float64(n) / float64(c.Total)
+}

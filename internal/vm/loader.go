@@ -1,0 +1,260 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/mem"
+)
+
+// Load registers, links and resolves a program's classes. It assigns
+// class/method ids, lays out bytecode in the class segment (so the
+// interpreter's bytecode reads and the translator's walks touch stable
+// data addresses), computes field slots and vtables, resolves pool
+// references, verifies every method, and emits the class-loading trace
+// that produces the paper's start-of-run miss spikes (Figure 6).
+func (v *VM) Load(classes []*bytecode.Class) error {
+	// Deterministic order: as provided.
+	for _, c := range classes {
+		if _, dup := v.Classes[c.Name]; dup {
+			return fmt.Errorf("load: duplicate class %q", c.Name)
+		}
+		c.ID = len(v.ClassList)
+		v.Classes[c.Name] = c
+		v.ClassList = append(v.ClassList, c)
+	}
+
+	// Resolve supers and build layouts parents-first.
+	var link func(c *bytecode.Class) error
+	linking := make(map[string]bool)
+	link = func(c *bytecode.Class) error {
+		if c.Loaded {
+			return nil
+		}
+		if linking[c.Name] {
+			return fmt.Errorf("load: inheritance cycle at %q", c.Name)
+		}
+		linking[c.Name] = true
+		defer delete(linking, c.Name)
+
+		if c.SuperName != "" {
+			super, ok := v.Classes[c.SuperName]
+			if !ok {
+				return fmt.Errorf("load: %q extends unknown %q", c.Name, c.SuperName)
+			}
+			if err := link(super); err != nil {
+				return err
+			}
+			c.Super = super
+		}
+
+		// Field layout: inherited slots first.
+		if c.Super != nil {
+			c.AllFields = append(c.AllFields, c.Super.AllFields...)
+		}
+		for _, f := range c.Fields {
+			f.Slot = len(c.AllFields)
+			c.AllFields = append(c.AllFields, f)
+		}
+		for i := range c.Statics {
+			c.Statics[i].Slot = i
+		}
+		c.StaticBase = v.staticNext
+		v.staticNext += uint64(len(c.Statics)+1) * 8
+
+		// VTable: inherit, override, extend.
+		if c.Super != nil {
+			c.VTable = append(c.VTable, c.Super.VTable...)
+		}
+		for _, m := range c.Methods {
+			m.Class = c
+			if m.IsStatic() || m.Name == "<init>" {
+				m.VIndex = -1
+				continue
+			}
+			sig := m.Sig.String()
+			slot := -1
+			for i, sm := range c.VTable {
+				if sm.Name == m.Name && sm.Sig.String() == sig {
+					slot = i
+					break
+				}
+			}
+			if slot >= 0 {
+				c.VTable[slot] = m
+				m.VIndex = slot
+			} else {
+				m.VIndex = len(c.VTable)
+				c.VTable = append(c.VTable, m)
+			}
+		}
+		c.Loaded = true
+		return nil
+	}
+	for _, c := range classes {
+		if err := link(c); err != nil {
+			return err
+		}
+	}
+
+	// Assign global method ids first (vtables may reference methods of
+	// classes appearing later in the input order).
+	for _, c := range classes {
+		for _, m := range c.Methods {
+			m.ID = len(v.MethodByID)
+			v.MethodByID = append(v.MethodByID, m)
+		}
+	}
+
+	// Lay out bytecode, verify, resolve pools.
+	for _, c := range classes {
+		for _, m := range c.Methods {
+			m.Addr = v.classNext
+			m.PCOffsets = make([]uint64, len(m.Code))
+			var off uint64
+			for i, ins := range m.Code {
+				m.PCOffsets[i] = off
+				off += ins.Op.Size()
+			}
+			m.CodeBytes = off
+			v.classNext += off
+			// Methods are padded apart the way real method blocks are.
+			v.classNext = (v.classNext + 31) &^ 31
+		}
+		if err := v.resolvePool(c); err != nil {
+			return err
+		}
+		// Materialize the vtable in simulated memory: each slot holds the
+		// implementing method's entry-stub address. Generated virtual
+		// dispatch code loads these words.
+		for vi, m := range c.VTable {
+			v.Mem.Store(VTableEntryAddr(c.ID, vi), int64(StubAddr(m.ID)))
+		}
+		// Materialize the constant pool data: float values, then interned
+		// string references (class loading resolves constants eagerly).
+		c.PoolBase = v.classNext
+		for i, fv := range c.Pool.Floats {
+			v.Mem.Store(c.PoolBase+uint64(i)*8, F2Bits(fv))
+		}
+		strBase := c.PoolBase + uint64(len(c.Pool.Floats))*8
+		for i, sv := range c.Pool.Strings {
+			v.Mem.Store(strBase+uint64(i)*8, int64(v.Intern(sv)))
+		}
+		v.classNext += uint64(len(c.Pool.Floats)+len(c.Pool.Strings)) * 8
+		v.classNext = (v.classNext + 31) &^ 31
+		for _, m := range c.Methods {
+			if err := bytecode.Verify(c, m); err != nil {
+				return err
+			}
+		}
+		v.emitLoadTrace(c)
+	}
+	return nil
+}
+
+// resolvePool fills in the Resolved fields of c's pool references.
+func (v *VM) resolvePool(c *bytecode.Class) error {
+	p := &c.Pool
+	for i := range p.Classes {
+		r := &p.Classes[i]
+		cl, ok := v.Classes[r.Name]
+		if !ok {
+			return fmt.Errorf("resolve %s: unknown class %q", c.Name, r.Name)
+		}
+		r.Resolved = cl
+	}
+	for i := range p.Fields {
+		r := &p.Fields[i]
+		cl, ok := v.Classes[r.Class]
+		if !ok {
+			return fmt.Errorf("resolve %s: field ref to unknown class %q", c.Name, r.Class)
+		}
+		// Instance field search over the resolved layout.
+		found := false
+		for fi := range cl.AllFields {
+			if cl.AllFields[fi].Name == r.Name {
+				r.Resolved = &cl.AllFields[fi]
+				r.Static = false
+				r.Owner = cl
+				found = true
+				break
+			}
+		}
+		if !found {
+			for k := cl; k != nil && !found; k = k.Super {
+				for fi := range k.Statics {
+					if k.Statics[fi].Name == r.Name {
+						r.Resolved = &k.Statics[fi]
+						r.Static = true
+						r.Owner = k
+						found = true
+						break
+					}
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("resolve %s: no field %s.%s", c.Name, r.Class, r.Name)
+		}
+	}
+	for i := range p.Methods {
+		r := &p.Methods[i]
+		cl, ok := v.Classes[r.Class]
+		if !ok {
+			return fmt.Errorf("resolve %s: method ref to unknown class %q", c.Name, r.Class)
+		}
+		var m *bytecode.Method
+		for k := cl; k != nil && m == nil; k = k.Super {
+			m = k.FindMethod(r.Name, r.Sig)
+		}
+		if m == nil {
+			return fmt.Errorf("resolve %s: no method %s.%s%s", c.Name, r.Class, r.Name, r.Sig)
+		}
+		r.Resolved = m
+	}
+	return nil
+}
+
+// emitLoadTrace models the class loader reading the class image and
+// writing runtime metadata.
+func (v *VM) emitLoadTrace(c *bytecode.Class) {
+	s := v.LD.At(pcLoad)
+	// Read the class image (bytecodes + pool) from the class segment,
+	// then run the verifier's sweep over each method body.
+	for _, m := range c.Methods {
+		for off := uint64(0); off < m.CodeBytes; off += 8 {
+			s.Load(m.Addr + off).ALU(2)
+		}
+		ver := v.LD.At(pcLoad + 0x100)
+		for _, off := range m.PCOffsets {
+			ver.Load(m.Addr+off).ALU(5).Branch(true, pcLoad+0x100)
+		}
+		ver.Ret(0)
+	}
+	// Write metadata structures (vtable, field tables) into the VM area.
+	meta := mem.VMBase + 0x200_0000 + uint64(c.ID)*4096
+	words := len(c.VTable) + len(c.AllFields) + 8
+	for i := 0; i < words; i++ {
+		s.ALU(1).Store(meta + uint64(i)*8)
+	}
+	s.Ret(0)
+}
+
+// LookupMain returns the entry method: the static method named "main"
+// with signature ()V or ()I, preferring the class named like the program.
+func (v *VM) LookupMain() (*bytecode.Method, error) {
+	var mains []*bytecode.Method
+	for _, c := range v.ClassList {
+		for _, m := range c.Methods {
+			if m.Name == "main" && m.IsStatic() && len(m.Sig.Params) == 0 {
+				mains = append(mains, m)
+			}
+		}
+	}
+	if len(mains) == 0 {
+		return nil, fmt.Errorf("no static main() found")
+	}
+	sort.Slice(mains, func(i, j int) bool { return mains[i].ID < mains[j].ID })
+	return mains[0], nil
+}

@@ -1,0 +1,116 @@
+package vm
+
+import (
+	"jrs/internal/bytecode"
+	"jrs/internal/mem"
+)
+
+// ThreadState is a green thread's scheduler state.
+type ThreadState int
+
+// Thread lifecycle states.
+const (
+	// ThreadRunnable threads are eligible to be scheduled.
+	ThreadRunnable ThreadState = iota
+	// ThreadBlocked threads wait on a contended monitor (BlockedOn).
+	ThreadBlocked
+	// ThreadJoining threads wait for another thread (JoinOn) to finish.
+	ThreadJoining
+	// ThreadDone threads have completed.
+	ThreadDone
+)
+
+// String names the state.
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadRunnable:
+		return "runnable"
+	case ThreadBlocked:
+		return "blocked"
+	case ThreadJoining:
+		return "joining"
+	case ThreadDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Thread is one green thread. Execution frames are owned by the engine;
+// the VM tracks identity, scheduler state and the simulated stack region.
+type Thread struct {
+	// ID is the 1-based thread id (0 means "no owner" to the monitor
+	// managers, which limits us to 32767 threads per the 15-bit thin-lock
+	// owner field — far more than any workload uses).
+	ID int
+	// State is the scheduler state.
+	State ThreadState
+	// BlockedOn is the monitor object when State is ThreadBlocked.
+	BlockedOn uint64
+	// JoinOn is the awaited thread id when State is ThreadJoining.
+	JoinOn int
+	// Entry and Receiver describe a spawned thread's run() invocation.
+	Entry    *bytecode.Method
+	Receiver uint64
+	// StackTop is the current extent of the thread's simulated stack
+	// (grows upward from its window base); engines use it to place
+	// frames so operand-stack and locals traffic has real addresses.
+	StackTop uint64
+	// MaxStackTop is the high-water mark of StackTop, used by the
+	// memory-footprint study (Table 1).
+	MaxStackTop uint64
+}
+
+// NoteStack updates the stack high-water mark.
+func (t *Thread) NoteStack() {
+	if t.StackTop > t.MaxStackTop {
+		t.MaxStackTop = t.StackTop
+	}
+}
+
+// StackBase returns the base of the thread's simulated stack window.
+func (t *Thread) StackBase() uint64 { return mem.ThreadStackBase(t.ID) }
+
+// NewThread creates a thread; entry may be nil for the main thread.
+func (v *VM) NewThread(entry *bytecode.Method, receiver uint64) *Thread {
+	t := &Thread{
+		ID:       len(v.threads) + 1,
+		Entry:    entry,
+		Receiver: receiver,
+	}
+	t.StackTop = t.StackBase()
+	v.threads = append(v.threads, t)
+	return t
+}
+
+// Threads returns all threads created so far.
+func (v *VM) Threads() []*Thread { return v.threads }
+
+// ThreadByID returns the thread with the given 1-based id, or nil.
+func (v *VM) ThreadByID(id int) *Thread {
+	if id < 1 || id > len(v.threads) {
+		return nil
+	}
+	return v.threads[id-1]
+}
+
+// WakeWaiters moves threads blocked on obj back to runnable; the engine
+// calls this after a monitorexit. Re-acquisition is re-attempted (and
+// re-classified) when the thread is next scheduled.
+func (v *VM) WakeWaiters(obj uint64) {
+	for _, t := range v.threads {
+		if t.State == ThreadBlocked && t.BlockedOn == obj {
+			t.State = ThreadRunnable
+			t.BlockedOn = 0
+		}
+	}
+}
+
+// WakeJoiners moves threads joining on id back to runnable.
+func (v *VM) WakeJoiners(id int) {
+	for _, t := range v.threads {
+		if t.State == ThreadJoining && t.JoinOn == id {
+			t.State = ThreadRunnable
+			t.JoinOn = 0
+		}
+	}
+}

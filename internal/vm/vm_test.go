@@ -1,0 +1,295 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/mem"
+)
+
+func newVM() *VM { return New(nil, nil) }
+
+func mkClass(name, super string, fields []bytecode.Field, methods ...*bytecode.Method) *bytecode.Class {
+	return &bytecode.Class{Name: name, SuperName: super, Fields: fields, Methods: methods}
+}
+
+func mkMethod(name, sig string, flags uint32) *bytecode.Method {
+	s, err := bytecode.ParseSignature(sig)
+	if err != nil {
+		panic(err)
+	}
+	return &bytecode.Method{Name: name, Sig: s, Flags: flags, MaxLocals: 4,
+		Code: []bytecode.Instr{{Op: bytecode.Return}}}
+}
+
+func TestAllocObject(t *testing.T) {
+	v := newVM()
+	c := mkClass("C", "", []bytecode.Field{{Name: "x", Type: bytecode.TInt}})
+	if err := v.Load([]*bytecode.Class{c}); err != nil {
+		t.Fatal(err)
+	}
+	ref := v.AllocObject(c)
+	if v.ClassOf(ref) != c {
+		t.Fatal("header class id")
+	}
+	addr := FieldAddr(ref, 0)
+	v.Mem.Store(addr, 77)
+	if v.Mem.Load(addr) != 77 {
+		t.Fatal("field round trip")
+	}
+	ref2 := v.AllocObject(c)
+	if ref2 == ref {
+		t.Fatal("allocations must not alias")
+	}
+	if v.AllocObjects != 2 {
+		t.Fatalf("alloc count %d", v.AllocObjects)
+	}
+}
+
+func TestAllocArray(t *testing.T) {
+	v := newVM()
+	arr := v.AllocArray(bytecode.KindInt, 10)
+	if v.ArrayKind(arr) != bytecode.KindInt || v.ArrayLen(arr) != 10 {
+		t.Fatal("array header")
+	}
+	if v.ClassOf(arr) != nil {
+		t.Fatal("arrays have no class")
+	}
+	v.Mem.Store(ElemAddr(arr, bytecode.KindInt, 3), 33)
+	if v.Mem.Load(ElemAddr(arr, bytecode.KindInt, 3)) != 33 {
+		t.Fatal("element round trip")
+	}
+	// Char arrays pack bytes.
+	ca := v.AllocArray(bytecode.KindChar, 5)
+	a0 := ElemAddr(ca, bytecode.KindChar, 0)
+	a1 := ElemAddr(ca, bytecode.KindChar, 1)
+	if a1-a0 != 1 {
+		t.Fatalf("char elements should be byte-packed: %d apart", a1-a0)
+	}
+}
+
+func TestBoundsAndNullChecks(t *testing.T) {
+	v := newVM()
+	arr := v.AllocArray(bytecode.KindInt, 4)
+	mustThrow(t, "ArrayIndexOutOfBounds", func() { v.CheckBounds(arr, 4) })
+	mustThrow(t, "ArrayIndexOutOfBounds", func() { v.CheckBounds(arr, -1) })
+	mustThrow(t, "NullPointer", func() { v.CheckBounds(0, 0) })
+	mustThrow(t, "NullPointer", func() { v.CheckNull(0) })
+	mustThrow(t, "NegativeArraySize", func() { v.AllocArray(bytecode.KindInt, -3) })
+	v.CheckBounds(arr, 3) // fine
+}
+
+func mustThrow(t *testing.T, kind string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected %s panic", kind)
+		}
+		e, ok := r.(*Error)
+		if !ok || e.Kind != kind {
+			t.Fatalf("got %v, want kind %s", r, kind)
+		}
+	}()
+	f()
+}
+
+func TestInternAndGoString(t *testing.T) {
+	v := newVM()
+	a := v.Intern("hello")
+	b := v.Intern("hello")
+	if a != b {
+		t.Fatal("intern should cache")
+	}
+	if v.GoString(a) != "hello" {
+		t.Fatalf("round trip %q", v.GoString(a))
+	}
+	if v.GoString(0) != "<null>" {
+		t.Fatal("null string rendering")
+	}
+	if v.Intern("other") == a {
+		t.Fatal("distinct strings collide")
+	}
+}
+
+func TestPrinting(t *testing.T) {
+	v := newVM()
+	v.PrintInt(-42)
+	v.PrintChar(' ')
+	v.PrintFloat(2.5)
+	v.PrintChar(' ')
+	v.PrintString(v.Intern("done"))
+	if got := v.Out.String(); got != "-42 2.5 done" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestFloatBits(t *testing.T) {
+	f := func(x float64) bool {
+		return Bits2F(F2Bits(x)) == x || x != x // NaN allowed to differ via ==
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoaderLinking(t *testing.T) {
+	base := mkClass("Base", "", []bytecode.Field{{Name: "a", Type: bytecode.TInt}},
+		mkMethod("run", "()V", 0), mkMethod("only", "()I", 0))
+	derived := mkClass("Derived", "Base", []bytecode.Field{{Name: "b", Type: bytecode.TInt}},
+		mkMethod("run", "()V", 0))
+	v := newVM()
+	// Derived listed first: ids must still resolve.
+	if err := v.Load([]*bytecode.Class{derived, base}); err != nil {
+		t.Fatal(err)
+	}
+	if derived.Super != base {
+		t.Fatal("super link")
+	}
+	if len(derived.AllFields) != 2 || derived.AllFields[0].Name != "a" {
+		t.Fatalf("field layout %+v", derived.AllFields)
+	}
+	if len(base.VTable) != 2 || len(derived.VTable) != 2 {
+		t.Fatalf("vtable sizes %d, %d", len(base.VTable), len(derived.VTable))
+	}
+	runIdx := base.Methods[0].VIndex
+	if derived.VTable[runIdx] != derived.Methods[0] {
+		t.Fatal("override did not replace vtable slot")
+	}
+	if derived.VTable[base.Methods[1].VIndex] != base.Methods[1] {
+		t.Fatal("inherited method missing")
+	}
+	// The vtable metadata must be materialized with stub addresses.
+	got := uint64(v.Mem.Load(VTableEntryAddr(derived.ID, runIdx)))
+	if got != StubAddr(derived.Methods[0].ID) {
+		t.Fatalf("vtable word %#x", got)
+	}
+}
+
+func TestLoaderErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		classes []*bytecode.Class
+		want    string
+	}{
+		{"dupClass", []*bytecode.Class{mkClass("A", "", nil), mkClass("A", "", nil)}, "duplicate"},
+		{"missingSuper", []*bytecode.Class{mkClass("A", "Nope", nil)}, "unknown"},
+		{"cycle", []*bytecode.Class{mkClass("A", "B", nil), mkClass("B", "A", nil)}, "cycle"},
+	}
+	for _, tc := range cases {
+		v := newVM()
+		err := v.Load(tc.classes)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	c := mkClass("A", "", nil, mkMethod("m", "()V", bytecode.FlagStatic))
+	c.Pool.AddField("A", "missing")
+	v := newVM()
+	if err := v.Load([]*bytecode.Class{c}); err == nil ||
+		!strings.Contains(err.Error(), "no field") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLookupMain(t *testing.T) {
+	v := newVM()
+	c := mkClass("Main", "", nil, mkMethod("main", "()V", bytecode.FlagStatic))
+	if err := v.Load([]*bytecode.Class{c}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := v.LookupMain()
+	if err != nil || m.Name != "main" {
+		t.Fatalf("main: %v %v", m, err)
+	}
+	v2 := newVM()
+	if err := v2.Load([]*bytecode.Class{mkClass("X", "", nil, mkMethod("f", "()V", bytecode.FlagStatic))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.LookupMain(); err == nil {
+		t.Fatal("missing main should error")
+	}
+}
+
+func TestThreads(t *testing.T) {
+	v := newVM()
+	t1 := v.NewThread(nil, 0)
+	t2 := v.NewThread(nil, 0)
+	if t1.ID != 1 || t2.ID != 2 {
+		t.Fatal("thread ids")
+	}
+	if t2.StackBase()-t1.StackBase() != mem.StackSize {
+		t.Fatal("stack windows")
+	}
+	t1.State = ThreadBlocked
+	t1.BlockedOn = 0x40
+	v.WakeWaiters(0x40)
+	if t1.State != ThreadRunnable {
+		t.Fatal("wake waiters")
+	}
+	t2.State = ThreadJoining
+	t2.JoinOn = 1
+	v.WakeJoiners(1)
+	if t2.State != ThreadRunnable {
+		t.Fatal("wake joiners")
+	}
+	if v.ThreadByID(1) != t1 || v.ThreadByID(99) != nil {
+		t.Fatal("thread lookup")
+	}
+	t1.StackTop = t1.StackBase() + 100
+	t1.NoteStack()
+	if t1.MaxStackTop != t1.StackTop {
+		t.Fatal("stack high-water")
+	}
+}
+
+func TestClassObject(t *testing.T) {
+	v := newVM()
+	c := mkClass("A", "", nil)
+	if err := v.Load([]*bytecode.Class{c}); err != nil {
+		t.Fatal(err)
+	}
+	o1 := v.ClassObject(c)
+	o2 := v.ClassObject(c)
+	if o1 != o2 || o1 == 0 {
+		t.Fatal("class object should be cached")
+	}
+	if v.ClassOf(o1) != c {
+		t.Fatal("class object header")
+	}
+}
+
+func TestStubAddressing(t *testing.T) {
+	for _, id := range []int{0, 1, 7, 1000} {
+		if got := MethodIDForStub(StubAddr(id)); got != id {
+			t.Errorf("stub round trip %d -> %d", id, got)
+		}
+	}
+	if MethodIDForStub(0x10) != -1 {
+		t.Error("non-stub address should map to -1")
+	}
+	if MethodIDForStub(StubAddr(3)+4) != -1 {
+		t.Error("misaligned stub address should map to -1")
+	}
+}
+
+func TestSyncObjectsTracking(t *testing.T) {
+	v := newVM()
+	c := mkClass("A", "", nil)
+	if err := v.Load([]*bytecode.Class{c}); err != nil {
+		t.Fatal(err)
+	}
+	ref := v.AllocObject(c)
+	if !v.LockObject(1, ref) {
+		t.Fatal("lock")
+	}
+	v.UnlockObject(1, ref)
+	if len(v.SyncObjects) != 1 {
+		t.Fatal("synced object not recorded")
+	}
+}

@@ -1,0 +1,214 @@
+package workloads
+
+// Compress is the LZW compression stand-in for SpecJVM98 _201_compress.
+func Compress() Workload {
+	return Workload{
+		Name:     "compress",
+		Desc:     "LZW compress + decompress of synthetic text; loop/array heavy, execution-dominated",
+		DefaultN: 14000,
+		BenchN:   3000,
+		Source:   compressSrc,
+	}
+}
+
+const compressSrc = `
+// LZW compression and decompression over a synthetic, self-similar byte
+// stream, mirroring the structure of SpecJVM98 compress: a small set of
+// hot methods invoked enormous numbers of times.
+class Rng {
+	int s;
+	Rng(int seed) { s = seed * 2654435761 + 1; }
+	int next() {
+		s = s ^ (s << 13);
+		s = s ^ (s >>> 7);
+		s = s ^ (s << 17);
+		return s;
+	}
+	int range(int n) {
+		int v = next() % n;
+		if (v < 0) { return v + n; }
+		return v;
+	}
+}
+
+class Dict {
+	// Open-addressed hash of (prefixCode<<9 | ch) -> code.
+	int[] keys;
+	int[] vals;
+	int size;
+	int cap;
+	Dict(int c) {
+		cap = c;
+		keys = new int[c];
+		vals = new int[c];
+		clear();
+	}
+	void clear() {
+		for (int i = 0; i < cap; i = i + 1) { keys[i] = -1; }
+		size = 0;
+	}
+	int find(int key) {
+		int h = (key * 2654435761) % cap;
+		if (h < 0) { h = h + cap; }
+		while (keys[h] != -1) {
+			if (keys[h] == key) { return vals[h]; }
+			h = h + 1;
+			if (h == cap) { h = 0; }
+		}
+		return -1;
+	}
+	void put(int key, int val) {
+		int h = (key * 2654435761) % cap;
+		if (h < 0) { h = h + cap; }
+		while (keys[h] != -1) {
+			h = h + 1;
+			if (h == cap) { h = 0; }
+		}
+		keys[h] = key;
+		vals[h] = val;
+		size = size + 1;
+	}
+}
+
+class Compressor {
+	Dict dict;
+	int nextCode;
+	Compressor() { dict = new Dict(1 << 14); }
+
+	// compress returns the number of codes written into out.
+	sync int compress(char[] data, int[] out) {
+		dict.clear();
+		nextCode = 256;
+		int outN = 0;
+		int prefix = data[0];
+		for (int i = 1; i < data.length; i = i + 1) {
+			int ch = data[i];
+			int key = (prefix << 9) | ch;
+			int code = dict.find(key);
+			if (code != -1) {
+				prefix = code;
+			} else {
+				out[outN] = prefix;
+				outN = outN + 1;
+				if (nextCode < (1 << 14) - 1) {
+					dict.put(key, nextCode);
+					nextCode = nextCode + 1;
+				}
+				prefix = ch;
+			}
+		}
+		out[outN] = prefix;
+		return outN + 1;
+	}
+}
+
+class Decompressor {
+	int[] prefixOf;
+	int[] suffixOf;
+	int nextCode;
+	char[] stack;
+	Decompressor() {
+		prefixOf = new int[1 << 14];
+		suffixOf = new int[1 << 14];
+		stack = new char[1 << 14];
+	}
+
+	// expand writes the decoded bytes of code into buf at pos, returning
+	// the new position.
+	int expand(int code, char[] buf, int pos) {
+		int sp = 0;
+		while (code >= 256) {
+			stack[sp] = suffixOf[code];
+			sp = sp + 1;
+			code = prefixOf[code];
+		}
+		buf[pos] = code;
+		pos = pos + 1;
+		while (sp > 0) {
+			sp = sp - 1;
+			buf[pos] = stack[sp];
+			pos = pos + 1;
+		}
+		return pos;
+	}
+
+	int firstChar(int code) {
+		while (code >= 256) { code = prefixOf[code]; }
+		return code;
+	}
+
+	sync int decompress(int[] codes, int n, char[] buf) {
+		nextCode = 256;
+		int pos = expand(codes[0], buf, 0);
+		int prev = codes[0];
+		for (int i = 1; i < n; i = i + 1) {
+			int code = codes[i];
+			if (code < nextCode) {
+				pos = expand(code, buf, pos);
+			} else {
+				// KwKwK case.
+				int start = pos;
+				pos = expand(prev, buf, pos);
+				buf[pos] = buf[start];
+				pos = pos + 1;
+			}
+			if (nextCode < (1 << 14) - 1) {
+				prefixOf[nextCode] = prev;
+				suffixOf[nextCode] = firstChar(code);
+				nextCode = nextCode + 1;
+			}
+			prev = code;
+		}
+		return pos;
+	}
+}
+
+class Main {
+	static char[] makeData(int n) {
+		Rng rng = new Rng(12345);
+		char[] data = new char[n];
+		// Repetitive phrases with noise: compressible like real text.
+		char[] phrase = "the quick brown fox jumps over the lazy dog ";
+		int pi = 0;
+		for (int i = 0; i < n; i = i + 1) {
+			if (rng.range(20) == 0) {
+				data[i] = 97 + rng.range(26);
+				pi = rng.range(phrase.length);
+			} else {
+				data[i] = phrase[pi];
+				pi = pi + 1;
+				if (pi == phrase.length) { pi = 0; }
+			}
+		}
+		return data;
+	}
+
+	static void main() {
+		int n = Startup.begin("size=@N", "compress");
+		char[] data = makeData(n);
+		int[] codes = new int[n + 1];
+		char[] back = new char[n + (1 << 14)];
+		Compressor comp = new Compressor();
+		Decompressor dec = new Decompressor();
+
+		int totalCodes = 0;
+		int check = 0;
+		// Three passes, like the benchmark's repeated file set.
+		for (int pass = 0; pass < 3; pass = pass + 1) {
+			int nc = comp.compress(data, codes);
+			totalCodes = totalCodes + nc;
+			int m = dec.decompress(codes, nc, back);
+			if (m != data.length) { Sys.print("LENGTH MISMATCH"); return; }
+			for (int i = 0; i < m; i = i + 1) {
+				if (back[i] != data[i]) { Sys.print("DATA MISMATCH"); return; }
+				check = (check * 31 + back[i]) % 1000000007;
+			}
+		}
+		Sys.print("codes=");
+		Sys.printi(totalCodes);
+		Sys.print(" check=");
+		Sys.printi(check);
+		Sys.printc(10);
+	}
+}
+`

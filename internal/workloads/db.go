@@ -1,0 +1,266 @@
+package workloads
+
+// DB is the in-memory database stand-in for _209_db.
+func DB() Workload {
+	return Workload{
+		Name:     "db",
+		Desc:     "in-memory database: add/find/delete/sort over records with string keys; data reuse on a small database",
+		DefaultN: 50,
+		BenchN:   25,
+		Source:   dbSrc,
+	}
+}
+
+const dbSrc = `
+// An address-database workload like SpecJVM98 db: a modest database,
+// repeatedly probed, mutated and sorted, with string-keyed records. The
+// paper notes db spends a comparatively large fraction of JIT time in
+// translation (methods are many and short-lived in value) and benefits
+// from reuse of a small database.
+class Record {
+	char[] name;
+	char[] city;
+	int balance;
+	Record(char[] n, char[] c, int b) { name = n; city = c; balance = b; }
+}
+
+class Str {
+	// cmp orders two char arrays lexicographically.
+	static int cmp(char[] a, char[] b) {
+		int n = a.length;
+		if (b.length < n) { n = b.length; }
+		for (int i = 0; i < n; i = i + 1) {
+			if (a[i] < b[i]) { return 0 - 1; }
+			if (a[i] > b[i]) { return 1; }
+		}
+		if (a.length < b.length) { return 0 - 1; }
+		if (a.length > b.length) { return 1; }
+		return 0;
+	}
+	static int eq(char[] a, char[] b) {
+		if (a.length != b.length) { return 0; }
+		for (int i = 0; i < a.length; i = i + 1) {
+			if (a[i] != b[i]) { return 0; }
+		}
+		return 1;
+	}
+}
+
+class Database {
+	Record[] recs;
+	int n;
+	int probes;
+	Database(int cap) { recs = new Record[cap]; }
+
+	sync void add(Record r) {
+		recs[n] = r;
+		n = n + 1;
+	}
+
+	// find returns the index of the record with the name, or -1 (linear
+	// scan, like the original's sequential search).
+	sync int find(char[] name) {
+		for (int i = 0; i < n; i = i + 1) {
+			probes = probes + 1;
+			if (Str.eq(recs[i].name, name) == 1) { return i; }
+		}
+		return 0 - 1;
+	}
+
+	sync void remove(int idx) {
+		n = n - 1;
+		recs[idx] = recs[n];
+		recs[n] = null;
+	}
+
+	// sort shell-sorts by name.
+	sync void sort() {
+		int gap = n / 2;
+		while (gap > 0) {
+			for (int i = gap; i < n; i = i + 1) {
+				Record tmp = recs[i];
+				int j = i;
+				while (j >= gap && Str.cmp(recs[j - gap].name, tmp.name) > 0) {
+					recs[j] = recs[j - gap];
+					j = j - gap;
+				}
+				recs[j] = tmp;
+			}
+			gap = gap / 2;
+		}
+	}
+}
+
+// Index keeps record positions sorted by name for binary-search lookups
+// (rebuilt after mutation bursts, like the original's sorted views).
+class Index {
+	Database db;
+	int[] order;
+	int n;
+	int dirty;
+	Index(Database d) { db = d; order = new int[d.recs.length]; }
+	void markDirty() { dirty = 1; }
+	void rebuild() {
+		n = db.n;
+		for (int i = 0; i < n; i = i + 1) { order[i] = i; }
+		// Insertion sort of positions by record name.
+		for (int i = 1; i < n; i = i + 1) {
+			int pos = order[i];
+			int j = i;
+			while (j > 0 && Str.cmp(db.recs[order[j - 1]].name, db.recs[pos].name) > 0) {
+				order[j] = order[j - 1];
+				j = j - 1;
+			}
+			order[j] = pos;
+		}
+		dirty = 0;
+	}
+	// search returns a record position by name via binary search, or -1.
+	int search(char[] name) {
+		if (dirty == 1) { rebuild(); }
+		int lo = 0;
+		int hi = n - 1;
+		while (lo <= hi) {
+			int mid = (lo + hi) / 2;
+			int c = Str.cmp(db.recs[order[mid]].name, name);
+			if (c == 0) { return order[mid]; }
+			if (c < 0) { lo = mid + 1; } else { hi = mid - 1; }
+		}
+		return 0 - 1;
+	}
+}
+
+// Query is a tiny command interpreter over "f<name>", "a<idx>", "d<name>",
+// "s" command strings, standing in for the benchmark's scripted operation
+// stream.
+class Query {
+	Database db;
+	Index idx;
+	Record[] pool;
+	int found;
+	int check;
+	Query(Database d, Index ix, Record[] p) { db = d; idx = ix; pool = p; }
+	int nameOf(char[] cmd, char[] out) {
+		int n = cmd.length - 1;
+		for (int i = 0; i < n; i = i + 1) { out[i] = cmd[i + 1]; }
+		return n;
+	}
+	void exec(int kind, int arg) {
+		if (kind == 0) {
+			// Indexed lookup.
+			int at = idx.search(pool[arg].name);
+			if (at >= 0) {
+				found = found + 1;
+				check = (check + db.recs[at].balance) % 1000000007;
+			}
+		} else if (kind == 1) {
+			if (db.n < db.recs.length - 1) {
+				db.add(pool[arg]);
+				idx.markDirty();
+			}
+		} else if (kind == 2) {
+			int at = db.find(pool[arg].name);
+			if (at >= 0 && db.n > 40) {
+				db.remove(at);
+				idx.markDirty();
+			}
+		} else {
+			db.sort();
+			idx.markDirty();
+			check = (check + db.recs[0].balance) % 1000000007;
+		}
+	}
+}
+
+// Report renders summary statistics (one-shot output formatting, the kind
+// of run-once code an ideal translate heuristic should interpret).
+class Report {
+	static int digitsOf(int v) {
+		int d = 1;
+		while (v >= 10) { v = v / 10; d = d + 1; }
+		return d;
+	}
+	static void pad(int width, int v) {
+		int d = digitsOf(v);
+		for (int i = d; i < width; i = i + 1) { Sys.printc(' '); }
+		Sys.printi(v);
+	}
+	static void line(char[] label, int v) {
+		Sys.print(label);
+		pad(10, v);
+		Sys.printc(10);
+	}
+	static int balanceHistogram(Database db) {
+		int[] buckets = new int[10];
+		for (int i = 0; i < db.n; i = i + 1) {
+			int b = db.recs[i].balance / 10000;
+			if (b > 9) { b = 9; }
+			buckets[b] = buckets[b] + 1;
+		}
+		int nonEmpty = 0;
+		for (int i = 0; i < 10; i = i + 1) {
+			if (buckets[i] > 0) { nonEmpty = nonEmpty + 1; }
+		}
+		return nonEmpty;
+	}
+}
+
+class Rng {
+	int s;
+	Rng(int seed) { s = seed * 2654435761 + 1; }
+	int next() {
+		s = s ^ (s << 13);
+		s = s ^ (s >>> 7);
+		s = s ^ (s << 17);
+		return s;
+	}
+	int range(int n) {
+		int v = next() % n;
+		if (v < 0) { return v + n; }
+		return v;
+	}
+}
+
+class Main {
+	static char[] makeName(Rng rng, int len) {
+		char[] s = new char[len];
+		for (int i = 0; i < len; i = i + 1) {
+			s[i] = 97 + rng.range(26);
+		}
+		return s;
+	}
+
+	static void main() {
+		int ops = Startup.begin("size=@N", "db");
+		Rng rng = new Rng(4242);
+		Database db = new Database(400);
+		// Names are drawn from a fixed pool so lookups hit.
+		Record[] pool = new Record[120];
+		for (int i = 0; i < pool.length; i = i + 1) {
+			pool[i] = new Record(makeName(rng, 8 + rng.range(8)),
+				makeName(rng, 6), rng.range(100000));
+		}
+		// Pre-populate.
+		for (int i = 0; i < 90; i = i + 1) {
+			db.add(pool[i]);
+		}
+
+		Index index = new Index(db);
+		index.markDirty();
+		Query q = new Query(db, index, pool);
+		for (int op = 0; op < ops; op = op + 1) {
+			int what = rng.range(100);
+			int kind;
+			if (what < 55) { kind = 0; }
+			else if (what < 75) { kind = 1; }
+			else if (what < 90) { kind = 2; }
+			else { kind = 3; }
+			q.exec(kind, rng.range(pool.length));
+		}
+		Report.line("found=", q.found);
+		Report.line("probes=", db.probes);
+		Report.line("buckets=", Report.balanceHistogram(db));
+		Report.line("check=", q.check);
+	}
+}
+`

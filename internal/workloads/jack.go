@@ -1,0 +1,164 @@
+package workloads
+
+// Jack is the parser-generator stand-in for _228_jack.
+func Jack() Workload {
+	return Workload{
+		Name:     "jack",
+		Desc:     "repeated lexical scanning and pattern matching over synthetic text; call-heavy scanner loops",
+		DefaultN: 8,
+		BenchN:   3,
+		Source:   jackSrc,
+	}
+}
+
+const jackSrc = `
+// Jack was a parser generator repeatedly processing its own grammar; the
+// dominant behaviour is scanning text and matching patterns with many
+// short method calls. This stand-in tokenizes a synthetic grammar file
+// many times and searches for production patterns, accumulating token
+// statistics.
+class Scanner {
+	char[] text;
+	int pos;
+	int line;
+	Scanner(char[] t) { text = t; }
+	void reset() { pos = 0; line = 1; }
+	int peek() {
+		if (pos >= text.length) { return 0 - 1; }
+		return text[pos];
+	}
+	int isAlpha(int c) {
+		if (c >= 'a' && c <= 'z') { return 1; }
+		if (c >= 'A' && c <= 'Z') { return 1; }
+		return 0;
+	}
+	int isDigit(int c) {
+		if (c >= '0' && c <= '9') { return 1; }
+		return 0;
+	}
+	int isSpace(int c) {
+		if (c == ' ' || c == 10 || c == 9) { return 1; }
+		return 0;
+	}
+	// next returns a token kind: 0 eof, 1 ident, 2 number, 3 punct.
+	sync int next() {
+		while (isSpace(peek()) == 1) {
+			if (peek() == 10) { line = line + 1; }
+			pos = pos + 1;
+		}
+		int c = peek();
+		if (c < 0) { return 0; }
+		if (isAlpha(c) == 1) {
+			while (isAlpha(peek()) == 1 || isDigit(peek()) == 1) {
+				pos = pos + 1;
+			}
+			return 1;
+		}
+		if (isDigit(c) == 1) {
+			while (isDigit(peek()) == 1) { pos = pos + 1; }
+			return 2;
+		}
+		pos = pos + 1;
+		return 3;
+	}
+}
+
+class Matcher {
+	// countPattern counts (possibly overlapping) occurrences of pat.
+	static int countPattern(char[] text, char[] pat) {
+		int count = 0;
+		int n = text.length - pat.length;
+		for (int i = 0; i <= n; i = i + 1) {
+			int ok = 1;
+			for (int j = 0; j < pat.length; j = j + 1) {
+				if (text[i + j] != pat[j]) { ok = 0; break; }
+			}
+			if (ok == 1) { count = count + 1; }
+		}
+		return count;
+	}
+}
+
+class Rng {
+	int s;
+	Rng(int seed) { s = seed * 2654435761 + 1; }
+	sync int next() {
+		s = s ^ (s << 13);
+		s = s ^ (s >>> 7);
+		s = s ^ (s << 17);
+		return s;
+	}
+	int range(int n) {
+		int v = next() % n;
+		if (v < 0) { return v + n; }
+		return v;
+	}
+}
+
+class Main {
+	// makeGrammar synthesizes a grammar-like text.
+	static char[] makeGrammar(int rules) {
+		Rng rng = new Rng(5150);
+		char[] kw = "expr term factor ident number token rule produces ";
+		char[] buf = new char[rules * 64];
+		int pos = 0;
+		for (int r = 0; r < rules; r = r + 1) {
+			// "name NNN : body body ;\n"
+			int start = rng.range(kw.length - 8);
+			for (int i = 0; i < 6; i = i + 1) {
+				int ch = kw[start + i];
+				if (ch == ' ') { ch = 'x'; }
+				buf[pos] = ch;
+				pos = pos + 1;
+			}
+			buf[pos] = ' '; pos = pos + 1;
+			buf[pos] = '0' + rng.range(10); pos = pos + 1;
+			buf[pos] = ':'; pos = pos + 1;
+			int parts = 2 + rng.range(4);
+			for (int p = 0; p < parts; p = p + 1) {
+				buf[pos] = ' '; pos = pos + 1;
+				int w = rng.range(kw.length - 7);
+				for (int i = 0; i < 5; i = i + 1) {
+					int ch = kw[w + i];
+					if (ch == ' ') { ch = 'y'; }
+					buf[pos] = ch;
+					pos = pos + 1;
+				}
+			}
+			buf[pos] = ';'; pos = pos + 1;
+			buf[pos] = 10; pos = pos + 1;
+		}
+		char[] text = new char[pos];
+		for (int i = 0; i < pos; i = i + 1) { text[i] = buf[i]; }
+		return text;
+	}
+
+	static void main() {
+		int passes = Startup.begin("size=@N", "jack");
+		char[] text = makeGrammar(160);
+		Scanner sc = new Scanner(text);
+		int[] kinds = new int[4];
+		int check = 0;
+		for (int p = 0; p < passes; p = p + 1) {
+			sc.reset();
+			int k = sc.next();
+			while (k != 0) {
+				kinds[k] = kinds[k] + 1;
+				k = sc.next();
+			}
+			check = (check + sc.line) % 1000000007;
+			check = (check * 31 + Matcher.countPattern(text, "term")) % 1000000007;
+			check = (check * 31 + Matcher.countPattern(text, "rule")) % 1000000007;
+		}
+		Sys.print("idents=");
+		Sys.printi(kinds[1]);
+		Sys.print(" nums=");
+		Sys.printi(kinds[2]);
+		Sys.print(" punct=");
+		Sys.printi(kinds[3]);
+		Sys.print(" check=");
+		Sys.printi(check);
+		Sys.printc(10);
+	}
+}
+`

@@ -1,0 +1,324 @@
+package workloads
+
+// Javac is the compiler stand-in for _213_javac.
+func Javac() Workload {
+	return Workload{
+		Name:     "javac",
+		Desc:     "expression compiler: lexer, recursive-descent parser, code emitter, evaluator; many short methods",
+		DefaultN: 120,
+		BenchN:   30,
+		Source:   javacSrc,
+	}
+}
+
+const javacSrc = `
+// A miniature compiler compiled repeatedly over generated sources: lex,
+// parse (recursive descent), emit stack code, then execute it — the same
+// shape as running javac over many files. Compiler workloads have many
+// small methods and irregular control flow, which is why the paper sees
+// javac spend a large share of JIT time in translation and why its
+// translate-phase cache behaviour resembles its execution phase.
+class Tok {
+	int kind;  // 0 num, 1 ident, 2 op, 3 eof
+	int value; // number value or ident id or op char
+	Tok(int k, int v) { kind = k; value = v; }
+}
+
+class Lexer {
+	char[] src;
+	int pos;
+	int count;
+	Lexer(char[] s) { src = s; }
+	int peek() {
+		if (pos >= src.length) { return 0 - 1; }
+		return src[pos];
+	}
+	int isDigit(int c) {
+		if (c >= '0' && c <= '9') { return 1; }
+		return 0;
+	}
+	int isAlpha(int c) {
+		if (c >= 'a' && c <= 'z') { return 1; }
+		return 0;
+	}
+	Tok next() {
+		while (peek() == ' ') { pos = pos + 1; }
+		int c = peek();
+		count = count + 1;
+		if (c < 0) { return new Tok(3, 0); }
+		if (isDigit(c) == 1) {
+			int v = 0;
+			while (isDigit(peek()) == 1) {
+				v = v * 10 + (peek() - '0');
+				pos = pos + 1;
+			}
+			return new Tok(0, v);
+		}
+		if (isAlpha(c) == 1) {
+			int id = 0;
+			while (isAlpha(peek()) == 1) {
+				id = (id * 26 + (peek() - 'a')) % 8;
+				pos = pos + 1;
+			}
+			return new Tok(1, id);
+		}
+		pos = pos + 1;
+		return new Tok(2, c);
+	}
+}
+
+// Stack code opcodes emitted by the parser.
+class Code {
+	int[] ops;   // 0 pushnum, 1 pushvar, 2 add, 3 sub, 4 mul, 5 div
+	int[] args;
+	int n;
+	Code(int cap) { ops = new int[cap]; args = new int[cap]; }
+	sync void emit(int op, int arg) {
+		ops[n] = op;
+		args[n] = arg;
+		n = n + 1;
+	}
+}
+
+class Parser {
+	Lexer lex;
+	Tok cur;
+	Code code;
+	int errs;
+	Parser(char[] src, Code out) {
+		lex = new Lexer(src);
+		code = out;
+		cur = lex.next();
+	}
+	void advance() { cur = lex.next(); }
+	int eat(int opChar) {
+		if (cur.kind == 2 && cur.value == opChar) { advance(); return 1; }
+		errs = errs + 1;
+		return 0;
+	}
+	// expr := term (('+'|'-') term)*
+	void expr() {
+		term();
+		while (cur.kind == 2 && (cur.value == '+' || cur.value == '-')) {
+			int op = cur.value;
+			advance();
+			term();
+			if (op == '+') { code.emit(2, 0); } else { code.emit(3, 0); }
+		}
+	}
+	// term := factor (('*'|'/') factor)*
+	void term() {
+		factor();
+		while (cur.kind == 2 && (cur.value == '*' || cur.value == '/')) {
+			int op = cur.value;
+			advance();
+			factor();
+			if (op == '*') { code.emit(4, 0); } else { code.emit(5, 0); }
+		}
+	}
+	// factor := num | ident | '(' expr ')'
+	void factor() {
+		if (cur.kind == 0) {
+			code.emit(0, cur.value);
+			advance();
+			return;
+		}
+		if (cur.kind == 1) {
+			code.emit(1, cur.value);
+			advance();
+			return;
+		}
+		if (eat('(') == 1) {
+			expr();
+			eat(')');
+			return;
+		}
+		advance();
+	}
+}
+
+class Evaluator {
+	int[] stack;
+	int[] vars;
+	Evaluator() {
+		stack = new int[128];
+		vars = new int[8];
+		for (int i = 0; i < 8; i = i + 1) { vars[i] = i * 3 + 1; }
+	}
+	int run(Code c) {
+		int sp = 0;
+		for (int i = 0; i < c.n; i = i + 1) {
+			int op = c.ops[i];
+			if (op == 0) {
+				stack[sp] = c.args[i];
+				sp = sp + 1;
+			} else if (op == 1) {
+				stack[sp] = vars[c.args[i]];
+				sp = sp + 1;
+			} else {
+				sp = sp - 1;
+				int b = stack[sp];
+				int a = stack[sp - 1];
+				int r = 0;
+				if (op == 2) { r = a + b; }
+				else if (op == 3) { r = a - b; }
+				else if (op == 4) { r = a * b; }
+				else {
+					if (b == 0) { b = 1; }
+					r = a / b;
+				}
+				stack[sp - 1] = r;
+			}
+		}
+		return stack[0];
+	}
+}
+
+// Folder is a peephole constant folder over the stack code: the classic
+// optimizer pass (pushnum pushnum binop -> pushnum).
+class Folder {
+	int folded;
+	// fold rewrites c in place, returning the new length.
+	int fold(Code c) {
+		int w = 0;
+		for (int r = 0; r < c.n; r = r + 1) {
+			int op = c.ops[r];
+			if (op >= 2 && w >= 2 && c.ops[w - 1] == 0 && c.ops[w - 2] == 0) {
+				int b = c.args[w - 1];
+				int a = c.args[w - 2];
+				int v = 0;
+				if (op == 2) { v = a + b; }
+				else if (op == 3) { v = a - b; }
+				else if (op == 4) { v = a * b; }
+				else {
+					if (b == 0) { b = 1; }
+					v = a / b;
+				}
+				w = w - 2;
+				c.ops[w] = 0;
+				c.args[w] = v;
+				w = w + 1;
+				folded = folded + 1;
+			} else {
+				c.ops[w] = c.ops[r];
+				c.args[w] = c.args[r];
+				w = w + 1;
+			}
+		}
+		c.n = w;
+		return w;
+	}
+}
+
+// SymTab tracks per-variable reference counts across the compilation,
+// like a compiler's symbol table statistics.
+class SymTab {
+	int[] uses;
+	int distinct;
+	SymTab() { uses = new int[8]; }
+	sync void note(Code c) {
+		for (int i = 0; i < c.n; i = i + 1) {
+			if (c.ops[i] == 1) {
+				int id = c.args[i];
+				if (uses[id] == 0) { distinct = distinct + 1; }
+				uses[id] = uses[id] + 1;
+			}
+		}
+	}
+	int hot() {
+		int best = 0;
+		for (int i = 1; i < 8; i = i + 1) {
+			if (uses[i] > uses[best]) { best = i; }
+		}
+		return best;
+	}
+}
+
+class Gen {
+	// Generates a random expression source string.
+	int s;
+	Gen(int seed) { s = seed * 2654435761 + 1; }
+	int next() {
+		s = s ^ (s << 13);
+		s = s ^ (s >>> 7);
+		s = s ^ (s << 17);
+		return s;
+	}
+	int range(int n) {
+		int v = next() % n;
+		if (v < 0) { return v + n; }
+		return v;
+	}
+	// fill writes an expression of the given nesting depth; returns pos.
+	int fill(char[] buf, int pos, int depth) {
+		if (depth == 0 || range(3) == 0) {
+			if (range(2) == 0) {
+				// number
+				int digits = 1 + range(3);
+				for (int i = 0; i < digits; i = i + 1) {
+					buf[pos] = '0' + range(10);
+					pos = pos + 1;
+				}
+			} else {
+				int len = 1 + range(4);
+				for (int i = 0; i < len; i = i + 1) {
+					buf[pos] = 'a' + range(26);
+					pos = pos + 1;
+				}
+			}
+			return pos;
+		}
+		buf[pos] = '(';
+		pos = pos + 1;
+		pos = fill(buf, pos, depth - 1);
+		char[] opsChars = "+-*/";
+		buf[pos] = opsChars[range(4)];
+		pos = pos + 1;
+		pos = fill(buf, pos, depth - 1);
+		buf[pos] = ')';
+		pos = pos + 1;
+		return pos;
+	}
+}
+
+class Main {
+	static void main() {
+		int files = Startup.begin("size=@N", "javac");
+		Gen gen = new Gen(9001);
+		char[] buf = new char[4096];
+		int check = 0;
+		int toks = 0;
+		int emitted = 0;
+		Evaluator ev = new Evaluator();
+		Folder folder = new Folder();
+		SymTab syms = new SymTab();
+		for (int f = 0; f < files; f = f + 1) {
+			int len = gen.fill(buf, 0, 5);
+			char[] src = new char[len];
+			for (int i = 0; i < len; i = i + 1) { src[i] = buf[i]; }
+			Code code = new Code(512);
+			Parser p = new Parser(src, code);
+			p.expr();
+			toks = toks + p.lex.count;
+			int before = ev.run(code);
+			syms.note(code);
+			folder.fold(code);
+			emitted = emitted + code.n;
+			int after = ev.run(code);
+			if (before != after) { Sys.print("FOLD MISMATCH"); return; }
+			check = (check * 31 + after + p.errs) % 1000000007;
+		}
+		Sys.print("toks=");
+		Sys.printi(toks);
+		Sys.print(" code=");
+		Sys.printi(emitted);
+		Sys.print(" folded=");
+		Sys.printi(folder.folded);
+		Sys.print(" hotvar=");
+		Sys.printi(syms.hot());
+		Sys.print(" check=");
+		Sys.printi(check);
+		Sys.printc(10);
+	}
+}
+`

@@ -1,0 +1,233 @@
+package workloads
+
+// Jess is the forward-chaining rule-engine stand-in for _202_jess.
+func Jess() Workload {
+	return Workload{
+		Name:     "jess",
+		Desc:     "forward-chaining rule engine over a fact base; allocation- and virtual-call-rich",
+		DefaultN: 70,
+		BenchN:   30,
+		Source:   jessSrc,
+	}
+}
+
+const jessSrc = `
+// A small expert-system shell: facts are (kind, a, b) triples in a
+// linked working memory; rules are subclasses of Rule whose fire()
+// methods match fact patterns and assert new facts until fixpoint —
+// the same inference archetype as SpecJVM98 jess, with the virtual
+// dispatch and allocation behaviour the paper attributes to it.
+class Fact {
+	int kind;
+	int a;
+	int b;
+	Fact next;
+	Fact(int k, int x, int y) { kind = k; a = x; b = y; }
+}
+
+class Memory {
+	Fact head;
+	int count;
+	// Hash set of (kind,a,b) triples for O(1) duplicate detection (the
+	// alpha memory of a real Rete network).
+	int[] keys;
+	Memory() { keys = new int[1 << 13]; }
+	int keyOf(int k, int x, int y) { return (k << 16) | (x << 8) | y; }
+	// exists tests for an exact triple.
+	sync int exists(int k, int x, int y) {
+		int key = keyOf(k, x, y) + 1;
+		int h = (key * 2654435761) % keys.length;
+		if (h < 0) { h = h + keys.length; }
+		while (keys[h] != 0) {
+			if (keys[h] == key) { return 1; }
+			h = h + 1;
+			if (h == keys.length) { h = 0; }
+		}
+		return 0;
+	}
+	// assertFact adds the triple if new, returning 1 on change.
+	sync int assertFact(int k, int x, int y) {
+		if (exists(k, x, y) == 1) { return 0; }
+		int key = keyOf(k, x, y) + 1;
+		int h = (key * 2654435761) % keys.length;
+		if (h < 0) { h = h + keys.length; }
+		while (keys[h] != 0) {
+			h = h + 1;
+			if (h == keys.length) { h = 0; }
+		}
+		keys[h] = key;
+		Fact f = new Fact(k, x, y);
+		f.next = head;
+		head = f;
+		count = count + 1;
+		return 1;
+	}
+	Fact first(int k) {
+		Fact f = head;
+		while (f != null) {
+			if (f.kind == k) { return f; }
+			f = f.next;
+		}
+		return null;
+	}
+}
+
+class Rule {
+	Memory mem;
+	int fires;
+	Rule(Memory m) { mem = m; }
+	// fire scans working memory once; returns 1 if anything changed.
+	int fire() { return 0; }
+}
+
+// parent(x,y) & parent(y,z) => grandparent(x,z)
+class Transitive extends Rule {
+	int from;
+	int to;
+	Transitive(Memory m, int k1, int k2) { super(m); from = k1; to = k2; }
+	int fire() {
+		int changed = 0;
+		Fact f = mem.head;
+		while (f != null) {
+			if (f.kind == from) {
+				Fact g = mem.head;
+				while (g != null) {
+					if (g.kind == from && g.a == f.b) {
+						if (mem.assertFact(to, f.a, g.b) == 1) {
+							changed = 1;
+							fires = fires + 1;
+						}
+					}
+					g = g.next;
+				}
+			}
+			f = f.next;
+		}
+		return changed;
+	}
+}
+
+// rel(x,y) => rel(y,x)
+class Symmetric extends Rule {
+	int kind;
+	Symmetric(Memory m, int k) { super(m); kind = k; }
+	int fire() {
+		int changed = 0;
+		Fact f = mem.head;
+		while (f != null) {
+			if (f.kind == kind) {
+				if (mem.assertFact(kind, f.b, f.a) == 1) {
+					changed = 1;
+					fires = fires + 1;
+				}
+			}
+			f = f.next;
+		}
+		return changed;
+	}
+}
+
+// a(x,y) => b(x, y mod 7)
+class Project extends Rule {
+	int from;
+	int to;
+	Project(Memory m, int k1, int k2) { super(m); from = k1; to = k2; }
+	int fire() {
+		int changed = 0;
+		Fact f = mem.head;
+		while (f != null) {
+			if (f.kind == from) {
+				if (mem.assertFact(to, f.a, f.b % 7) == 1) {
+					changed = 1;
+					fires = fires + 1;
+				}
+			}
+			f = f.next;
+		}
+		return changed;
+	}
+}
+
+// b(x,k) & b(y,k) & x<y => c(x,y)
+class JoinRule extends Rule {
+	int from;
+	int to;
+	JoinRule(Memory m, int k1, int k2) { super(m); from = k1; to = k2; }
+	int fire() {
+		int changed = 0;
+		Fact f = mem.head;
+		while (f != null) {
+			if (f.kind == from) {
+				Fact g = mem.head;
+				while (g != null) {
+					if (g.kind == from && g.b == f.b && f.a < g.a) {
+						if (mem.assertFact(to, f.a, g.a) == 1) {
+							changed = 1;
+							fires = fires + 1;
+						}
+					}
+					g = g.next;
+				}
+			}
+			f = f.next;
+		}
+		return changed;
+	}
+}
+
+class Rng {
+	int s;
+	Rng(int seed) { s = seed * 2654435761 + 1; }
+	int next() {
+		s = s ^ (s << 13);
+		s = s ^ (s >>> 7);
+		s = s ^ (s << 17);
+		return s;
+	}
+	int range(int n) {
+		int v = next() % n;
+		if (v < 0) { return v + n; }
+		return v;
+	}
+}
+
+class Main {
+	static void main() {
+		int n = Startup.begin("size=@N", "jess");
+		Memory mem = new Memory();
+		Rng rng = new Rng(777);
+		// Seed facts: kind 1 = parent relation over a small universe.
+		for (int i = 0; i < n; i = i + 1) {
+			mem.assertFact(1, rng.range(18), rng.range(18));
+		}
+		Rule[] rules = new Rule[4];
+		rules[0] = new Transitive(mem, 1, 2);
+		rules[1] = new Symmetric(mem, 2);
+		rules[2] = new Project(mem, 2, 3);
+		rules[3] = new JoinRule(mem, 3, 4);
+
+		// Run to fixpoint.
+		int rounds = 0;
+		int changed = 1;
+		while (changed == 1 && rounds < 60) {
+			changed = 0;
+			for (int i = 0; i < rules.length; i = i + 1) {
+				if (rules[i].fire() == 1) { changed = 1; }
+			}
+			rounds = rounds + 1;
+		}
+
+		int totalFires = 0;
+		for (int i = 0; i < rules.length; i = i + 1) {
+			totalFires = totalFires + rules[i].fires;
+		}
+		Sys.print("facts=");
+		Sys.printi(mem.count);
+		Sys.print(" fires=");
+		Sys.printi(totalFires);
+		Sys.print(" rounds=");
+		Sys.printi(rounds);
+		Sys.printc(10);
+	}
+}
+`

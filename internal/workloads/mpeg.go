@@ -1,0 +1,158 @@
+package workloads
+
+// Mpeg is the audio-decoder stand-in for _222_mpegaudio.
+func Mpeg() Workload {
+	return Workload{
+		Name:     "mpeg",
+		Desc:     "subband synthesis DSP kernel: FPU-heavy windowed filterbank with recurrence-built tables",
+		DefaultN: 90,
+		BenchN:   25,
+		Source:   mpegSrc,
+	}
+}
+
+const mpegSrc = `
+// A polyphase subband synthesis filterbank — the hot kernel of an MPEG
+// audio decoder — run over synthetic subband samples. Like the real
+// benchmark it is dominated by floating-point multiply-accumulate over
+// small coefficient tables with near-total method reuse; the paper notes
+// its clustered JIT translation happens once up front, after which the
+// same compiled kernels run for the whole input.
+class Tables {
+	float[] cosTab;  // 64x32 matrixing table, flattened
+	float[] window;  // 512-tap synthesis window
+	Tables() {
+		cosTab = new float[2048];
+		window = new float[512];
+		build();
+	}
+	void build() {
+		// cos((2i+1)*k*pi/64) built by the Chebyshev recurrence
+		// cos(n t) = 2 cos t cos((n-1)t) - cos((n-2)t) per row.
+		for (int i = 0; i < 64; i = i + 1) {
+			float t = 0.049087385 * (2 * i + 1); // (2i+1)*pi/64
+			float c1 = cosApprox(t);
+			float cPrev = 1.0;
+			float cCur = c1;
+			for (int k = 0; k < 32; k = k + 1) {
+				if (k == 0) {
+					cosTab[i * 32] = 1.0;
+				} else {
+					cosTab[i * 32 + k] = cCur;
+					float cNext = 2.0 * c1 * cCur - cPrev;
+					cPrev = cCur;
+					cCur = cNext;
+				}
+			}
+		}
+		// Kaiser-ish window built from a smooth polynomial bump.
+		for (int i = 0; i < 512; i = i + 1) {
+			float x = (i - 256.0) / 256.0;
+			float b = 1.0 - x * x;
+			window[i] = b * b * (0.5 + 0.5 * b);
+		}
+	}
+	// cosApprox evaluates cos via an 8-term Taylor series after range
+	// reduction into [-pi, pi] (inputs are small multiples of pi/64).
+	float cosApprox(float x) {
+		if (x < 0.0) { x = 0.0 - x; }
+		while (x > 6.283185307) { x = x - 6.283185307; }
+		if (x > 3.141592653) { x = 6.283185307 - x; x = 0.0 - x; }
+		if (x < 0.0) { x = 0.0 - x; }
+		float x2 = x * x;
+		float term = 1.0;
+		float sum = 1.0;
+		float sign = 0.0 - 1.0;
+		for (int k = 1; k <= 8; k = k + 1) {
+			term = term * x2 / ((2 * k - 1) * (2 * k));
+			sum = sum + sign * term;
+			sign = 0.0 - sign;
+		}
+		return sum;
+	}
+}
+
+class Synth {
+	Tables tabs;
+	float[] v;     // 1024-sample FIFO vector
+	int vOff;
+	float[] pcm;   // 32 output samples per granule
+	Synth(Tables t) {
+		tabs = t;
+		v = new float[1024];
+		pcm = new float[32];
+	}
+
+	// granule runs one 32-sample synthesis step from subband samples s.
+	sync void granule(float[] s) {
+		// Shift the vector by 64 (circular).
+		vOff = vOff - 64;
+		if (vOff < 0) { vOff = vOff + 1024; }
+		// Matrixing: v[i] = sum_k cos[i][k] * s[k].
+		for (int i = 0; i < 64; i = i + 1) {
+			float sum = 0.0;
+			int row = i * 32;
+			for (int k = 0; k < 32; k = k + 1) {
+				sum = sum + tabs.cosTab[row + k] * s[k];
+			}
+			v[(vOff + i) % 1024] = sum;
+		}
+		// Windowed FIR: 16 taps per output sample.
+		for (int j = 0; j < 32; j = j + 1) {
+			float sum = 0.0;
+			for (int t = 0; t < 16; t = t + 1) {
+				int vi = (vOff + j + (t << 6)) % 1024;
+				int wi = j + (t << 5);
+				if (wi >= 512) { wi = wi - 512; }
+				sum = sum + v[vi] * tabs.window[wi];
+			}
+			pcm[j] = sum;
+		}
+	}
+}
+
+class Rng {
+	int s;
+	Rng(int seed) { s = seed * 2654435761 + 1; }
+	int next() {
+		s = s ^ (s << 13);
+		s = s ^ (s >>> 7);
+		s = s ^ (s << 17);
+		return s;
+	}
+	int range(int n) {
+		int v = next() % n;
+		if (v < 0) { return v + n; }
+		return v;
+	}
+}
+
+class Main {
+	static void main() {
+		int frames = Startup.begin("size=@N", "mpeg");
+		Tables tabs = new Tables();
+		Synth left = new Synth(tabs);
+		Synth right = new Synth(tabs);
+		Rng rng = new Rng(321);
+		float[] s = new float[32];
+		float acc = 0.0;
+		for (int f = 0; f < frames; f = f + 1) {
+			// Synthetic subband samples: decaying random spectrum.
+			for (int k = 0; k < 32; k = k + 1) {
+				float amp = 1.0 / (1 + k);
+				s[k] = amp * (rng.range(2000) - 1000) / 1000.0;
+			}
+			left.granule(s);
+			right.granule(s);
+			for (int j = 0; j < 32; j = j + 1) {
+				acc = acc + left.pcm[j] * left.pcm[j] + right.pcm[j] * right.pcm[j];
+			}
+		}
+		// Quantize the energy for a stable integer checksum.
+		int check = (int)(acc * 1000.0);
+		Sys.print("energy=");
+		Sys.printi(check);
+		Sys.printc(10);
+	}
+}
+`

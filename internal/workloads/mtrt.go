@@ -1,0 +1,185 @@
+package workloads
+
+// Mtrt is the multithreaded ray tracer stand-in for _227_mtrt.
+func Mtrt() Workload {
+	return Workload{
+		Name:          "mtrt",
+		Desc:          "two-thread ray tracer over a sphere scene; float-heavy with synchronized progress tracking",
+		DefaultN:      48,
+		BenchN:        16,
+		Multithreaded: true,
+		Source:        mtrtSrc,
+	}
+}
+
+const mtrtSrc = `
+// A small Whitted-style ray tracer rendering a sphere scene with two
+// worker threads (the only multithreaded SpecJVM98 program). Workers
+// share a synchronized progress counter, generating the contended and
+// uncontended monitor traffic studied in the paper's synchronization
+// section.
+class Vec {
+	float x; float y; float z;
+	Vec(float a, float b, float c) { x = a; y = b; z = c; }
+}
+
+class FMath {
+	// sqrt by Newton iteration.
+	static float sqrt(float v) {
+		if (v <= 0.0) { return 0.0; }
+		float x = v;
+		if (x > 1.0) { x = v / 2.0; } else { x = 1.0; }
+		for (int i = 0; i < 12; i = i + 1) {
+			x = 0.5 * (x + v / x);
+		}
+		return x;
+	}
+}
+
+class Sphere {
+	float cx; float cy; float cz;
+	float r;
+	float shade;
+	Sphere(float a, float b, float c, float rad, float s) {
+		cx = a; cy = b; cz = c; r = rad; shade = s;
+	}
+	// intersect returns the ray parameter t of the nearest hit, or -1.
+	// Ray: origin o, unit direction d.
+	float intersect(Vec o, Vec d) {
+		float ox = o.x - cx;
+		float oy = o.y - cy;
+		float oz = o.z - cz;
+		float b = ox * d.x + oy * d.y + oz * d.z;
+		float c = ox * ox + oy * oy + oz * oz - r * r;
+		float disc = b * b - c;
+		if (disc < 0.0) { return 0.0 - 1.0; }
+		float sq = FMath.sqrt(disc);
+		float t = (0.0 - b) - sq;
+		if (t > 0.001) { return t; }
+		t = (0.0 - b) + sq;
+		if (t > 0.001) { return t; }
+		return 0.0 - 1.0;
+	}
+}
+
+class Scene {
+	Sphere[] spheres;
+	int n;
+	Scene(int cap) { spheres = new Sphere[cap]; }
+	void add(Sphere s) {
+		spheres[n] = s;
+		n = n + 1;
+	}
+	// trace returns a brightness in [0,255] for the ray, with one
+	// reflection bounce.
+	int trace(Vec o, Vec d, int depth) {
+		float best = 1000000.0;
+		Sphere hit = null;
+		for (int i = 0; i < n; i = i + 1) {
+			float t = spheres[i].intersect(o, d);
+			if (t > 0.0 && t < best) { best = t; hit = spheres[i]; }
+		}
+		if (hit == null) {
+			// Sky gradient.
+			float g = 0.5 * (d.y + 1.0);
+			return (int)(40.0 + 60.0 * g);
+		}
+		// Hit point and normal.
+		float px = o.x + best * d.x;
+		float py = o.y + best * d.y;
+		float pz = o.z + best * d.z;
+		float nx = (px - hit.cx) / hit.r;
+		float ny = (py - hit.cy) / hit.r;
+		float nz = (pz - hit.cz) / hit.r;
+		// Light from a fixed direction.
+		float lx = 0.577; float ly = 0.577; float lz = 0.0 - 0.577;
+		float diff = nx * lx + ny * ly + nz * lz;
+		if (diff < 0.0) { diff = 0.0; }
+		float val = hit.shade * (40.0 + 170.0 * diff);
+		if (depth > 0) {
+			// Reflect d about the normal and recurse.
+			float dn = d.x * nx + d.y * ny + d.z * nz;
+			Vec rd = new Vec(d.x - 2.0 * dn * nx, d.y - 2.0 * dn * ny,
+				d.z - 2.0 * dn * nz);
+			Vec ro = new Vec(px + 0.01 * rd.x, py + 0.01 * rd.y, pz + 0.01 * rd.z);
+			int refl = trace(ro, rd, depth - 1);
+			val = 0.75 * val + 0.25 * refl;
+		}
+		int iv = (int)val;
+		if (iv > 255) { iv = 255; }
+		if (iv < 0) { iv = 0; }
+		return iv;
+	}
+}
+
+class Progress {
+	int rows;
+	int contended;
+	sync void rowDone() { rows = rows + 1; }
+	sync int get() { return rows; }
+}
+
+class Worker {
+	Scene scene;
+	Progress prog;
+	int[] image;
+	int width; int height;
+	int yFrom; int yTo;
+	int sum;
+	Worker(Scene s, Progress p, int[] img, int w, int h, int y0, int y1) {
+		scene = s; prog = p; image = img;
+		width = w; height = h; yFrom = y0; yTo = y1;
+	}
+	void run() {
+		Vec origin = new Vec(0.0, 0.5, 0.0 - 3.0);
+		for (int y = yFrom; y < yTo; y = y + 1) {
+			for (int x = 0; x < width; x = x + 1) {
+				float fx = (2.0 * x - width) / width;
+				float fy = (height - 2.0 * y) / height;
+				// Direction (fx, fy, 1) normalized.
+				float len = FMath.sqrt(fx * fx + fy * fy + 1.0);
+				Vec d = new Vec(fx / len, fy / len, 1.0 / len);
+				int v = scene.trace(origin, d, 2);
+				image[y * width + x] = v;
+				sum = sum + v;
+			}
+			prog.rowDone();
+		}
+	}
+}
+
+class Main {
+	static void main() {
+		int size = Startup.begin("size=@N", "mtrt");
+		int width = size;
+		int height = size;
+		Scene scene = new Scene(8);
+		scene.add(new Sphere(0.0, 0.5, 1.0, 1.0, 1.0));
+		scene.add(new Sphere(0.0 - 1.6, 0.2, 0.4, 0.5, 0.8));
+		scene.add(new Sphere(1.5, 0.3, 0.2, 0.6, 0.9));
+		scene.add(new Sphere(0.0, 0.0 - 100.5, 1.0, 100.0, 0.6));
+
+		int[] image = new int[width * height];
+		Progress prog = new Progress();
+		int half = height / 2;
+		Worker w1 = new Worker(scene, prog, image, width, height, 0, half);
+		Worker w2 = new Worker(scene, prog, image, width, height, half, height);
+		int t1 = Sys.spawn(w1);
+		int t2 = Sys.spawn(w2);
+		Sys.join(t1);
+		Sys.join(t2);
+
+		int check = 0;
+		for (int i = 0; i < image.length; i = i + 1) {
+			check = (check * 31 + image[i]) % 1000000007;
+		}
+		Sys.print("rows=");
+		Sys.printi(prog.get());
+		Sys.print(" sum=");
+		Sys.printi(w1.sum + w2.sum);
+		Sys.print(" check=");
+		Sys.printi(check);
+		Sys.printc(10);
+	}
+}
+`

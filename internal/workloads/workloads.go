@@ -1,0 +1,102 @@
+// Package workloads defines the eight benchmark programs standing in for
+// SpecJVM98 (s1 data sizes): hello, compress, jess, db, javac, mpeg, mtrt
+// and jack. Each is written in MiniJava and compiled to bytecode at
+// construction time, mirroring the computational archetype the paper's
+// workload of the same name exercises:
+//
+//	compress  - LZW-style compression/decompression over synthetic data;
+//	            tight loops over arrays, heavy method reuse, execution-
+//	            dominated (translation cost amortizes fully).
+//	jess      - forward-chaining rule engine with a class hierarchy of
+//	            rules; allocation-rich, virtual-call-rich.
+//	db        - in-memory database of records: add/find/sort with string
+//	            comparisons; data reuse over a small database.
+//	javac     - a small expression compiler (lexer, recursive-descent
+//	            parser, code emitter, stack evaluator); many short
+//	            methods, compiler-shaped control flow.
+//	mpeg      - fixed-point/float subband synthesis DSP kernel with
+//	            recurrence-generated coefficient tables; FPU-heavy.
+//	mtrt      - a small ray tracer rendering with two worker threads that
+//	            share a synchronized progress counter.
+//	jack      - repeated lexical scanning of synthetic text; call-heavy
+//	            scanner loops, pattern counting.
+//	hello     - trivial startup program (class loading behaviour).
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/minijava"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name is the SpecJVM98-style short name.
+	Name string
+	// Desc summarizes what it exercises.
+	Desc string
+	// Source is the MiniJava program with "@N" standing for the scale
+	// parameter.
+	Source string
+	// DefaultN is the s1-equivalent scale; BenchN is a reduced scale for
+	// Go benchmark iterations.
+	DefaultN int
+	BenchN   int
+	// Multithreaded marks workloads that spawn threads (mtrt).
+	Multithreaded bool
+}
+
+// Classes compiles the workload at scale n (n <= 0 selects DefaultN).
+func (w Workload) Classes(n int) []*bytecode.Class {
+	if n <= 0 {
+		n = w.DefaultN
+	}
+	src := strings.ReplaceAll(w.Source, "@N", fmt.Sprint(n)) + libSrc
+	classes, err := minijava.Compile(w.Name+".mj", src)
+	if err != nil {
+		panic(fmt.Sprintf("workload %s does not compile: %v", w.Name, err))
+	}
+	return classes
+}
+
+// All returns the workloads in the paper's reporting order.
+func All() []Workload {
+	return []Workload{
+		Compress(), Jess(), DB(), Javac(), Mpeg(), Mtrt(), Jack(), Hello(),
+	}
+}
+
+// Seven returns the seven SpecJVM98 stand-ins (everything except hello).
+func Seven() []Workload { return All()[:7] }
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Hello is the trivial startup workload.
+func Hello() Workload {
+	return Workload{
+		Name:     "hello",
+		Desc:     "trivial startup program; isolates class loading and system initialization",
+		DefaultN: 1,
+		BenchN:   1,
+		Source: `
+class Main {
+	static void main() {
+		int n = Startup.begin("size=@N", "hello");
+		if (n > 0) {
+			Sys.print("Hello, world");
+			Sys.printc(10);
+		}
+	}
+}`,
+	}
+}
