@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"testing"
 
@@ -20,9 +21,43 @@ import (
 	"jrs/internal/workloads"
 )
 
+var (
+	benchParallel = flag.Int("parallel", 0, "workers for BenchmarkGridParallel (0 = GOMAXPROCS)")
+	benchCachedir = flag.String("cachedir", "", "result-cache directory for the grid benchmarks")
+)
+
 func benchOpts() harness.Options {
 	return harness.Options{Quick: os.Getenv("JRS_FULL") == ""}
 }
+
+// benchGrid regenerates the full experiment grid on a runner with the
+// given worker count. Compare BenchmarkGridSerial vs
+// BenchmarkGridParallel (e.g. with benchstat) for the parallel speedup;
+// on a >=4-core machine the parallel run should be >=2x faster.
+func benchGrid(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Workers: workers}
+		if *benchCachedir != "" {
+			c, err := harness.OpenResultCache(*benchCachedir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Cache = c
+		}
+		if _, err := harness.RunAllWith(benchOpts(), r, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Simulated()), "cells-simulated/op")
+		b.ReportMetric(float64(r.CacheHits()), "cache-hits/op")
+	}
+}
+
+// BenchmarkGridSerial regenerates every figure and table on one worker.
+func BenchmarkGridSerial(b *testing.B) { benchGrid(b, 1) }
+
+// BenchmarkGridParallel regenerates every figure and table on -parallel
+// workers (default GOMAXPROCS).
+func BenchmarkGridParallel(b *testing.B) { benchGrid(b, *benchParallel) }
 
 // BenchmarkFig1 regenerates the translate/execute breakdown and oracle.
 func BenchmarkFig1(b *testing.B) {

@@ -9,15 +9,18 @@
 //
 // Flags:
 //
-//	-scale N    override every workload's input size (0 = default)
-//	-quick      use each workload's reduced benchmark scale
-//	-mode M     execution mode for `run` (interp, jit, aot, opt)
-//	-w names    comma-separated workload subset for experiments
+//	-scale N      override every workload's input size (0 = default)
+//	-quick        use each workload's reduced benchmark scale
+//	-mode M       execution mode for `run` (interp, jit, aot, opt)
+//	-w names      comma-separated workload subset for experiments
+//	-parallel N   simulation workers (0 = GOMAXPROCS, 1 = serial)
+//	-cachedir D   persist per-cell results under D and reuse them on re-runs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,16 +30,29 @@ import (
 )
 
 func main() {
-	scale := flag.Int("scale", 0, "workload input scale (0 = workload default)")
-	quick := flag.Bool("quick", false, "use reduced benchmark scales")
-	mode := flag.String("mode", "jit", "execution mode for `run`: interp, jit, aot, opt")
-	wsel := flag.String("w", "", "comma-separated workload subset")
-	flag.Usage = usage
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() < 1 {
-		usage()
-		os.Exit(2)
+// run is the testable entry point: it parses args, executes the
+// requested command writing reports to stdout and progress to stderr,
+// and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jrs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 0, "workload input scale (0 = workload default)")
+	quick := fs.Bool("quick", false, "use reduced benchmark scales")
+	mode := fs.String("mode", "jit", "execution mode for `run`: interp, jit, aot, opt")
+	wsel := fs.String("w", "", "comma-separated workload subset")
+	parallel := fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	cachedir := fs.String("cachedir", "", "directory for the persistent result cache (empty = no cache)")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return 2
 	}
 
 	opts := harness.Options{Scale: *scale, Quick: *quick}
@@ -44,57 +60,86 @@ func main() {
 		for _, name := range strings.Split(*wsel, ",") {
 			w, ok := workloads.ByName(strings.TrimSpace(name))
 			if !ok {
-				fatalf("unknown workload %q", name)
+				fmt.Fprintf(stderr, "jrs: unknown workload %q\n", name)
+				return 1
 			}
 			opts.Workloads = append(opts.Workloads, w)
 		}
 	}
 
-	cmd := flag.Arg(0)
+	runner := &harness.Runner{Workers: *parallel}
+	if *cachedir != "" {
+		cache, err := harness.OpenResultCache(*cachedir)
+		if err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 1
+		}
+		runner.Cache = cache
+	}
+	runner.Progress = func(key harness.CellKey, cached bool) {
+		tag := "sim"
+		if cached {
+			tag = "cache"
+		}
+		fmt.Fprintf(stderr, "  [%s] %s\n", tag, key)
+	}
+
+	cmd := fs.Arg(0)
 	switch cmd {
 	case "list":
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, e := range harness.Experiments() {
-			fmt.Printf("  %-17s %s\n", e.Name, e.Desc)
+			fmt.Fprintf(stdout, "  %-17s %s\n", e.Name, e.Desc)
 		}
-		fmt.Println("\nworkloads:")
+		fmt.Fprintln(stdout, "\nworkloads:")
 		for _, w := range workloads.All() {
-			fmt.Printf("  %-9s (default n=%d)  %s\n", w.Name, w.DefaultN, w.Desc)
+			fmt.Fprintf(stdout, "  %-9s (default n=%d)  %s\n", w.Name, w.DefaultN, w.Desc)
 		}
 
 	case "all":
-		out, err := harness.RunAll(opts, func(name string) {
-			fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		out, err := harness.RunAllWith(opts, runner, func(e harness.Experiment) {
+			fmt.Fprintf(stderr, "planning %s...\n", e.Name)
 		})
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 1
 		}
-		fmt.Print(out)
+		fmt.Fprintf(stderr, "done: %d cells simulated, %d from cache\n",
+			runner.Simulated(), runner.CacheHits())
+		fmt.Fprint(stdout, out)
 
 	case "run":
-		if flag.NArg() < 2 {
-			fatalf("run requires a workload name")
+		if fs.NArg() < 2 {
+			fmt.Fprintln(stderr, "jrs: run requires a workload name")
+			return 1
 		}
-		runWorkload(flag.Arg(1), *mode, opts)
+		return runWorkload(fs.Arg(1), *mode, opts, stdout, stderr)
 
 	default:
 		exp, ok := harness.Lookup(cmd)
 		if !ok {
-			fatalf("unknown experiment %q (try `jrs list`)", cmd)
+			fmt.Fprintf(stderr, "jrs: unknown experiment %q\n\nregistered experiments:\n", cmd)
+			for _, name := range harness.Names() {
+				fmt.Fprintf(stderr, "  %s\n", name)
+			}
+			return 2
 		}
-		fmt.Fprintf(os.Stderr, "running %s...\n", exp.Name)
-		r, err := exp.Run(opts)
+		fmt.Fprintf(stderr, "running %s...\n", exp.Name)
+		r, err := exp.RunWith(opts, runner)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 1
 		}
-		fmt.Print(r.Render())
+		fmt.Fprint(stdout, r.Render())
 	}
+	return 0
 }
 
-func runWorkload(name, modeName string, opts harness.Options) {
+func runWorkload(name, modeName string, opts harness.Options, stdout, stderr io.Writer) int {
 	w, ok := workloads.ByName(name)
 	if !ok {
-		fatalf("unknown workload %q", name)
+		fmt.Fprintf(stderr, "jrs: unknown workload %q\n", name)
+		return 1
 	}
 	scale := opts.Scale
 	if opts.Quick && scale == 0 {
@@ -113,20 +158,23 @@ func runWorkload(name, modeName string, opts harness.Options) {
 	case "opt":
 		e, _, err = harness.RunOracle(w, scale)
 	default:
-		fatalf("unknown mode %q", modeName)
+		fmt.Fprintf(stderr, "jrs: unknown mode %q\n", modeName)
+		return 1
 	}
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "jrs: %v\n", err)
+		return 1
 	}
-	fmt.Print(e.VM.Out.String())
+	fmt.Fprint(stdout, e.VM.Out.String())
 	exec, translate, load := e.PhaseInstrs()
-	fmt.Printf("\n[%s/%s] instructions: total=%d exec=%d translate=%d load=%d translations=%d footprint=%dKB\n",
+	fmt.Fprintf(stdout, "\n[%s/%s] instructions: total=%d exec=%d translate=%d load=%d translations=%d footprint=%dKB\n",
 		w.Name, modeName, e.TotalInstrs(), exec, translate, load,
 		e.JIT.Translations, e.FootprintBytes()>>10)
+	return 0
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `jrs — architectural studies of Java runtime systems (HPCA 2000 reproduction)
+func usage(fs *flag.FlagSet, stderr io.Writer) {
+	fmt.Fprintf(stderr, `jrs — architectural studies of Java runtime systems (HPCA 2000 reproduction)
 
 usage:
   jrs [flags] list
@@ -136,10 +184,5 @@ usage:
 
 flags:
 `)
-	flag.PrintDefaults()
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "jrs: "+format+"\n", args...)
-	os.Exit(1)
+	fs.PrintDefaults()
 }

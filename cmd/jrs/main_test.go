@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jrs/internal/harness"
+)
+
+// TestUnknownExperiment checks the CLI exits non-zero and lists every
+// registered experiment when given a bogus name.
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"fig99"}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("run(fig99) exit code = 0, want non-zero")
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown experiment "fig99"`) {
+		t.Errorf("stderr missing unknown-experiment message:\n%s", msg)
+	}
+	for _, name := range harness.Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr usage listing missing experiment %q", name)
+		}
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty on error: %q", out.String())
+	}
+}
+
+// TestUnknownWorkload checks -w validation.
+func TestUnknownWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-w", "nosuch", "fig1"}, &out, &errb); code == 0 {
+		t.Fatalf("run(-w nosuch) exit code = 0, want non-zero")
+	}
+	if !strings.Contains(errb.String(), `unknown workload "nosuch"`) {
+		t.Errorf("stderr = %q, want unknown-workload message", errb.String())
+	}
+}
+
+// TestNoArgsUsage checks the bare invocation prints usage and fails.
+func TestNoArgsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("run() exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Errorf("stderr missing usage text:\n%s", errb.String())
+	}
+}
+
+// TestList checks the list subcommand succeeds and names experiments.
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(list) exit code = %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"fig1", "fig11", "ablate-tiered", "workloads:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+// TestExperimentParallelMatchesSerial runs one small experiment through
+// the CLI serially and with 8 workers and requires byte-identical
+// stdout.
+func TestExperimentParallelMatchesSerial(t *testing.T) {
+	var serial, par, errb bytes.Buffer
+	if code := run([]string{"-quick", "-w", "hello", "-parallel", "1", "fig1"}, &serial, &errb); code != 0 {
+		t.Fatalf("serial run failed (%d): %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-quick", "-w", "hello", "-parallel", "8", "fig1"}, &par, &errb); code != 0 {
+		t.Fatalf("parallel run failed (%d): %s", code, errb.String())
+	}
+	if serial.String() != par.String() {
+		t.Errorf("parallel stdout differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), par.String())
+	}
+}
+
+// TestCachedirReuse runs the same experiment twice with a cache
+// directory and requires identical stdout plus cache-hit progress on
+// the second run.
+func TestCachedirReuse(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-quick", "-w", "hello", "-cachedir", dir, "fig1"}
+	var first, second, errb1, errb2 bytes.Buffer
+	if code := run(args, &first, &errb1); code != 0 {
+		t.Fatalf("first run failed (%d): %s", code, errb1.String())
+	}
+	if code := run(args, &second, &errb2); code != 0 {
+		t.Fatalf("second run failed (%d): %s", code, errb2.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("cached stdout differs from fresh stdout")
+	}
+	if !strings.Contains(errb2.String(), "[cache]") {
+		t.Errorf("second run shows no cache hits:\n%s", errb2.String())
+	}
+}

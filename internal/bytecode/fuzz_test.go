@@ -1,0 +1,71 @@
+package bytecode
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzParseSignature checks the signature grammar's round-trip: any
+// accepted string must be exactly the canonical rendering of its parse,
+// and re-parsing that rendering must succeed.
+func FuzzParseSignature(f *testing.F) {
+	for _, s := range []string{"()V", "(I)I", "(IIA)F", "(F)A", "(", "()", "(X)V", "()X", "(V)V", "())V"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sig, err := ParseSignature(s)
+		if err != nil {
+			return
+		}
+		out := sig.String()
+		if out != s {
+			t.Fatalf("accepted %q but canonical form is %q", s, out)
+		}
+		back, err := ParseSignature(out)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", out, err)
+		}
+		if back.String() != out {
+			t.Fatalf("re-parse of %q renders %q", out, back.String())
+		}
+	})
+}
+
+// FuzzAsm drives the assembler with a byte program (emit, label, branch
+// actions) and checks the resolution invariant: whenever Assemble
+// succeeds, every branch's A operand is a valid instruction index.
+// Duplicate or undefined labels must surface as errors, never panics.
+func FuzzAsm(f *testing.F) {
+	f.Add([]byte{2, 0, 3, 0, 1, 7})
+	f.Add([]byte{3, 1, 0, 0, 2, 1, 3, 1})
+	f.Add([]byte{2, 2, 2, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := NewAsm()
+		branchOps := []Op{Goto, IfEq, IfNe, IfICmpLt, IfACmpEq, IfNonNull}
+		for i := 0; i+1 < len(data); i += 2 {
+			arg := data[i+1]
+			label := fmt.Sprintf("L%d", arg%8)
+			switch data[i] % 4 {
+			case 0:
+				a.Emit(Nop)
+			case 1:
+				a.I(IConst, int32(arg))
+			case 2:
+				a.Label(label)
+			case 3:
+				a.Branch(branchOps[int(arg)%len(branchOps)], label)
+			}
+		}
+		a.Emit(Return)
+		code, err := a.Assemble()
+		if err != nil {
+			return // duplicate or undefined label: a rejection, not a bug
+		}
+		for i, ins := range code {
+			if ins.Op.IsBranch() && (ins.A < 0 || int(ins.A) >= len(code)) {
+				t.Errorf("instr %d: branch target %d out of range [0,%d)", i, ins.A, len(code))
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"jrs/internal/bytecode"
 )
@@ -100,9 +101,19 @@ func (r *reader) str() string {
 		r.err = fmt.Errorf("classfile: string length %d too large", n)
 		return ""
 	}
-	b := make([]byte, n)
-	_, r.err = io.ReadFull(r.r, b)
-	return string(b)
+	// Grow the buffer as bytes actually arrive instead of trusting the
+	// declared length: a corrupt 4-byte header must not reserve
+	// megabytes before the (truncated) payload fails to materialize.
+	var sb strings.Builder
+	sb.Grow(capHint(n, 64<<10))
+	if _, err := io.CopyN(&sb, r.r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = err
+		return ""
+	}
+	return sb.String()
 }
 
 // Write serializes classes to w.
@@ -194,7 +205,7 @@ func Read(in io.Reader) ([]*bytecode.Class, error) {
 	if n > 1<<20 {
 		return nil, fmt.Errorf("classfile: implausible class count %d", n)
 	}
-	classes := make([]*bytecode.Class, 0, n)
+	classes := make([]*bytecode.Class, 0, capHint(n, 256))
 	for i := uint32(0); i < n; i++ {
 		c, err := readClass(r)
 		if err != nil {
@@ -262,7 +273,7 @@ func readClass(r *reader) (*bytecode.Class, error) {
 		if nc > 1<<24 {
 			return nil, fmt.Errorf("classfile: %s.%s: implausible code size %d", c.Name, name, nc)
 		}
-		m.Code = make([]bytecode.Instr, 0, nc)
+		m.Code = make([]bytecode.Instr, 0, capHint(nc, 4096))
 		for j := uint32(0); j < nc && r.err == nil; j++ {
 			m.Code = append(m.Code, bytecode.Instr{
 				Op: bytecode.Op(r.u8()),
@@ -273,6 +284,17 @@ func readClass(r *reader) (*bytecode.Class, error) {
 		c.Methods = append(c.Methods, m)
 	}
 	return c, r.err
+}
+
+// capHint bounds a declared element count before it is trusted as an
+// allocation size: a few header bytes must not reserve megabytes. The
+// slice still grows to the declared count, but only as real input bytes
+// back it.
+func capHint(declared uint32, max int) int {
+	if declared > uint32(max) {
+		return max
+	}
+	return int(declared)
 }
 
 // Bytes serializes to a byte slice (testing convenience).

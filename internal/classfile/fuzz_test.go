@@ -1,0 +1,60 @@
+package classfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"jrs/internal/minijava"
+)
+
+// FuzzRead throws arbitrary bytes at the classfile reader. Malformed
+// input must be rejected with an error (no panic, no runaway
+// allocation); any input the reader accepts must serialize back, and
+// that serialization must be a stable fixed point: Read(Bytes(x))
+// re-serializes to the identical bytes.
+func FuzzRead(f *testing.F) {
+	classes, err := minijava.Compile("p.mj", `
+class Main {
+	static void main() { Sys.printi(6 * 7); }
+}`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := Bytes(classes)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	header := make([]byte, 12)
+	binary.LittleEndian.PutUint32(header[0:], Magic)
+	binary.LittleEndian.PutUint32(header[4:], Version)
+	binary.LittleEndian.PutUint32(header[8:], 1)
+	f.Add(header)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := Bytes(parsed)
+		if err != nil {
+			t.Fatalf("accepted input does not serialize: %v", err)
+		}
+		back, err := Read(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("own output does not re-parse: %v", err)
+		}
+		out2, err := Bytes(back)
+		if err != nil {
+			t.Fatalf("re-parse does not serialize: %v", err)
+		}
+		// Compare serialized forms, not structures: NaN pool floats are
+		// preserved bit-exactly but are not reflect-equal.
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("serialization is not a fixed point:\nfirst:  %x\nsecond: %x", out, out2)
+		}
+	})
+}

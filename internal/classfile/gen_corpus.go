@@ -1,0 +1,62 @@
+//go:build ignore
+
+// gen_corpus regenerates the seed corpus for FuzzRead:
+//
+//	go run gen_corpus.go
+//
+// It writes go-fuzz v1 corpus files under testdata/fuzz/FuzzRead: a
+// valid serialized bundle, a truncation of it, and a bare header whose
+// class count promises more data than follows.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"jrs/internal/classfile"
+	"jrs/internal/minijava"
+)
+
+func main() {
+	classes, err := minijava.Compile("p.mj", `
+class Point {
+	int x, y;
+	Point(int a, int b) { x = a; y = b; }
+	int dist() { return x * x + y * y; }
+}
+class Main {
+	static void main() { Sys.printi(new Point(3, 4).dist()); }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valid, err := classfile.Bytes(classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	header := make([]byte, 12)
+	binary.LittleEndian.PutUint32(header[0:], classfile.Magic)
+	binary.LittleEndian.PutUint32(header[4:], classfile.Version)
+	binary.LittleEndian.PutUint32(header[8:], 3)
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"seed-valid":     valid,
+		"seed-truncated": valid[:len(valid)/2],
+		"seed-header":    header,
+	} {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", filepath.Join(dir, name))
+	}
+}

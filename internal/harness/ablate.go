@@ -28,34 +28,52 @@ type AblateInstallRow struct {
 // AblateInstallResult is the A1/A2 ablation.
 type AblateInstallResult struct{ Rows []AblateInstallRow }
 
+// ablateInstallPlan enumerates the installation-policy grid: one JIT
+// cell per workload with all three policies attached.
+func ablateInstallPlan(o Options) (*Plan, *AblateInstallResult) {
+	list := o.seven()
+	res := &AblateInstallResult{Rows: make([]AblateInstallRow, len(list))}
+	p := newPlan("ablate-install", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "ablate-install", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
+			Config: "wa+wna+direct"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			wa := cache.PaperDefault()
+
+			wna := cache.NewHierarchy(
+				cache.Config{Name: "I", Size: 64 << 10, LineSize: 32, Assoc: 2, WriteAllocate: true},
+				cache.Config{Name: "D", Size: 64 << 10, LineSize: 32, Assoc: 4, WriteAllocate: false},
+			)
+
+			direct := cache.PaperDefault()
+			direct.DirectInstall = true
+			direct.CodeLow = mem.CodeCacheBase
+			direct.CodeHigh = mem.ClassBase
+
+			if _, err := Run(w, scale, ModeJIT, core.Config{}, wa, wna, direct); err != nil {
+				return nil, err
+			}
+			return AblateInstallRow{
+				Workload:        w.Name,
+				DMissesWA:       wa.D.Stats.Misses(),
+				DMissesWNA:      wna.D.Stats.Misses(),
+				DMissesDirect:   direct.D.Stats.Misses(),
+				IMissesWA:       wa.I.Stats.Misses(),
+				IMissesDirect:   direct.I.Stats.Misses(),
+				WriteMissFracWA: wa.D.Stats.WriteMissFrac(),
+			}, nil
+		})
+	}
+	return p, res
+}
+
 // AblateInstall runs the three installation policies per workload.
 func AblateInstall(o Options) (*AblateInstallResult, error) {
-	res := &AblateInstallResult{}
-	for _, w := range o.seven() {
-		wa := cache.PaperDefault()
-
-		wna := cache.NewHierarchy(
-			cache.Config{Name: "I", Size: 64 << 10, LineSize: 32, Assoc: 2, WriteAllocate: true},
-			cache.Config{Name: "D", Size: 64 << 10, LineSize: 32, Assoc: 4, WriteAllocate: false},
-		)
-
-		direct := cache.PaperDefault()
-		direct.DirectInstall = true
-		direct.CodeLow = mem.CodeCacheBase
-		direct.CodeHigh = mem.ClassBase
-
-		if _, err := Run(w, o.scaleFor(w), ModeJIT, core.Config{}, wa, wna, direct); err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, AblateInstallRow{
-			Workload:        w.Name,
-			DMissesWA:       wa.D.Stats.Misses(),
-			DMissesWNA:      wna.D.Stats.Misses(),
-			DMissesDirect:   direct.D.Stats.Misses(),
-			IMissesWA:       wa.I.Stats.Misses(),
-			IMissesDirect:   direct.I.Stats.Misses(),
-			WriteMissFracWA: wa.D.Stats.WriteMissFrac(),
-		})
+	p, res := ablateInstallPlan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -88,32 +106,50 @@ type AblateInlineRow struct {
 // AblateInlineResult is the A3 ablation.
 type AblateInlineResult struct{ Rows []AblateInlineRow }
 
+// ablateInlinePlan enumerates the devirtualization grid: one cell per
+// workload covering devirt-on and devirt-off runs.
+func ablateInlinePlan(o Options) (*Plan, *AblateInlineResult) {
+	list := o.seven()
+	res := &AblateInlineResult{Rows: make([]AblateInlineRow, len(list))}
+	p := newPlan("ablate-inline", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "ablate-inline", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
+			Config: "devirt+nodevirt"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			row := AblateInlineRow{Workload: w.Name}
+			for _, devirt := range []bool{true, false} {
+				c := &trace.Counter{}
+				suite := branch.NewSuite()
+				cfg := core.Config{}
+				if !devirt {
+					cfg.JITOptions = jitNoDevirt()
+				}
+				if _, err := Run(w, scale, ModeJIT, cfg, c, suite); err != nil {
+					return row, err
+				}
+				gshare := suite.Units[2].Stats.MispredictRate()
+				if devirt {
+					row.IndirectFracOn = c.IndirectFrac()
+					row.GshareMissOn = gshare
+				} else {
+					row.IndirectFracOff = c.IndirectFrac()
+					row.GshareMissOff = gshare
+				}
+			}
+			return row, nil
+		})
+	}
+	return p, res
+}
+
 // AblateInline measures the virtual-call optimization's effect on
 // indirect-branch frequency and predictability.
 func AblateInline(o Options) (*AblateInlineResult, error) {
-	res := &AblateInlineResult{}
-	for _, w := range o.seven() {
-		row := AblateInlineRow{Workload: w.Name}
-		for _, devirt := range []bool{true, false} {
-			c := &trace.Counter{}
-			suite := branch.NewSuite()
-			cfg := core.Config{}
-			if !devirt {
-				cfg.JITOptions = jitNoDevirt()
-			}
-			if _, err := Run(w, o.scaleFor(w), ModeJIT, cfg, c, suite); err != nil {
-				return nil, err
-			}
-			gshare := suite.Units[2].Stats.MispredictRate()
-			if devirt {
-				row.IndirectFracOn = c.IndirectFrac()
-				row.GshareMissOn = gshare
-			} else {
-				row.IndirectFracOff = c.IndirectFrac()
-				row.GshareMissOff = gshare
-			}
-		}
-		res.Rows = append(res.Rows, row)
+	p, res := ablateInlinePlan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -143,39 +179,57 @@ type ThresholdRow struct {
 // AblateThresholdResult is the A4 ablation.
 type AblateThresholdResult struct{ Rows []ThresholdRow }
 
+// ablateThresholdPlan enumerates the translate-policy grid: one cell per
+// workload covering interp, the threshold sweep, jit-first and oracle.
+func ablateThresholdPlan(o Options) (*Plan, *AblateThresholdResult) {
+	list := o.seven()
+	res := &AblateThresholdResult{Rows: make([]ThresholdRow, len(list))}
+	p := newPlan("ablate-threshold", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "ablate-threshold", Workload: w.Name, Scale: scale, Mode: "policy-sweep",
+			Config: "interp+thresh1,5,25,100+jit+oracle"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			row := ThresholdRow{Workload: w.Name}
+			add := func(name string, e *core.Engine) {
+				row.Policies = append(row.Policies, name)
+				row.Instrs = append(row.Instrs, e.TotalInstrs())
+			}
+			ei, err := Run(w, scale, ModeInterp, core.Config{})
+			if err != nil {
+				return row, err
+			}
+			add("interp", ei)
+			for _, n := range []uint64{1, 5, 25, 100} {
+				e, err := Run(w, scale, ModeJIT, core.Config{Policy: core.Threshold{N: n}})
+				if err != nil {
+					return row, err
+				}
+				add(fmt.Sprintf("thresh-%d", n), e)
+			}
+			ej, err := Run(w, scale, ModeJIT, core.Config{})
+			if err != nil {
+				return row, err
+			}
+			add("jit-first", ej)
+			eo, _, err := RunOracle(w, scale)
+			if err != nil {
+				return row, err
+			}
+			add("oracle", eo)
+			return row, nil
+		})
+	}
+	return p, res
+}
+
 // AblateThreshold sweeps translate policies (the adaptive-compilation
 // design space the paper's §3 opens).
 func AblateThreshold(o Options) (*AblateThresholdResult, error) {
-	res := &AblateThresholdResult{}
-	for _, w := range o.seven() {
-		row := ThresholdRow{Workload: w.Name}
-		add := func(name string, e *core.Engine) {
-			row.Policies = append(row.Policies, name)
-			row.Instrs = append(row.Instrs, e.TotalInstrs())
-		}
-		ei, err := Run(w, o.scaleFor(w), ModeInterp, core.Config{})
-		if err != nil {
-			return nil, err
-		}
-		add("interp", ei)
-		for _, n := range []uint64{1, 5, 25, 100} {
-			e, err := Run(w, o.scaleFor(w), ModeJIT, core.Config{Policy: core.Threshold{N: n}})
-			if err != nil {
-				return nil, err
-			}
-			add(fmt.Sprintf("thresh-%d", n), e)
-		}
-		ej, err := Run(w, o.scaleFor(w), ModeJIT, core.Config{})
-		if err != nil {
-			return nil, err
-		}
-		add("jit-first", ej)
-		eo, _, err := RunOracle(w, o.scaleFor(w))
-		if err != nil {
-			return nil, err
-		}
-		add("oracle", eo)
-		res.Rows = append(res.Rows, row)
+	p, res := ablateThresholdPlan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -215,27 +269,46 @@ type ScaleRow struct {
 // ScaleResult is the input-size sensitivity study.
 type ScaleResult struct{ Rows []ScaleRow }
 
+// ablateScalePlan enumerates the input-size grid: one cell per workload
+// covering the 0.25x/1x/4x multiples of its default scale. The key's
+// Scale is the workload default (the multiples derive from it), so this
+// experiment intentionally ignores Quick.
+func ablateScalePlan(o Options) (*Plan, *ScaleResult) {
+	muls := []float64{0.25, 1, 4}
+	list := o.seven()
+	res := &ScaleResult{Rows: make([]ScaleRow, len(list))}
+	p := newPlan("ablate-scale", res)
+	for i, w := range list {
+		i, w := i, w
+		key := CellKey{Experiment: "ablate-scale", Workload: w.Name, Scale: w.DefaultN, Mode: ModeJIT.String(),
+			Config: "muls=0.25,1,4"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			row := ScaleRow{Workload: w.Name}
+			for _, m := range muls {
+				scale := int(float64(w.DefaultN) * m)
+				if scale < 1 {
+					scale = 1
+				}
+				e, err := Run(w, scale, ModeJIT, core.Config{})
+				if err != nil {
+					return row, err
+				}
+				exec, translate, _ := e.PhaseInstrs()
+				row.Scales = append(row.Scales, scale)
+				row.TransFrac = append(row.TransFrac, float64(translate)/float64(translate+exec))
+			}
+			return row, nil
+		})
+	}
+	return p, res
+}
+
 // AblateScale measures the translate fraction at multiples of each
 // workload's default scale.
 func AblateScale(o Options) (*ScaleResult, error) {
-	muls := []float64{0.25, 1, 4}
-	res := &ScaleResult{}
-	for _, w := range o.seven() {
-		row := ScaleRow{Workload: w.Name}
-		for _, m := range muls {
-			scale := int(float64(w.DefaultN) * m)
-			if scale < 1 {
-				scale = 1
-			}
-			e, err := Run(w, scale, ModeJIT, core.Config{})
-			if err != nil {
-				return nil, err
-			}
-			exec, translate, _ := e.PhaseInstrs()
-			row.Scales = append(row.Scales, scale)
-			row.TransFrac = append(row.TransFrac, float64(translate)/float64(translate+exec))
-		}
-		res.Rows = append(res.Rows, row)
+	p, res := ablateScalePlan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

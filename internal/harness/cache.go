@@ -23,19 +23,36 @@ type Table3Result struct {
 	Rows []Table3Row
 }
 
-// Table3 measures L1 reference and miss counts per workload and mode.
-func Table3(o Options) (*Table3Result, error) {
-	res := &Table3Result{}
-	for _, w := range o.seven() {
+// table3Plan enumerates the headline cache grid: one cell per
+// (workload, mode) at the paper's 64K configuration.
+func table3Plan(o Options) (*Plan, *Table3Result) {
+	list := o.seven()
+	res := &Table3Result{Rows: make([]Table3Row, 0, len(list)*2)}
+	p := newPlan("table3", res)
+	for _, w := range list {
 		for _, mode := range []Mode{ModeInterp, ModeJIT} {
-			h := cache.PaperDefault()
-			if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, h); err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, Table3Row{
-				Workload: w.Name, Mode: mode, I: h.I.Stats, D: h.D.Stats,
+			w, mode := w, mode
+			scale := resolveScale(o, w)
+			res.Rows = append(res.Rows, Table3Row{})
+			key := CellKey{Experiment: "table3", Workload: w.Name, Scale: scale, Mode: mode.String(),
+				Config: "64K-32B-i2w-d4w"}
+			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+				h := cache.PaperDefault()
+				if _, err := Run(w, scale, mode, core.Config{}, h); err != nil {
+					return nil, err
+				}
+				return Table3Row{Workload: w.Name, Mode: mode, I: h.I.Stats, D: h.D.Stats}, nil
 			})
 		}
+	}
+	return p, res
+}
+
+// Table3 measures L1 reference and miss counts per workload and mode.
+func Table3(o Options) (*Table3Result, error) {
+	p, res := table3Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -84,32 +101,51 @@ type Fig3Result struct {
 	Rows []Fig3Row
 }
 
+// fig3Plan enumerates the write-miss sweep: one cell per
+// (workload, mode), every size's cache pair attached to a single run.
+func fig3Plan(o Options) (*Plan, *Fig3Result) {
+	sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	list := o.seven()
+	res := &Fig3Result{Rows: make([]Fig3Row, 0, len(list)*2)}
+	p := newPlan("fig3", res)
+	for _, w := range list {
+		for _, mode := range []Mode{ModeInterp, ModeJIT} {
+			w, mode := w, mode
+			scale := resolveScale(o, w)
+			res.Rows = append(res.Rows, Fig3Row{})
+			key := CellKey{Experiment: "fig3", Workload: w.Name, Scale: scale, Mode: mode.String(),
+				Config: "dm-32B-8K..128K"}
+			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+				var hs []*cache.Hierarchy
+				var sinks []trace.Sink
+				for _, sz := range sizes {
+					h := cache.NewHierarchy(
+						cache.Config{Name: "I", Size: sz, LineSize: 32, Assoc: 1, WriteAllocate: true},
+						cache.Config{Name: "D", Size: sz, LineSize: 32, Assoc: 1, WriteAllocate: true},
+					)
+					hs = append(hs, h)
+					sinks = append(sinks, h)
+				}
+				if _, err := Run(w, scale, mode, core.Config{}, sinks...); err != nil {
+					return nil, err
+				}
+				row := Fig3Row{Workload: w.Name, Mode: mode, Sizes: sizes}
+				for _, h := range hs {
+					row.WriteMissFracs = append(row.WriteMissFracs, h.D.Stats.WriteMissFrac())
+				}
+				return row, nil
+			})
+		}
+	}
+	return p, res
+}
+
 // Fig3 sweeps D-cache sizes, all caches attached to one run per
 // (workload, mode).
 func Fig3(o Options) (*Fig3Result, error) {
-	sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
-	res := &Fig3Result{}
-	for _, w := range o.seven() {
-		for _, mode := range []Mode{ModeInterp, ModeJIT} {
-			var hs []*cache.Hierarchy
-			var sinks []trace.Sink
-			for _, sz := range sizes {
-				h := cache.NewHierarchy(
-					cache.Config{Name: "I", Size: sz, LineSize: 32, Assoc: 1, WriteAllocate: true},
-					cache.Config{Name: "D", Size: sz, LineSize: 32, Assoc: 1, WriteAllocate: true},
-				)
-				hs = append(hs, h)
-				sinks = append(sinks, h)
-			}
-			if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, sinks...); err != nil {
-				return nil, err
-			}
-			row := Fig3Row{Workload: w.Name, Mode: mode, Sizes: sizes}
-			for _, h := range hs {
-				row.WriteMissFracs = append(row.WriteMissFracs, h.D.Stats.WriteMissFrac())
-			}
-			res.Rows = append(res.Rows, row)
-		}
+	p, res := fig3Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -148,33 +184,61 @@ type Fig4Result struct {
 
 type cacheIR struct{ I, D cache.Stats }
 
+// fig4Plan enumerates the mode-comparison grid: one cell per
+// (workload, mode) over interp, jit and aot; the suite averages
+// aggregate after every cell completed.
+func fig4Plan(o Options) (*Plan, *Fig4Result) {
+	list := o.seven()
+	modes := []Mode{ModeInterp, ModeJIT, ModeAOT}
+	grid := make([][3]cacheIR, len(list))
+	res := &Fig4Result{}
+	p := newPlan("fig4", res)
+	for wi, w := range list {
+		for mi, mode := range modes {
+			wi, mi, w, mode := wi, mi, w, mode
+			scale := resolveScale(o, w)
+			key := CellKey{Experiment: "fig4", Workload: w.Name, Scale: scale, Mode: mode.String(),
+				Config: "64K-32B-i2w-d4w"}
+			p.add(key, &grid[wi][mi], func() (any, error) {
+				h := cache.PaperDefault()
+				if _, err := Run(w, scale, mode, core.Config{}, h); err != nil {
+					return nil, err
+				}
+				return cacheIR{I: h.I.Stats, D: h.D.Stats}, nil
+			})
+		}
+	}
+	p.finish = func() error {
+		res.Rows = nil
+		res.PerWorkload = make(map[string][3]cacheIR)
+		var sumI, sumD [3]float64
+		var n float64
+		for wi, w := range list {
+			for mi := range modes {
+				sumI[mi] += grid[wi][mi].I.MissRate()
+				sumD[mi] += grid[wi][mi].D.MissRate()
+			}
+			res.PerWorkload[w.Name] = grid[wi]
+			n++
+		}
+		labels := []string{"java/interp", "java/jit", "compiled (C-like)"}
+		for mi := range modes {
+			res.Rows = append(res.Rows, Fig4Row{
+				Mode:  labels[mi],
+				IMiss: sumI[mi] / n,
+				DMiss: sumD[mi] / n,
+			})
+		}
+		return nil
+	}
+	return p, res
+}
+
 // Fig4 measures interp, JIT and AOT (C-like) miss rates at 64K.
 func Fig4(o Options) (*Fig4Result, error) {
-	res := &Fig4Result{PerWorkload: make(map[string][3]cacheIR)}
-	modes := []Mode{ModeInterp, ModeJIT, ModeAOT}
-	var sumI, sumD [3]float64
-	var n float64
-	for _, w := range o.seven() {
-		var trio [3]cacheIR
-		for mi, mode := range modes {
-			h := cache.PaperDefault()
-			if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, h); err != nil {
-				return nil, err
-			}
-			trio[mi] = cacheIR{I: h.I.Stats, D: h.D.Stats}
-			sumI[mi] += h.I.Stats.MissRate()
-			sumD[mi] += h.D.Stats.MissRate()
-		}
-		res.PerWorkload[w.Name] = trio
-		n++
-	}
-	labels := []string{"java/interp", "java/jit", "compiled (C-like)"}
-	for mi := range modes {
-		res.Rows = append(res.Rows, Fig4Row{
-			Mode:  labels[mi],
-			IMiss: sumI[mi] / n,
-			DMiss: sumD[mi] / n,
-		})
+	p, res := fig4Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -214,40 +278,63 @@ type Fig5Result struct {
 	Rows []Fig5Row
 }
 
+// fig5Plan enumerates the translate-isolation grid: one JIT cell per
+// workload with phase-attributed caches.
+func fig5Plan(o Options) (*Plan, *Fig5Result) {
+	list := o.seven()
+	res := &Fig5Result{Rows: make([]Fig5Row, len(list))}
+	p := newPlan("fig5", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "fig5", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
+			Config: "64K-32B-i2w-d4w-phase"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			return fig5Cell(w, scale)
+		})
+	}
+	return p, res
+}
+
 // Fig5 runs JIT mode with phase-attributed caches.
 func Fig5(o Options) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	for _, w := range o.seven() {
-		h := cache.PaperDefault()
-		if _, err := Run(w, o.scaleFor(w), ModeJIT, core.Config{}, h); err != nil {
-			return nil, err
-		}
-		tI := h.I.PhaseStats[trace.PhaseTranslate]
-		tD := h.D.PhaseStats[trace.PhaseTranslate]
-		allI, allD := h.I.Stats, h.D.Stats
-		row := Fig5Row{Workload: w.Name}
-		if allI.Misses() > 0 {
-			row.IMissFracTranslate = float64(tI.Misses()) / float64(allI.Misses())
-		}
-		if allD.Misses() > 0 {
-			row.DMissFracTranslate = float64(tD.Misses()) / float64(allD.Misses())
-		}
-		row.WriteFracInTranslate = tD.WriteMissFrac()
-		row.IMissRateTranslate = tI.MissRate()
-		row.DMissRateTranslate = tD.MissRate()
-		restI := cache.Stats{
-			Reads: allI.Reads - tI.Reads, Writes: allI.Writes - tI.Writes,
-			ReadMisses: allI.ReadMisses - tI.ReadMisses, WriteMisses: allI.WriteMisses - tI.WriteMisses,
-		}
-		restD := cache.Stats{
-			Reads: allD.Reads - tD.Reads, Writes: allD.Writes - tD.Writes,
-			ReadMisses: allD.ReadMisses - tD.ReadMisses, WriteMisses: allD.WriteMisses - tD.WriteMisses,
-		}
-		row.IMissRateRest = restI.MissRate()
-		row.DMissRateRest = restD.MissRate()
-		res.Rows = append(res.Rows, row)
+	p, res := fig5Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// fig5Cell measures one workload's translate-portion cache behaviour.
+func fig5Cell(w workloads.Workload, scale int) (Fig5Row, error) {
+	h := cache.PaperDefault()
+	if _, err := Run(w, scale, ModeJIT, core.Config{}, h); err != nil {
+		return Fig5Row{}, err
+	}
+	tI := h.I.PhaseStats[trace.PhaseTranslate]
+	tD := h.D.PhaseStats[trace.PhaseTranslate]
+	allI, allD := h.I.Stats, h.D.Stats
+	row := Fig5Row{Workload: w.Name}
+	if allI.Misses() > 0 {
+		row.IMissFracTranslate = float64(tI.Misses()) / float64(allI.Misses())
+	}
+	if allD.Misses() > 0 {
+		row.DMissFracTranslate = float64(tD.Misses()) / float64(allD.Misses())
+	}
+	row.WriteFracInTranslate = tD.WriteMissFrac()
+	row.IMissRateTranslate = tI.MissRate()
+	row.DMissRateTranslate = tD.MissRate()
+	restI := cache.Stats{
+		Reads: allI.Reads - tI.Reads, Writes: allI.Writes - tI.Writes,
+		ReadMisses: allI.ReadMisses - tI.ReadMisses, WriteMisses: allI.WriteMisses - tI.WriteMisses,
+	}
+	restD := cache.Stats{
+		Reads: allD.Reads - tD.Reads, Writes: allD.Writes - tD.Writes,
+		ReadMisses: allD.ReadMisses - tD.ReadMisses, WriteMisses: allD.WriteMisses - tD.WriteMisses,
+	}
+	row.IMissRateRest = restI.MissRate()
+	row.DMissRateRest = restD.MissRate()
+	return row, nil
 }
 
 // Render formats Figure 5.
@@ -278,25 +365,42 @@ type Fig6Result struct {
 	JIT    []cache.Interval
 }
 
-// Fig6 samples cache misses over execution windows.
-func Fig6(o Options) (*Fig6Result, error) {
+// fig6Plan enumerates the miss-over-time study: one cell per mode for
+// the subject workload (db unless a single workload is selected).
+func fig6Plan(o Options) (*Plan, *Fig6Result) {
 	w, _ := workloads.ByName("db")
 	if len(o.Workloads) == 1 {
 		w = o.Workloads[0]
 	}
 	const window = 250_000
+	scale := resolveScale(o, w)
 	res := &Fig6Result{Workload: w.Name, Window: window}
+	p := newPlan("fig6", res)
 	for _, mode := range []Mode{ModeInterp, ModeJIT} {
-		s := cache.NewSampler(cache.PaperDefault(), window)
-		if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, s); err != nil {
-			return nil, err
+		mode := mode
+		dest := &res.Interp
+		if mode == ModeJIT {
+			dest = &res.JIT
 		}
-		s.Finish()
-		if mode == ModeInterp {
-			res.Interp = s.Series
-		} else {
-			res.JIT = s.Series
-		}
+		key := CellKey{Experiment: "fig6", Workload: w.Name, Scale: scale, Mode: mode.String(),
+			Config: fmt.Sprintf("window=%d", window)}
+		p.add(key, dest, func() (any, error) {
+			s := cache.NewSampler(cache.PaperDefault(), window)
+			if _, err := Run(w, scale, mode, core.Config{}, s); err != nil {
+				return nil, err
+			}
+			s.Finish()
+			return s.Series, nil
+		})
+	}
+	return p, res
+}
+
+// Fig6 samples cache misses over execution windows.
+func Fig6(o Options) (*Fig6Result, error) {
+	p, res := fig6Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -357,18 +461,27 @@ type SweepRow struct {
 // Fig7Result reproduces Figure 7 (associativity sweep, 8K caches).
 type Fig7Result struct{ Rows []SweepRow }
 
+// fig7Plan enumerates the associativity sweep.
+func fig7Plan(o Options) (*Plan, *Fig7Result) {
+	res := &Fig7Result{}
+	p := sweepPlan(o, "fig7", "8K-32B-assoc1,2,4,8", &res.Rows, []int{1, 2, 4, 8},
+		func(assoc int) (cache.Config, cache.Config) {
+			i := cache.Config{Name: "I", Size: 8 << 10, LineSize: 32, Assoc: assoc, WriteAllocate: true}
+			d := i
+			d.Name = "D"
+			return i, d
+		})
+	p.result = res
+	return p, res
+}
+
 // Fig7 sweeps associativity 1/2/4/8 on 8K caches with 32B lines.
 func Fig7(o Options) (*Fig7Result, error) {
-	rows, err := sweep(o, []int{1, 2, 4, 8}, func(assoc int) (cache.Config, cache.Config) {
-		i := cache.Config{Name: "I", Size: 8 << 10, LineSize: 32, Assoc: assoc, WriteAllocate: true}
-		d := i
-		d.Name = "D"
-		return i, d
-	})
-	if err != nil {
+	p, res := fig7Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
 		return nil, err
 	}
-	return &Fig7Result{Rows: rows}, nil
+	return res, nil
 }
 
 // Render formats Figure 7.
@@ -380,18 +493,27 @@ func (r *Fig7Result) Render() string {
 // Fig8Result reproduces Figure 8 (line-size sweep, 8K direct-mapped).
 type Fig8Result struct{ Rows []SweepRow }
 
+// fig8Plan enumerates the line-size sweep.
+func fig8Plan(o Options) (*Plan, *Fig8Result) {
+	res := &Fig8Result{}
+	p := sweepPlan(o, "fig8", "8K-dm-line16,32,64,128", &res.Rows, []int{16, 32, 64, 128},
+		func(line int) (cache.Config, cache.Config) {
+			i := cache.Config{Name: "I", Size: 8 << 10, LineSize: line, Assoc: 1, WriteAllocate: true}
+			d := i
+			d.Name = "D"
+			return i, d
+		})
+	p.result = res
+	return p, res
+}
+
 // Fig8 sweeps line size 16/32/64/128 on 8K direct-mapped caches.
 func Fig8(o Options) (*Fig8Result, error) {
-	rows, err := sweep(o, []int{16, 32, 64, 128}, func(line int) (cache.Config, cache.Config) {
-		i := cache.Config{Name: "I", Size: 8 << 10, LineSize: line, Assoc: 1, WriteAllocate: true}
-		d := i
-		d.Name = "D"
-		return i, d
-	})
-	if err != nil {
+	p, res := fig8Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
 		return nil, err
 	}
-	return &Fig8Result{Rows: rows}, nil
+	return res, nil
 }
 
 // Render formats Figure 8.
@@ -400,32 +522,44 @@ func (r *Fig8Result) Render() string {
 		"paper: larger lines always help the I-cache; interpreted D-cache prefers small (16B) lines, JIT prefers 32-64B")
 }
 
-// sweep runs each (workload, mode) once with one cache pair per
-// parameter value attached.
-func sweep(o Options, params []int, mk func(int) (cache.Config, cache.Config)) ([]SweepRow, error) {
-	var rows []SweepRow
-	for _, w := range o.seven() {
+// sweepPlan enumerates a parameter sweep: one cell per (workload, mode)
+// with one cache pair per parameter value attached to a single run. The
+// caller's rows slice is preallocated so cell destinations stay stable.
+func sweepPlan(o Options, experiment, cfg string, rows *[]SweepRow, params []int,
+	mk func(int) (cache.Config, cache.Config)) *Plan {
+	list := o.seven()
+	*rows = make([]SweepRow, len(list)*2)
+	p := newPlan(experiment, nil)
+	idx := 0
+	for _, w := range list {
 		for _, mode := range []Mode{ModeInterp, ModeJIT} {
-			var hs []*cache.Hierarchy
-			var sinks []trace.Sink
-			for _, p := range params {
-				ic, dc := mk(p)
-				h := cache.NewHierarchy(ic, dc)
-				hs = append(hs, h)
-				sinks = append(sinks, h)
-			}
-			if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, sinks...); err != nil {
-				return nil, err
-			}
-			row := SweepRow{Workload: w.Name, Mode: mode, Params: params}
-			for _, h := range hs {
-				row.IMiss = append(row.IMiss, h.I.Stats.MissRate())
-				row.DMiss = append(row.DMiss, h.D.Stats.MissRate())
-			}
-			rows = append(rows, row)
+			w, mode := w, mode
+			scale := resolveScale(o, w)
+			key := CellKey{Experiment: experiment, Workload: w.Name, Scale: scale, Mode: mode.String(),
+				Config: cfg}
+			p.add(key, &(*rows)[idx], func() (any, error) {
+				var hs []*cache.Hierarchy
+				var sinks []trace.Sink
+				for _, prm := range params {
+					ic, dc := mk(prm)
+					h := cache.NewHierarchy(ic, dc)
+					hs = append(hs, h)
+					sinks = append(sinks, h)
+				}
+				if _, err := Run(w, scale, mode, core.Config{}, sinks...); err != nil {
+					return nil, err
+				}
+				row := SweepRow{Workload: w.Name, Mode: mode, Params: params}
+				for _, h := range hs {
+					row.IMiss = append(row.IMiss, h.I.Stats.MissRate())
+					row.DMiss = append(row.DMiss, h.D.Stats.MissRate())
+				}
+				return row, nil
+			})
+			idx++
 		}
 	}
-	return rows, nil
+	return p
 }
 
 func renderSweep(title, param string, rows []SweepRow, note string) string {

@@ -26,30 +26,49 @@ type IndirectRow struct {
 // AblateIndirectResult is the indirect-predictor extension study.
 type AblateIndirectResult struct{ Rows []IndirectRow }
 
+// ablateIndirectPlan enumerates the indirect-predictor grid: one cell
+// per (workload, mode) running BTB and target-cache front ends together.
+func ablateIndirectPlan(o Options) (*Plan, *AblateIndirectResult) {
+	list := o.seven()
+	res := &AblateIndirectResult{Rows: make([]IndirectRow, 0, len(list)*2)}
+	p := newPlan("ablate-indirect", res)
+	for _, w := range list {
+		for _, mode := range []Mode{ModeInterp, ModeJIT} {
+			w, mode := w, mode
+			scale := resolveScale(o, w)
+			res.Rows = append(res.Rows, IndirectRow{})
+			key := CellKey{Experiment: "ablate-indirect", Workload: w.Name, Scale: scale, Mode: mode.String(),
+				Config: "btb+targetcache"}
+			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+				base := branch.NewUnit(branch.NewGshare(2048, 5), 1024)
+				enhanced := branch.NewIndirectUnit()
+				baseSink := sinkUnit{base}
+				if _, err := Run(w, scale, mode, core.Config{}, baseSink, enhanced); err != nil {
+					return nil, err
+				}
+				row := IndirectRow{Workload: w.Name, Mode: mode}
+				row.BTBMiss = base.Stats.MispredictRate()
+				row.TCMiss = enhanced.Stats.MispredictRate()
+				if base.Stats.Indirects > 0 {
+					row.BTBIndirectMiss = float64(base.Stats.IndirectMispredicts) /
+						float64(base.Stats.Indirects)
+					row.TCIndirectMiss = float64(enhanced.Stats.IndirectMispredicts) /
+						float64(enhanced.Stats.Indirects)
+				}
+				return row, nil
+			})
+		}
+	}
+	return p, res
+}
+
 // AblateIndirect measures how much a two-level target cache recovers of
 // the interpreter's indirect-branch misprediction burden (§4.2/§6: "a
 // predictor well-tailored for indirect branches should be used").
 func AblateIndirect(o Options) (*AblateIndirectResult, error) {
-	res := &AblateIndirectResult{}
-	for _, w := range o.seven() {
-		for _, mode := range []Mode{ModeInterp, ModeJIT} {
-			base := branch.NewUnit(branch.NewGshare(2048, 5), 1024)
-			enhanced := branch.NewIndirectUnit()
-			baseSink := sinkUnit{base}
-			if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, baseSink, enhanced); err != nil {
-				return nil, err
-			}
-			row := IndirectRow{Workload: w.Name, Mode: mode}
-			row.BTBMiss = base.Stats.MispredictRate()
-			row.TCMiss = enhanced.Stats.MispredictRate()
-			if base.Stats.Indirects > 0 {
-				row.BTBIndirectMiss = float64(base.Stats.IndirectMispredicts) /
-					float64(base.Stats.Indirects)
-				row.TCIndirectMiss = float64(enhanced.Stats.IndirectMispredicts) /
-					float64(enhanced.Stats.Indirects)
-			}
-			res.Rows = append(res.Rows, row)
-		}
+	p, res := ablateIndirectPlan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -114,26 +133,44 @@ func (r TieredRow) Gain() float64 {
 // AblateTieredResult is the tiered-compilation extension study.
 type AblateTieredResult struct{ Rows []TieredRow }
 
+// ablateTieredPlan enumerates the tiered-compilation grid: one cell per
+// workload running the jit-first baseline and the tiered policy.
+func ablateTieredPlan(o Options) (*Plan, *AblateTieredResult) {
+	list := o.seven()
+	res := &AblateTieredResult{Rows: make([]TieredRow, len(list))}
+	p := newPlan("ablate-tiered", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "ablate-tiered", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
+			Config: "jit+tiered20"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			base, err := Run(w, scale, ModeJIT, core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			tiered, err := Run(w, scale, ModeJIT,
+				core.Config{Policy: core.Tiered{N1: 0, N2: 20}})
+			if err != nil {
+				return nil, err
+			}
+			return TieredRow{
+				Workload:       w.Name,
+				BaselineInstrs: base.TotalInstrs(),
+				TieredInstrs:   tiered.TotalInstrs(),
+				Reopts:         tiered.JIT.Reoptimizations,
+			}, nil
+		})
+	}
+	return p, res
+}
+
 // AblateTiered measures the §7 extension: recompiling hot methods with
 // the optimizing (register) code generator after a second threshold.
 func AblateTiered(o Options) (*AblateTieredResult, error) {
-	res := &AblateTieredResult{}
-	for _, w := range o.seven() {
-		base, err := Run(w, o.scaleFor(w), ModeJIT, core.Config{})
-		if err != nil {
-			return nil, err
-		}
-		tiered, err := Run(w, o.scaleFor(w), ModeJIT,
-			core.Config{Policy: core.Tiered{N1: 0, N2: 20}})
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, TieredRow{
-			Workload:       w.Name,
-			BaselineInstrs: base.TotalInstrs(),
-			TieredInstrs:   tiered.TotalInstrs(),
-			Reopts:         tiered.JIT.Reoptimizations,
-		})
+	p, res := ablateTieredPlan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -61,42 +61,58 @@ type Fig1Result struct {
 	Rows []Fig1Row
 }
 
-// Fig1 runs the when-or-whether-to-translate study. The workload order
-// follows the paper's Figure 1 (hello first, then the five benchmarks it
-// uses).
-func Fig1(o Options) (*Fig1Result, error) {
+// fig1Plan enumerates the when-or-whether-to-translate grid: one cell
+// per workload, each covering the interp, jit and oracle runs.
+func fig1Plan(o Options) (*Plan, *Fig1Result) {
 	list := o.Workloads
 	if list == nil {
 		// Figure 1 uses hello, db, javac, jess, compress, jack (it omits
 		// mpeg and mtrt); we include all eight for completeness.
 		list = workloads.All()
 	}
-	res := &Fig1Result{}
-	for _, w := range list {
-		set, interpRun, jitRun, err := ComputeOracle(w, o.scaleFor(w))
-		if err != nil {
-			return nil, err
-		}
-		optRun, err := Run(w, o.scaleFor(w), ModeJIT, core.Config{Policy: core.Oracle{Set: set}})
-		if err != nil {
-			return nil, err
-		}
-		exec, translate, _ := jitRun.PhaseInstrs()
-		methods := 0
-		for _, st := range jitRun.Stats {
-			if st.Invocations > 0 {
-				methods++
+	res := &Fig1Result{Rows: make([]Fig1Row, len(list))}
+	p := newPlan("fig1", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "fig1", Workload: w.Name, Scale: scale, Mode: "interp+jit+opt"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			set, interpRun, jitRun, err := ComputeOracle(w, scale)
+			if err != nil {
+				return nil, err
 			}
-		}
-		res.Rows = append(res.Rows, Fig1Row{
-			Workload:        w.Name,
-			TranslateInstrs: translate,
-			ExecInstrs:      exec,
-			InterpInstrs:    interpRun.TotalInstrs(),
-			OptInstrs:       optRun.TotalInstrs(),
-			OptCompiled:     len(set),
-			OptMethods:      methods,
+			optRun, err := Run(w, scale, ModeJIT, core.Config{Policy: core.Oracle{Set: set}})
+			if err != nil {
+				return nil, err
+			}
+			exec, translate, _ := jitRun.PhaseInstrs()
+			methods := 0
+			for _, st := range jitRun.Stats {
+				if st.Invocations > 0 {
+					methods++
+				}
+			}
+			return Fig1Row{
+				Workload:        w.Name,
+				TranslateInstrs: translate,
+				ExecInstrs:      exec,
+				InterpInstrs:    interpRun.TotalInstrs(),
+				OptInstrs:       optRun.TotalInstrs(),
+				OptCompiled:     len(set),
+				OptMethods:      methods,
+			}, nil
 		})
+	}
+	return p, res
+}
+
+// Fig1 runs the when-or-whether-to-translate study. The workload order
+// follows the paper's Figure 1 (hello first, then the five benchmarks it
+// uses).
+func Fig1(o Options) (*Fig1Result, error) {
+	p, res := fig1Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -157,27 +173,43 @@ type Table1Result struct {
 	Rows []Table1Row
 }
 
-// Table1 measures each runtime's memory requirement under both engines.
-func Table1(o Options) (*Table1Result, error) {
+// table1Plan enumerates the memory-footprint grid: one cell per
+// workload, each covering the interpreter and JIT footprint runs.
+func table1Plan(o Options) (*Plan, *Table1Result) {
 	list := o.Workloads
 	if list == nil {
 		list = workloads.All()
 	}
-	res := &Table1Result{}
-	for _, w := range list {
-		ei, err := Run(w, o.scaleFor(w), ModeInterp, core.Config{})
-		if err != nil {
-			return nil, err
-		}
-		ej, err := Run(w, o.scaleFor(w), ModeJIT, core.Config{})
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, Table1Row{
-			Workload:    w.Name,
-			InterpBytes: ei.FootprintBytes(),
-			JITBytes:    ej.FootprintBytes(),
+	res := &Table1Result{Rows: make([]Table1Row, len(list))}
+	p := newPlan("table1", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "table1", Workload: w.Name, Scale: scale, Mode: "interp+jit"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			ei, err := Run(w, scale, ModeInterp, core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			ej, err := Run(w, scale, ModeJIT, core.Config{})
+			if err != nil {
+				return nil, err
+			}
+			return Table1Row{
+				Workload:    w.Name,
+				InterpBytes: ei.FootprintBytes(),
+				JITBytes:    ej.FootprintBytes(),
+			}, nil
 		})
+	}
+	return p, res
+}
+
+// Table1 measures each runtime's memory requirement under both engines.
+func Table1(o Options) (*Table1Result, error) {
+	p, res := table1Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

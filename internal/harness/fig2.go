@@ -21,22 +21,51 @@ type Fig2Result struct {
 	Cumulative [2]trace.Counter
 }
 
-// Fig2 measures the native instruction mix in both modes.
-func Fig2(o Options) (*Fig2Result, error) {
-	res := &Fig2Result{}
-	for _, w := range o.seven() {
-		for mi, mode := range []Mode{ModeInterp, ModeJIT} {
-			c := &trace.Counter{}
-			if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, c); err != nil {
-				return nil, err
+// fig2Plan enumerates the instruction-mix grid: one cell per
+// (workload, mode); the suite cumulative aggregates after every cell
+// completed, in enumeration order.
+func fig2Plan(o Options) (*Plan, *Fig2Result) {
+	list := o.seven()
+	res := &Fig2Result{Rows: make([]MixRow, 0, len(list)*2)}
+	p := newPlan("fig2", res)
+	for _, w := range list {
+		for _, mode := range []Mode{ModeInterp, ModeJIT} {
+			w, mode := w, mode
+			scale := resolveScale(o, w)
+			res.Rows = append(res.Rows, MixRow{Workload: w.Name, Mode: mode})
+			key := CellKey{Experiment: "fig2", Workload: w.Name, Scale: scale, Mode: mode.String()}
+			p.add(key, &res.Rows[len(res.Rows)-1].Counter, func() (any, error) {
+				c := &trace.Counter{}
+				if _, err := Run(w, scale, mode, core.Config{}, c); err != nil {
+					return nil, err
+				}
+				return c, nil
+			})
+		}
+	}
+	p.finish = func() error {
+		res.Cumulative = [2]trace.Counter{}
+		for _, m := range res.Rows {
+			mi := 0
+			if m.Mode == ModeJIT {
+				mi = 1
 			}
-			res.Rows = append(res.Rows, MixRow{Workload: w.Name, Mode: mode, Counter: *c})
 			cum := &res.Cumulative[mi]
-			cum.Total += c.Total
-			for i := range c.ByClass {
-				cum.ByClass[i] += c.ByClass[i]
+			cum.Total += m.Counter.Total
+			for i := range m.Counter.ByClass {
+				cum.ByClass[i] += m.Counter.ByClass[i]
 			}
 		}
+		return nil
+	}
+	return p, res
+}
+
+// Fig2 measures the native instruction mix in both modes.
+func Fig2(o Options) (*Fig2Result, error) {
+	p, res := fig2Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

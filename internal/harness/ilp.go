@@ -24,30 +24,51 @@ type Fig9Result struct {
 	Rows []ILPRow
 }
 
+// fig9Plan enumerates the superscalar grid: one cell per
+// (workload, mode), all issue widths attached to a single run. Figure 10
+// shares these cells — its plan reuses the same keys, so one batched run
+// (or the result cache) simulates them once.
+func fig9Plan(o Options) (*Plan, *Fig9Result) {
+	widths := []int{1, 2, 4, 8}
+	list := o.seven()
+	res := &Fig9Result{Rows: make([]ILPRow, 0, len(list)*2)}
+	p := newPlan("fig9", res)
+	for _, w := range list {
+		for _, mode := range []Mode{ModeInterp, ModeJIT} {
+			w, mode := w, mode
+			scale := resolveScale(o, w)
+			res.Rows = append(res.Rows, ILPRow{})
+			key := CellKey{Experiment: "fig9", Workload: w.Name, Scale: scale, Mode: mode.String(),
+				Config: "width=1,2,4,8"}
+			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+				var cores []*pipeline.Core
+				var sinks []trace.Sink
+				for _, width := range widths {
+					c := pipeline.New(pipeline.DefaultConfig(width))
+					cores = append(cores, c)
+					sinks = append(sinks, c)
+				}
+				if _, err := Run(w, scale, mode, core.Config{}, sinks...); err != nil {
+					return nil, err
+				}
+				row := ILPRow{Workload: w.Name, Mode: mode, Widths: widths}
+				for _, c := range cores {
+					row.IPC = append(row.IPC, c.IPC())
+					row.Cycles = append(row.Cycles, c.Cycles())
+				}
+				return row, nil
+			})
+		}
+	}
+	return p, res
+}
+
 // Fig9 simulates each workload on out-of-order cores of width 1/2/4/8 in
 // both execution modes (all widths attached to one run).
 func Fig9(o Options) (*Fig9Result, error) {
-	widths := []int{1, 2, 4, 8}
-	res := &Fig9Result{}
-	for _, w := range o.seven() {
-		for _, mode := range []Mode{ModeInterp, ModeJIT} {
-			var cores []*pipeline.Core
-			var sinks []trace.Sink
-			for _, width := range widths {
-				c := pipeline.New(pipeline.DefaultConfig(width))
-				cores = append(cores, c)
-				sinks = append(sinks, c)
-			}
-			if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, sinks...); err != nil {
-				return nil, err
-			}
-			row := ILPRow{Workload: w.Name, Mode: mode, Widths: widths}
-			for _, c := range cores {
-				row.IPC = append(row.IPC, c.IPC())
-				row.Cycles = append(row.Cycles, c.Cycles())
-			}
-			res.Rows = append(res.Rows, row)
-		}
+	p, res := fig9Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -111,13 +132,22 @@ func (r *Fig9Result) AvgIPC(mode Mode) []float64 {
 // Figure 10 separately without re-running the simulations.
 type Fig10Result struct{ *Fig9Result }
 
+// fig10Plan wraps fig9's plan: identical cells (and cell keys, so a
+// batched run deduplicates them), different rendering.
+func fig10Plan(o Options) (*Plan, *Fig10Result) {
+	p9, r9 := fig9Plan(o)
+	res := &Fig10Result{r9}
+	p := &Plan{experiment: "fig10", cells: p9.cells, result: res, finish: p9.finish}
+	return p, res
+}
+
 // Fig10 runs the ILP study and renders the time-normalization view.
 func Fig10(o Options) (*Fig10Result, error) {
-	r, err := Fig9(o)
-	if err != nil {
+	p, res := fig10Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
 		return nil, err
 	}
-	return &Fig10Result{r}, nil
+	return res, nil
 }
 
 // Render formats Figure 10.

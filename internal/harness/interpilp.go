@@ -21,32 +21,50 @@ type InterpILPRow struct {
 // such as ... indirect branch predictors".
 type AblateInterpILPResult struct{ Rows []InterpILPRow }
 
+// ablateInterpILPPlan enumerates the interpreter-scaling grid: one cell
+// per workload with both front ends at widths 1-8 on a single run.
+func ablateInterpILPPlan(o Options) (*Plan, *AblateInterpILPResult) {
+	widths := []int{1, 2, 4, 8}
+	list := o.seven()
+	res := &AblateInterpILPResult{Rows: make([]InterpILPRow, len(list))}
+	p := newPlan("ablate-interp-ilp", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "ablate-interp-ilp", Workload: w.Name, Scale: scale, Mode: ModeInterp.String(),
+			Config: "btb+targetcache-width=1,2,4,8"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			var btbCores, tcCores []*pipeline.Core
+			var sinks []trace.Sink
+			for _, width := range widths {
+				b := pipeline.New(pipeline.DefaultConfig(width))
+				cfg := pipeline.DefaultConfig(width)
+				cfg.TargetCache = true
+				t := pipeline.New(cfg)
+				btbCores = append(btbCores, b)
+				tcCores = append(tcCores, t)
+				sinks = append(sinks, b, t)
+			}
+			if _, err := Run(w, scale, ModeInterp, core.Config{}, sinks...); err != nil {
+				return nil, err
+			}
+			row := InterpILPRow{Workload: w.Name, Widths: widths}
+			for i := range widths {
+				row.IPCBtb = append(row.IPCBtb, btbCores[i].IPC())
+				row.IPCTc = append(row.IPCTc, tcCores[i].IPC())
+			}
+			return row, nil
+		})
+	}
+	return p, res
+}
+
 // AblateInterpILP runs the interpreter through cores of width 1-8 with
 // both front ends attached to the same trace.
 func AblateInterpILP(o Options) (*AblateInterpILPResult, error) {
-	widths := []int{1, 2, 4, 8}
-	res := &AblateInterpILPResult{}
-	for _, w := range o.seven() {
-		var btbCores, tcCores []*pipeline.Core
-		var sinks []trace.Sink
-		for _, width := range widths {
-			b := pipeline.New(pipeline.DefaultConfig(width))
-			cfg := pipeline.DefaultConfig(width)
-			cfg.TargetCache = true
-			t := pipeline.New(cfg)
-			btbCores = append(btbCores, b)
-			tcCores = append(tcCores, t)
-			sinks = append(sinks, b, t)
-		}
-		if _, err := Run(w, o.scaleFor(w), ModeInterp, core.Config{}, sinks...); err != nil {
-			return nil, err
-		}
-		row := InterpILPRow{Workload: w.Name, Widths: widths}
-		for i := range widths {
-			row.IPCBtb = append(row.IPCBtb, btbCores[i].IPC())
-			row.IPCTc = append(row.IPCTc, tcCores[i].IPC())
-		}
-		res.Rows = append(res.Rows, row)
+	p, res := ablateInterpILPPlan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

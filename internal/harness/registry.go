@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -13,54 +12,79 @@ type Experiment struct {
 	Name string
 	// Desc maps it to the paper artifact.
 	Desc string
-	Run  func(Options) (Renderer, error)
+	// Plan enumerates the experiment's simulation cells without running
+	// them; the returned Plan's Result() renders once its cells are
+	// filled by a Runner.
+	Plan func(Options) *Plan
+}
+
+// planOf adapts a typed plan builder to the registry signature.
+func planOf[T Renderer](build func(Options) (*Plan, T)) func(Options) *Plan {
+	return func(o Options) *Plan {
+		p, _ := build(o)
+		return p
+	}
+}
+
+// Run executes the experiment serially (one worker, no cache).
+func (e Experiment) Run(o Options) (Renderer, error) {
+	return e.RunWith(o, serialRunner())
+}
+
+// RunWith executes the experiment on the given runner.
+func (e Experiment) RunWith(o Options, r *Runner) (Renderer, error) {
+	p := e.Plan(o)
+	if err := r.RunPlans(p); err != nil {
+		return nil, err
+	}
+	return p.Result(), nil
 }
 
 // Experiments returns the full registry in presentation order.
 func Experiments() []Experiment {
 	return []Experiment{
 		{"fig1", "Figure 1: JIT translate/execute breakdown, oracle policy, JIT/interp ratios",
-			func(o Options) (Renderer, error) { return Fig1(o) }},
+			planOf(fig1Plan)},
 		{"table1", "Table 1: memory requirement of interpreter vs JIT",
-			func(o Options) (Renderer, error) { return Table1(o) }},
+			planOf(table1Plan)},
 		{"fig2", "Figure 2: native instruction mix per execution mode",
-			func(o Options) (Renderer, error) { return Fig2(o) }},
+			planOf(fig2Plan)},
 		{"table2", "Table 2: branch misprediction rates for four predictors",
-			func(o Options) (Renderer, error) { return Table2(o) }},
+			planOf(table2Plan)},
 		{"table3", "Table 3: L1 I/D cache references and misses",
-			func(o Options) (Renderer, error) { return Table3(o) }},
+			planOf(table3Plan)},
 		{"fig3", "Figure 3: share of data misses that are writes",
-			func(o Options) (Renderer, error) { return Fig3(o) }},
+			planOf(fig3Plan)},
 		{"fig4", "Figure 4: average miss rates vs compiled (C-like) code",
-			func(o Options) (Renderer, error) { return Fig4(o) }},
+			planOf(fig4Plan)},
 		{"fig5", "Figure 5: cache misses inside the translate portion",
-			func(o Options) (Renderer, error) { return Fig5(o) }},
+			planOf(fig5Plan)},
 		{"fig6", "Figure 6: miss behaviour over time (db)",
-			func(o Options) (Renderer, error) { return Fig6(o) }},
+			planOf(fig6Plan)},
 		{"fig7", "Figure 7: associativity sweep",
-			func(o Options) (Renderer, error) { return Fig7(o) }},
+			planOf(fig7Plan)},
 		{"fig8", "Figure 8: line-size sweep",
-			func(o Options) (Renderer, error) { return Fig8(o) }},
+			planOf(fig8Plan)},
 		{"fig9", "Figure 9: IPC vs issue width",
-			func(o Options) (Renderer, error) { return Fig9(o) }},
+			planOf(fig9Plan)},
 		{"fig10", "Figure 10: normalized execution time vs issue width",
-			func(o Options) (Renderer, error) { return Fig10(o) }},
+			planOf(fig10Plan)},
 		{"fig11", "Figure 11: synchronization cases and thin-lock speedup",
-			func(o Options) (Renderer, error) { return Fig11(o) }},
+			planOf(fig11Plan)},
 		{"ablate-install", "A1/A2: code-installation policy (write-alloc / no-alloc / direct-to-I$)",
-			func(o Options) (Renderer, error) { return AblateInstall(o) }},
+			planOf(ablateInstallPlan)},
 		{"ablate-inline", "A3: JIT devirtualization on/off",
-			func(o Options) (Renderer, error) { return AblateInline(o) }},
+			planOf(ablateInlinePlan)},
 		{"ablate-threshold", "A4: translate-policy sweep",
-			func(o Options) (Renderer, error) { return AblateThreshold(o) }},
+			planOf(ablateThresholdPlan)},
 		{"ablate-scale", "input-size sensitivity of the translate share",
-			func(o Options) (Renderer, error) { return AblateScale(o) }},
+			planOf(ablateScalePlan)},
 		{"ablate-indirect", "extension: target-cache indirect predictor vs BTB",
-			func(o Options) (Renderer, error) { return AblateIndirect(o) }},
+			planOf(ablateIndirectPlan)},
 		{"ablate-tiered", "extension: tiered recompilation of hot methods",
-			func(o Options) (Renderer, error) { return AblateTiered(o) }},
+			planOf(ablateTieredPlan)},
 		{"ablate-interp-ilp", "extension: interpreter IPC scaling with a target cache",
-			func(o Options) (Renderer, error) { return AblateInterpILP(o) }},
+			planOf(ablateInterpILPPlan)},
 	}
 }
 
@@ -84,34 +108,37 @@ func Names() []string {
 	return names
 }
 
-// RunAll executes every experiment and concatenates the reports. Figure
-// 10 shares Figure 9's superscalar runs instead of re-simulating.
+// RunAll executes every experiment serially and concatenates the
+// reports. Figure 10 shares Figure 9's superscalar runs instead of
+// re-simulating (their cell keys are identical, so the batched runner
+// deduplicates them).
 func RunAll(o Options, progress func(name string)) (string, error) {
-	out := ""
-	var fig9 *Fig9Result
-	for _, e := range Experiments() {
+	var p func(Experiment)
+	if progress != nil {
+		p = func(e Experiment) { progress(e.Name) }
+	}
+	return RunAllWith(o, serialRunner(), p)
+}
+
+// RunAllWith executes every registered experiment on the given runner,
+// batching all plans into a single RunPlans call so independent cells
+// across experiments run concurrently and duplicate cells simulate
+// once. The report is identical to running each experiment serially.
+func RunAllWith(o Options, r *Runner, progress func(e Experiment)) (string, error) {
+	exps := Experiments()
+	plans := make([]*Plan, len(exps))
+	for i, e := range exps {
 		if progress != nil {
-			progress(e.Name)
+			progress(e)
 		}
-		var r Renderer
-		var err error
-		switch e.Name {
-		case "fig9":
-			fig9, err = Fig9(o)
-			r = fig9
-		case "fig10":
-			if fig9 != nil {
-				r = &Fig10Result{fig9}
-			} else {
-				r, err = e.Run(o)
-			}
-		default:
-			r, err = e.Run(o)
-		}
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", e.Name, err)
-		}
-		out += "## " + e.Name + " — " + e.Desc + "\n\n" + r.Render() + "\n"
+		plans[i] = e.Plan(o)
+	}
+	if err := r.RunPlans(plans...); err != nil {
+		return "", err
+	}
+	out := ""
+	for i, e := range exps {
+		out += "## " + e.Name + " — " + e.Desc + "\n\n" + plans[i].Result().Render() + "\n"
 	}
 	return out, nil
 }

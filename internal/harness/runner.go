@@ -1,0 +1,274 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"jrs/internal/workloads"
+)
+
+// CacheSchema versions the cell payload encoding. Bump it whenever a
+// simulator or an experiment's cell payload changes meaning, so stale
+// entries in a persistent ResultCache stop matching.
+const CacheSchema = 1
+
+// CellKey identifies one independent simulation cell of the paper grid:
+// which experiment needs it, which workload it runs, at what input
+// scale, under which execution mode(s), and with what experiment-level
+// configuration. Two cells with equal keys are interchangeable, which is
+// both the dedup rule inside one run (Figure 10 reuses Figure 9's cells)
+// and the content-address of the persistent result cache.
+type CellKey struct {
+	Experiment string `json:"experiment"`
+	Workload   string `json:"workload"`
+	Scale      int    `json:"scale"`
+	Mode       string `json:"mode"`
+	Config     string `json:"config,omitempty"`
+}
+
+// String renders the key for progress lines and debugging.
+func (k CellKey) String() string {
+	s := fmt.Sprintf("%s/%s@%d/%s", k.Experiment, k.Workload, k.Scale, k.Mode)
+	if k.Config != "" {
+		s += "/" + k.Config
+	}
+	return s
+}
+
+// Hash returns the content address of the cell: a hex SHA-256 over the
+// schema version and every key field.
+func (k CellKey) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "jrs-cell\x00%d\x00%s\x00%s\x00%d\x00%s\x00%s",
+		CacheSchema, k.Experiment, k.Workload, k.Scale, k.Mode, k.Config)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cell is one schedulable simulation unit: a key, the simulation closure
+// producing a JSON-serializable payload, and the destination the payload
+// is decoded into. Every payload — fresh or cached — passes through the
+// same JSON round trip, so a run never observes different values
+// depending on where a cell's result came from.
+type Cell struct {
+	Key  CellKey
+	sim  func() (any, error)
+	dest any
+}
+
+// Plan is an experiment's enumerated grid: its cells plus the result the
+// cells fill in and an optional aggregation step that runs after every
+// cell completed. Cell destinations are preallocated slots in the result,
+// so assembly order never depends on completion order.
+type Plan struct {
+	experiment string
+	cells      []Cell
+	result     Renderer
+	finish     func() error
+}
+
+func newPlan(experiment string, result Renderer) *Plan {
+	return &Plan{experiment: experiment, result: result}
+}
+
+// add appends a cell. dest must be a pointer; the cell payload (from the
+// simulation or the cache) is JSON-decoded into it.
+func (p *Plan) add(key CellKey, dest any, sim func() (any, error)) {
+	p.cells = append(p.cells, Cell{Key: key, sim: sim, dest: dest})
+}
+
+// Keys returns the plan's cell keys in enumeration order.
+func (p *Plan) Keys() []CellKey {
+	keys := make([]CellKey, len(p.cells))
+	for i, c := range p.cells {
+		keys[i] = c.Key
+	}
+	return keys
+}
+
+// Result returns the plan's (possibly not yet filled) result.
+func (p *Plan) Result() Renderer { return p.result }
+
+// resolveScale returns the effective input scale a cell runs at. The
+// zero "workload default" is resolved to the concrete DefaultN so cache
+// keys stay meaningful.
+func resolveScale(o Options, w workloads.Workload) int {
+	if s := o.scaleFor(w); s != 0 {
+		return s
+	}
+	return w.DefaultN
+}
+
+// Runner executes plan cells on a bounded worker pool. Every cell owns
+// its engine and simulators, so cells never share mutable state; the
+// merge into experiment results is deterministic because each cell
+// decodes into a preallocated slot and post-aggregation runs in
+// enumeration order. A Runner with Workers <= 1 degenerates to the
+// serial execution order of the original per-experiment loops.
+type Runner struct {
+	// Workers bounds concurrent cells; 0 (or negative) means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, short-circuits cells whose key hash has a
+	// stored payload and persists fresh payloads for the next run.
+	Cache *ResultCache
+	// Progress, when non-nil, is called (serialized) as each unique cell
+	// completes; cached reports whether the result came from the cache.
+	Progress func(key CellKey, cached bool)
+
+	simulated  atomic.Int64
+	cacheHits  atomic.Int64
+	progressMu sync.Mutex
+}
+
+// Simulated returns how many cells this runner actually simulated
+// (cache misses included, cache hits excluded).
+func (r *Runner) Simulated() int64 { return r.simulated.Load() }
+
+// CacheHits returns how many cells were served from the result cache.
+func (r *Runner) CacheHits() int64 { return r.cacheHits.Load() }
+
+// cellGroup is a set of cells sharing one key: simulated (or fetched)
+// once, decoded into every member's destination.
+type cellGroup struct {
+	key   CellKey
+	sim   func() (any, error)
+	dests []any
+	order int // lowest cell index, for deterministic error selection
+}
+
+// RunPlans executes every cell of every plan, then runs each plan's
+// aggregation step in plan order. Duplicate keys across plans collapse
+// to one simulation. The returned error is the one belonging to the
+// earliest cell in enumeration order, independent of scheduling.
+func (r *Runner) RunPlans(plans ...*Plan) error {
+	var groups []*cellGroup
+	index := make(map[string]*cellGroup)
+	order := 0
+	for _, p := range plans {
+		for i := range p.cells {
+			c := &p.cells[i]
+			hash := c.Key.Hash()
+			g, ok := index[hash]
+			if !ok {
+				g = &cellGroup{key: c.Key, sim: c.sim, order: order}
+				index[hash] = g
+				groups = append(groups, g)
+			}
+			g.dests = append(g.dests, c.dest)
+			order++
+		}
+	}
+
+	if err := r.runGroups(groups); err != nil {
+		return err
+	}
+	for _, p := range plans {
+		if p.finish == nil {
+			continue
+		}
+		if err := p.finish(); err != nil {
+			return fmt.Errorf("%s: %w", p.experiment, err)
+		}
+	}
+	return nil
+}
+
+// runGroups drains the group list with Workers goroutines.
+func (r *Runner) runGroups(groups []*cellGroup) error {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		bestErr error
+		bestIdx int
+	)
+	fail := func(g *cellGroup, err error) {
+		mu.Lock()
+		if bestErr == nil || g.order < bestIdx {
+			bestErr, bestIdx = err, g.order
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) || stop.Load() {
+					return
+				}
+				g := groups[i]
+				if err := r.runGroup(g); err != nil {
+					fail(g, fmt.Errorf("%s: %w", g.key.Experiment, err))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return bestErr
+}
+
+// runGroup resolves one unique cell: from the cache when possible,
+// otherwise by simulation, then decodes the payload into every
+// destination.
+func (r *Runner) runGroup(g *cellGroup) error {
+	var raw json.RawMessage
+	cached := false
+	if r.Cache != nil {
+		raw, cached = r.Cache.Get(g.key)
+	}
+	if !cached {
+		payload, err := g.sim()
+		if err != nil {
+			return err
+		}
+		raw, err = json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("%s: encode cell payload: %w", g.key, err)
+		}
+		r.simulated.Add(1)
+		if r.Cache != nil {
+			if err := r.Cache.Put(g.key, raw); err != nil {
+				return fmt.Errorf("%s: persist cell payload: %w", g.key, err)
+			}
+		}
+	} else {
+		r.cacheHits.Add(1)
+	}
+	for _, dest := range g.dests {
+		if err := json.Unmarshal(raw, dest); err != nil {
+			return fmt.Errorf("%s: decode cell payload: %w", g.key, err)
+		}
+	}
+	if r.Progress != nil {
+		r.progressMu.Lock()
+		r.Progress(g.key, cached)
+		r.progressMu.Unlock()
+	}
+	return nil
+}
+
+// serialRunner is the default execution vehicle for the typed
+// experiment entry points (Fig1, Table2, ...): one worker, no cache —
+// the exact behavior of the historical serial loops.
+func serialRunner() *Runner { return &Runner{Workers: 1} }

@@ -39,37 +39,55 @@ type Fig11Result struct {
 	Rows []SyncRow
 }
 
+// fig11Plan enumerates the synchronization grid: one cell per workload
+// covering the three monitor implementations.
+func fig11Plan(o Options) (*Plan, *Fig11Result) {
+	list := o.seven()
+	res := &Fig11Result{Rows: make([]SyncRow, len(list))}
+	p := newPlan("fig11", res)
+	for i, w := range list {
+		i, w := i, w
+		scale := resolveScale(o, w)
+		key := CellKey{Experiment: "fig11", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
+			Config: "fat+thin+onebit"}
+		p.add(key, &res.Rows[i], func() (any, error) {
+			row := SyncRow{Workload: w.Name}
+			for _, impl := range []string{"fat", "thin", "onebit"} {
+				e, err := Run(w, scale, ModeJIT, core.Config{Monitors: monitorFactory(impl)})
+				if err != nil {
+					return nil, err
+				}
+				st := e.VM.Monitors.Stats()
+				switch impl {
+				case "fat":
+					row.FatInstrs = st.Instrs
+					if e.TotalInstrs() > 0 {
+						row.SyncShareJIT = float64(st.Instrs) / float64(e.TotalInstrs())
+					}
+				case "thin":
+					row.ThinInstrs = st.Instrs
+					row.Enters = st.Enters
+					for c := monitor.CaseA; c <= monitor.CaseD; c++ {
+						row.CaseFracs[c] = st.CaseFrac(c)
+					}
+					if e.VM.AllocObjects > 0 {
+						row.SyncedObjectFrac = float64(len(e.VM.SyncObjects)) / float64(e.VM.AllocObjects)
+					}
+				case "onebit":
+					row.OneBitInstrs = st.Instrs
+				}
+			}
+			return row, nil
+		})
+	}
+	return p, res
+}
+
 // Fig11 runs every workload under the three synchronization managers.
 func Fig11(o Options) (*Fig11Result, error) {
-	res := &Fig11Result{}
-	for _, w := range o.seven() {
-		row := SyncRow{Workload: w.Name}
-		for _, impl := range []string{"fat", "thin", "onebit"} {
-			e, err := Run(w, o.scaleFor(w), ModeJIT, core.Config{Monitors: monitorFactory(impl)})
-			if err != nil {
-				return nil, err
-			}
-			st := e.VM.Monitors.Stats()
-			switch impl {
-			case "fat":
-				row.FatInstrs = st.Instrs
-				if e.TotalInstrs() > 0 {
-					row.SyncShareJIT = float64(st.Instrs) / float64(e.TotalInstrs())
-				}
-			case "thin":
-				row.ThinInstrs = st.Instrs
-				row.Enters = st.Enters
-				for c := monitor.CaseA; c <= monitor.CaseD; c++ {
-					row.CaseFracs[c] = st.CaseFrac(c)
-				}
-				if e.VM.AllocObjects > 0 {
-					row.SyncedObjectFrac = float64(len(e.VM.SyncObjects)) / float64(e.VM.AllocObjects)
-				}
-			case "onebit":
-				row.OneBitInstrs = st.Instrs
-			}
-		}
-		res.Rows = append(res.Rows, row)
+	p, res := fig11Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -24,28 +24,47 @@ type Table2Result struct {
 	Rows []Table2Row
 }
 
+// table2Plan enumerates the branch-prediction grid: one cell per
+// (workload, mode) running the four-predictor suite.
+func table2Plan(o Options) (*Plan, *Table2Result) {
+	list := o.seven()
+	res := &Table2Result{Rows: make([]Table2Row, 0, len(list)*2)}
+	p := newPlan("table2", res)
+	for _, w := range list {
+		for _, mode := range []Mode{ModeInterp, ModeJIT} {
+			w, mode := w, mode
+			scale := resolveScale(o, w)
+			res.Rows = append(res.Rows, Table2Row{})
+			key := CellKey{Experiment: "table2", Workload: w.Name, Scale: scale, Mode: mode.String(),
+				Config: "2bit+bht+gshare+gap"}
+			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+				suite := branch.NewSuite()
+				if _, err := Run(w, scale, mode, core.Config{}, suite); err != nil {
+					return nil, err
+				}
+				row := Table2Row{Workload: w.Name, Mode: mode}
+				var transfers, indirect uint64
+				for i, u := range suite.Units {
+					row.Rates[i] = u.Stats.MispredictRate()
+					row.Names[i] = u.Dir.Name()
+					transfers = u.Stats.Transfers()
+					indirect = u.Stats.Indirects
+				}
+				if transfers > 0 {
+					row.IndirectFracOfTransfers = float64(indirect) / float64(transfers)
+				}
+				return row, nil
+			})
+		}
+	}
+	return p, res
+}
+
 // Table2 runs the four predictors over each workload in both modes.
 func Table2(o Options) (*Table2Result, error) {
-	res := &Table2Result{}
-	for _, w := range o.seven() {
-		for _, mode := range []Mode{ModeInterp, ModeJIT} {
-			suite := branch.NewSuite()
-			if _, err := Run(w, o.scaleFor(w), mode, core.Config{}, suite); err != nil {
-				return nil, err
-			}
-			row := Table2Row{Workload: w.Name, Mode: mode}
-			var transfers, indirect uint64
-			for i, u := range suite.Units {
-				row.Rates[i] = u.Stats.MispredictRate()
-				row.Names[i] = u.Dir.Name()
-				transfers = u.Stats.Transfers()
-				indirect = u.Stats.Indirects
-			}
-			if transfers > 0 {
-				row.IndirectFracOfTransfers = float64(indirect) / float64(transfers)
-			}
-			res.Rows = append(res.Rows, row)
-		}
+	p, res := table2Plan(o)
+	if err := serialRunner().RunPlans(p); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
