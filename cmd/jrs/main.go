@@ -6,6 +6,9 @@
 //	jrs <experiment>         run one experiment (fig1..fig11, table1..table3, ablate-*)
 //	jrs all                  run every experiment
 //	jrs run <workload>       execute one workload and print its output
+//	jrs lint [file.mj ...]   run the static-analysis passes over every
+//	                         workload (default) or the given MiniJava
+//	                         sources; exits 1 if any finding is reported
 //
 // Flags:
 //
@@ -26,6 +29,7 @@ import (
 
 	"jrs/internal/core"
 	"jrs/internal/harness"
+	"jrs/internal/minijava"
 	"jrs/internal/workloads"
 )
 
@@ -115,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return runWorkload(fs.Arg(1), *mode, opts, stdout, stderr)
 
+	case "lint":
+		return lint(fs.Args()[1:], opts, stdout, stderr)
+
 	default:
 		exp, ok := harness.Lookup(cmd)
 		if !ok {
@@ -173,6 +180,40 @@ func runWorkload(name, modeName string, opts harness.Options, stdout, stderr io.
 	return 0
 }
 
+// lint runs the analysis pass suite over the named MiniJava sources, or
+// over every workload when no files are given, and prints the
+// deterministic diagnostic report. Exit code 1 signals findings.
+func lint(files []string, opts harness.Options, stdout, stderr io.Writer) int {
+	var progs []harness.LintProgram
+	if len(files) == 0 {
+		progs = harness.WorkloadPrograms(opts)
+	} else {
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintf(stderr, "jrs: %v\n", err)
+				return 1
+			}
+			classes, err := minijava.Compile(f, string(src))
+			if err != nil {
+				fmt.Fprintf(stderr, "jrs: %v\n", err)
+				return 1
+			}
+			progs = append(progs, harness.LintProgram{Name: f, Classes: classes})
+		}
+	}
+	report, findings, err := harness.Lint(progs)
+	if err != nil {
+		fmt.Fprintf(stderr, "jrs: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, report)
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
 func usage(fs *flag.FlagSet, stderr io.Writer) {
 	fmt.Fprintf(stderr, `jrs — architectural studies of Java runtime systems (HPCA 2000 reproduction)
 
@@ -181,6 +222,7 @@ usage:
   jrs [flags] <experiment>   e.g. fig1, table2, ablate-install
   jrs [flags] all
   jrs [flags] run <workload>
+  jrs [flags] lint [file.mj ...]
 
 flags:
 `)

@@ -65,6 +65,27 @@ func TestList(t *testing.T) {
 	}
 }
 
+// TestLintCommand checks the lint subcommand: clean examples exit 0
+// with a per-program summary, a missing file exits 1.
+func TestLintCommand(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"lint",
+		"../../examples/minijava/fib.mj",
+		"../../examples/minijava/sieve.mj"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("lint examples exit code = %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "2 program(s), 0 finding(s)") {
+		t.Errorf("lint summary missing from output:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"lint", "no-such-file.mj"}, &out, &errb); code != 1 {
+		t.Errorf("lint missing-file exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
 // TestExperimentParallelMatchesSerial runs one small experiment through
 // the CLI serially and with 8 workers and requires byte-identical
 // stdout.

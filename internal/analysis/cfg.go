@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+
+	"jrs/internal/bytecode"
+)
+
+// Block is one basic block: a maximal straight-line instruction run
+// [Start, End) entered only at Start and left only at End-1.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (layout order).
+	Index int
+	// Start and End delimit the instruction range [Start, End).
+	Start, End int
+	// Succs and Preds are block indices. For a conditional branch the
+	// fall-through successor precedes the taken successor.
+	Succs, Preds []int
+}
+
+// Graph is a method's control-flow graph.
+type Graph struct {
+	M *bytecode.Method
+	// Blocks is in layout (instruction) order.
+	Blocks []*Block
+	// BlockOf maps an instruction index to its containing block index.
+	BlockOf []int
+	// RPO lists the blocks reachable from entry in reverse postorder
+	// (entry first); blocks absent from RPO are dead code.
+	RPO []int
+
+	reachable []bool
+}
+
+// Reachable reports whether block bi is reachable from entry.
+func (g *Graph) Reachable(bi int) bool { return g.reachable[bi] }
+
+// BuildCFG partitions m's body into basic blocks and computes edges and
+// the reverse-postorder numbering. It fails on structural impossibilities
+// (empty body, branch target out of range, control falling off the end)
+// so passes can assume a well-formed graph.
+func BuildCFG(m *bytecode.Method) (*Graph, error) {
+	n := len(m.Code)
+	if n == 0 {
+		return nil, fmt.Errorf("%s: empty body", m.FullName())
+	}
+	last := m.Code[n-1].Op
+	if !last.IsTerminal() {
+		return nil, fmt.Errorf("%s: control falls off the end of the body", m.FullName())
+	}
+
+	// Leaders: entry, every branch target, every instruction after a
+	// branch or terminal instruction.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, ins := range m.Code {
+		switch {
+		case ins.Op.IsBranch():
+			t := int(ins.A)
+			if t < 0 || t >= n {
+				return nil, fmt.Errorf("%s @%d %s: branch target %d out of range [0,%d)",
+					m.FullName(), i, ins, ins.A, n)
+			}
+			leader[t] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case ins.Op.IsTerminal():
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	g := &Graph{M: m, BlockOf: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.Blocks = append(g.Blocks, &Block{Index: len(g.Blocks), Start: i})
+		}
+		g.BlockOf[i] = len(g.Blocks) - 1
+	}
+	for bi, b := range g.Blocks {
+		if bi+1 < len(g.Blocks) {
+			b.End = g.Blocks[bi+1].Start
+		} else {
+			b.End = n
+		}
+	}
+
+	for _, b := range g.Blocks {
+		ins := m.Code[b.End-1]
+		switch {
+		case ins.Op == bytecode.Goto:
+			b.Succs = []int{g.BlockOf[int(ins.A)]}
+		case ins.Op.IsBranch():
+			// A conditional branch cannot be the method's last
+			// instruction (the terminal check above), so b.End < n.
+			ft, taken := g.BlockOf[b.End], g.BlockOf[int(ins.A)]
+			b.Succs = []int{ft}
+			if taken != ft {
+				b.Succs = append(b.Succs, taken)
+			}
+		case ins.Op.IsTerminal():
+			// Returns: no successors.
+		default:
+			b.Succs = []int{g.BlockOf[b.End]}
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, b.Index)
+		}
+	}
+
+	g.buildRPO()
+	return g, nil
+}
+
+// buildRPO runs an iterative DFS from entry recording postorder, then
+// reverses it. Successor visit order is the Succs order, so the result
+// is deterministic for a given body.
+func (g *Graph) buildRPO() {
+	g.reachable = make([]bool, len(g.Blocks))
+	var post []int
+	// Frame: block index plus the next successor position to visit.
+	type frame struct{ b, next int }
+	stack := []frame{{0, 0}}
+	g.reachable[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := g.Blocks[f.b].Succs
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if !g.reachable[s] {
+				g.reachable[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]int, len(post))
+	for i, b := range post {
+		g.RPO[len(post)-1-i] = b
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+// Flow is a forward dataflow problem over a method's CFG. Facts of type
+// F are treated as immutable values: Transfer and Join must return
+// fresh facts (or unmodified inputs), never mutate their arguments —
+// the solver aliases one out-fact across multiple successors.
+type Flow[F any] interface {
+	// Entry is the fact at method entry.
+	Entry(g *Graph) F
+	// Transfer propagates a fact through a whole block.
+	Transfer(g *Graph, b *Block, in F) (F, error)
+	// Join merges a new incoming fact into a successor's current fact,
+	// reporting whether it changed. An error aborts the analysis (used
+	// by must-agree joins: stack shape, monitor depth).
+	Join(g *Graph, b *Block, have, incoming F) (merged F, changed bool, err error)
+}
+
+// Solve runs p to a fixed point with round-robin sweeps in reverse
+// postorder (deterministic, and a single sweep settles loop-free code).
+// It returns the entry fact of every reachable block; unreachable
+// blocks keep F's zero value and are never transferred.
+func Solve[F any](g *Graph, p Flow[F]) ([]F, error) {
+	in := make([]F, len(g.Blocks))
+	seeded := make([]bool, len(g.Blocks))
+	if len(g.RPO) == 0 {
+		return in, nil
+	}
+	entry := g.RPO[0]
+	in[entry] = p.Entry(g)
+	seeded[entry] = true
+
+	for {
+		changed := false
+		for _, bi := range g.RPO {
+			if !seeded[bi] {
+				continue
+			}
+			b := g.Blocks[bi]
+			out, err := p.Transfer(g, b, in[bi])
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range b.Succs {
+				if !seeded[s] {
+					in[s] = out
+					seeded[s] = true
+					changed = true
+					continue
+				}
+				merged, ch, err := p.Join(g, g.Blocks[s], in[s], out)
+				if err != nil {
+					return nil, err
+				}
+				if ch {
+					in[s] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return in, nil
+		}
+	}
+}

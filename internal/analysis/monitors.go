@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+
+	"jrs/internal/bytecode"
+)
+
+// monitorBalancePass checks structured locking: along every path from
+// entry, MonitorEnter and MonitorExit must pair like brackets — no exit
+// without a matching enter, the same nesting depth wherever two paths
+// merge, and depth zero at every return. This is the static mirror of
+// the §5 lock-behaviour study: the dynamic monitor managers (thin,
+// fat, one-bit) all assume balanced usage, and an unbalanced method
+// would wedge a green thread (self-deadlock) or corrupt a lock word
+// rather than fail cleanly.
+func monitorBalancePass(c *bytecode.Class, m *bytecode.Method, g *Graph) []Diagnostic {
+	in, err := Solve[monitorDepth](g, &monitorFlow{m: m})
+	if err != nil {
+		return []Diagnostic{{Method: m.FullName(), PC: errPC(err),
+			Pass: "monitor-balance", Sev: Error, Msg: err.Error()}}
+	}
+	// Depth agreement held everywhere; report return-with-held-monitor
+	// and the method's static locking depth is sound. Walk once for the
+	// return checks.
+	var out []Diagnostic
+	for _, bi := range g.RPO {
+		b := g.Blocks[bi]
+		depth := int(in[bi])
+		for i := b.Start; i < b.End; i++ {
+			switch op := g.M.Code[i].Op; op {
+			case bytecode.MonitorEnter:
+				depth++
+			case bytecode.MonitorExit:
+				depth--
+			case bytecode.Return, bytecode.IReturn, bytecode.FReturn, bytecode.AReturn:
+				if depth != 0 {
+					out = append(out, Diagnostic{
+						Method: m.FullName(), PC: i, Pass: "monitor-balance", Sev: Error,
+						Msg: fmt.Sprintf("return with %d monitor(s) still held", depth),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// monitorDepth is the dataflow fact: the number of monitors held on
+// entry to a block. All paths must agree.
+type monitorDepth int
+
+type monitorFlow struct {
+	m *bytecode.Method
+}
+
+func (f *monitorFlow) Entry(*Graph) monitorDepth { return 0 }
+
+func (f *monitorFlow) Transfer(g *Graph, b *Block, in monitorDepth) (monitorDepth, error) {
+	depth := in
+	for i := b.Start; i < b.End; i++ {
+		switch g.M.Code[i].Op {
+		case bytecode.MonitorEnter:
+			depth++
+		case bytecode.MonitorExit:
+			depth--
+			if depth < 0 {
+				return 0, &posError{pc: i,
+					msg: fmt.Sprintf("%s @%d: monitorexit without a matching monitorenter",
+						f.m.FullName(), i)}
+			}
+		}
+	}
+	return depth, nil
+}
+
+func (f *monitorFlow) Join(g *Graph, b *Block, have, incoming monitorDepth) (monitorDepth, bool, error) {
+	if have != incoming {
+		return 0, false, &posError{pc: b.Start,
+			msg: fmt.Sprintf("%s @%d: unbalanced monitors at join (%d vs %d held)",
+				f.m.FullName(), b.Start, have, incoming)}
+	}
+	return have, false, nil
+}

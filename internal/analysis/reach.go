@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+
+	"jrs/internal/bytecode"
+)
+
+// reachabilityPass reports every basic block that no path from method
+// entry can reach. Dead blocks execute safely (they never run) but mark
+// a code-generation bug — the MiniJava compiler prunes them, so any
+// appearance in compiled output is a regression. One diagnostic is
+// emitted per dead block, anchored at its first instruction.
+func reachabilityPass(c *bytecode.Class, m *bytecode.Method, g *Graph) []Diagnostic {
+	var out []Diagnostic
+	for _, b := range g.Blocks {
+		if g.Reachable(b.Index) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Method: m.FullName(), PC: b.Start, Pass: "reachability", Sev: Warning,
+			Msg: fmt.Sprintf("unreachable code: instructions %d..%d (%d dead)",
+				b.Start, b.End-1, b.End-b.Start),
+		})
+	}
+	return out
+}
+
+// definiteAssignmentPass checks that every local-variable read is
+// preceded by a write on all paths from entry. Parameter slots
+// (including the receiver of instance methods) are assigned at entry.
+// Our interpreter and JIT zero-fill frames, so a violation reads 0/null
+// rather than garbage — but the JVM verifier this subsystem mirrors
+// rejects such code, and in MiniJava output it means the compiler
+// dropped an initialization.
+func definiteAssignmentPass(c *bytecode.Class, m *bytecode.Method, g *Graph) []Diagnostic {
+	in, err := Solve[assignSet](g, &assignFlow{m: m})
+	if err != nil {
+		// The intersection lattice cannot fail.
+		return []Diagnostic{{Method: m.FullName(), PC: errPC(err),
+			Pass: "definite-assignment", Sev: Error, Msg: err.Error()}}
+	}
+	var out []Diagnostic
+	for _, bi := range g.RPO {
+		b := g.Blocks[bi]
+		s := in[bi].clone(m.MaxLocals)
+		for i := b.Start; i < b.End; i++ {
+			ins := m.Code[i]
+			if slot, reads := localRead(ins); reads && !s.has(slot) {
+				out = append(out, Diagnostic{
+					Method: m.FullName(), PC: i, Pass: "definite-assignment", Sev: Error,
+					Msg: fmt.Sprintf("local %d may be read before assignment", slot),
+				})
+			}
+			if slot, writes := localWrite(ins); writes {
+				s.set(slot)
+			}
+		}
+	}
+	return out
+}
+
+// assignSet is a bitset over local slots.
+type assignSet []uint64
+
+func newAssignSet(maxLocals int) assignSet {
+	return make(assignSet, (maxLocals+63)/64)
+}
+
+func (s assignSet) clone(maxLocals int) assignSet {
+	out := newAssignSet(maxLocals)
+	copy(out, s)
+	return out
+}
+
+func (s assignSet) has(slot int) bool {
+	w := slot / 64
+	return w < len(s) && s[w]&(1<<(slot%64)) != 0
+}
+
+func (s assignSet) set(slot int) {
+	if w := slot / 64; w < len(s) {
+		s[w] |= 1 << (slot % 64)
+	}
+}
+
+// localRead returns the slot an instruction reads, if any. IInc both
+// reads and writes its slot.
+func localRead(ins bytecode.Instr) (int, bool) {
+	switch ins.Op {
+	case bytecode.ILoad, bytecode.FLoad, bytecode.ALoad, bytecode.IInc:
+		return int(ins.A), true
+	}
+	return 0, false
+}
+
+// localWrite returns the slot an instruction writes, if any.
+func localWrite(ins bytecode.Instr) (int, bool) {
+	switch ins.Op {
+	case bytecode.IStore, bytecode.FStore, bytecode.AStore, bytecode.IInc:
+		return int(ins.A), true
+	}
+	return 0, false
+}
+
+// assignFlow is the forward must-analysis: a slot is definitely
+// assigned at a point iff it is assigned on every path reaching it.
+type assignFlow struct {
+	m *bytecode.Method
+}
+
+func (f *assignFlow) Entry(*Graph) assignSet {
+	s := newAssignSet(f.m.MaxLocals)
+	args := f.m.NumArgs()
+	for slot := 0; slot < args && slot < f.m.MaxLocals; slot++ {
+		s.set(slot)
+	}
+	return s
+}
+
+func (f *assignFlow) Transfer(g *Graph, b *Block, in assignSet) (assignSet, error) {
+	s := in.clone(f.m.MaxLocals)
+	for i := b.Start; i < b.End; i++ {
+		if slot, writes := localWrite(g.M.Code[i]); writes {
+			s.set(slot)
+		}
+	}
+	return s, nil
+}
+
+func (f *assignFlow) Join(g *Graph, b *Block, have, incoming assignSet) (assignSet, bool, error) {
+	merged := have.clone(f.m.MaxLocals)
+	changed := false
+	for w := range merged {
+		next := merged[w] & incoming[w]
+		if next != merged[w] {
+			merged[w] = next
+			changed = true
+		}
+	}
+	return merged, changed, nil
+}

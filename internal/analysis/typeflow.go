@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"fmt"
+
+	"jrs/internal/bytecode"
+)
+
+// TypeFlow computes the operand-stack type vector at the entry of every
+// instruction of m via a fixed-point dataflow over the CFG, failing on
+// any stack-discipline violation: underflow, operand type mismatches,
+// inconsistent shapes at join points, wrong return opcode for the
+// signature, or control falling off the end. The JIT consumes the
+// vectors to assign stack slots to integer vs. floating registers; the
+// loader's full-verification mode and `jrs lint` use it as the
+// stack-type verifier. Instructions unreachable from entry keep a nil
+// vector.
+//
+// The class pool must be resolved (field and method references carry
+// their target types).
+func TypeFlow(c *bytecode.Class, m *bytecode.Method) ([][]bytecode.Type, error) {
+	g, err := BuildCFG(m)
+	if err != nil {
+		return nil, err
+	}
+	return typeFlowOn(g, c, m)
+}
+
+func typeFlowOn(g *Graph, c *bytecode.Class, m *bytecode.Method) ([][]bytecode.Type, error) {
+	in, err := Solve[[]bytecode.Type](g, &stackFlow{c: c, m: m})
+	if err != nil {
+		return nil, err
+	}
+	// Replay each reachable block once more, recording the stack at
+	// every instruction.
+	types := make([][]bytecode.Type, len(m.Code))
+	for _, bi := range g.RPO {
+		b := g.Blocks[bi]
+		s := in[bi]
+		if s == nil {
+			s = []bytecode.Type{}
+		}
+		for i := b.Start; i < b.End; i++ {
+			types[i] = s
+			if s, err = stackStep(c, m, i, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return types, nil
+}
+
+// stackFlow is the Flow problem: facts are stack type vectors, joins
+// must agree exactly.
+type stackFlow struct {
+	c *bytecode.Class
+	m *bytecode.Method
+}
+
+func (f *stackFlow) Entry(*Graph) []bytecode.Type { return []bytecode.Type{} }
+
+func (f *stackFlow) Transfer(g *Graph, b *Block, in []bytecode.Type) ([]bytecode.Type, error) {
+	s := in
+	var err error
+	for i := b.Start; i < b.End; i++ {
+		if s, err = stackStep(f.c, f.m, i, s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (f *stackFlow) Join(g *Graph, b *Block, have, incoming []bytecode.Type) ([]bytecode.Type, bool, error) {
+	if len(have) != len(incoming) {
+		return nil, false, &posError{pc: b.Start,
+			msg: fmt.Sprintf("%s @%d: inconsistent stack depth at join (%d vs %d)",
+				f.m.FullName(), b.Start, len(have), len(incoming))}
+	}
+	for i := range have {
+		if have[i] != incoming[i] {
+			return nil, false, &posError{pc: b.Start,
+				msg: fmt.Sprintf("%s @%d: inconsistent stack type at join slot %d (%s vs %s)",
+					f.m.FullName(), b.Start, i, have[i], incoming[i])}
+		}
+	}
+	return have, false, nil
+}
+
+// tAny is the wildcard operand type for polymorphic stack ops
+// (pop/dup/swap). bytecode.TVoid never appears on the stack, so its
+// value is free for the purpose.
+const tAny = bytecode.TVoid
+
+// stackStep applies one instruction to a stack type vector, checking
+// operand counts and types. The input vector is never mutated.
+func stackStep(c *bytecode.Class, m *bytecode.Method, i int, s []bytecode.Type) ([]bytecode.Type, error) {
+	ins := m.Code[i]
+	fail := func(format string, args ...any) error {
+		return &posError{pc: i, msg: fmt.Sprintf("%s @%d %s: %s",
+			m.FullName(), i, ins, fmt.Sprintf(format, args...))}
+	}
+	// pop removes len(want) operands, topmost first, checking each
+	// against the wanted type (tAny matches anything). push appends.
+	st := append([]bytecode.Type{}, s...)
+	pop := func(want ...bytecode.Type) error {
+		if len(st) < len(want) {
+			return fail("stack underflow (%d < %d)", len(st), len(want))
+		}
+		for k, w := range want {
+			got := st[len(st)-1-k]
+			if w != tAny && got != w {
+				return fail("operand %d is %s, want %s", k, got, w)
+			}
+		}
+		st = st[:len(st)-len(want)]
+		return nil
+	}
+	push := func(ts ...bytecode.Type) { st = append(st, ts...) }
+
+	I, F, A := bytecode.TInt, bytecode.TFloat, bytecode.TRef
+	var err error
+	switch op := ins.Op; op {
+	case bytecode.Nop, bytecode.IInc, bytecode.Goto:
+
+	case bytecode.IConst:
+		push(I)
+	case bytecode.FConst:
+		push(F)
+	case bytecode.SConst, bytecode.AConstNull:
+		push(A)
+	case bytecode.ILoad:
+		push(I)
+	case bytecode.FLoad:
+		push(F)
+	case bytecode.ALoad:
+		push(A)
+	case bytecode.IStore:
+		err = pop(I)
+	case bytecode.FStore:
+		err = pop(F)
+	case bytecode.AStore:
+		err = pop(A)
+
+	case bytecode.Pop:
+		err = pop(tAny)
+	case bytecode.Dup:
+		if len(st) < 1 {
+			err = fail("dup on empty stack")
+			break
+		}
+		push(st[len(st)-1])
+	case bytecode.Swap:
+		if len(st) < 2 {
+			err = fail("swap needs two operands, have %d", len(st))
+			break
+		}
+		st[len(st)-1], st[len(st)-2] = st[len(st)-2], st[len(st)-1]
+
+	case bytecode.IAdd, bytecode.ISub, bytecode.IMul, bytecode.IDiv,
+		bytecode.IRem, bytecode.IAnd, bytecode.IOr, bytecode.IXor,
+		bytecode.IShl, bytecode.IShr, bytecode.IUshr:
+		if err = pop(I, I); err == nil {
+			push(I)
+		}
+	case bytecode.INeg:
+		if err = pop(I); err == nil {
+			push(I)
+		}
+	case bytecode.FAdd, bytecode.FSub, bytecode.FMul, bytecode.FDiv:
+		if err = pop(F, F); err == nil {
+			push(F)
+		}
+	case bytecode.FNeg:
+		if err = pop(F); err == nil {
+			push(F)
+		}
+	case bytecode.FCmp:
+		if err = pop(F, F); err == nil {
+			push(I)
+		}
+	case bytecode.I2F:
+		if err = pop(I); err == nil {
+			push(F)
+		}
+	case bytecode.F2I:
+		if err = pop(F); err == nil {
+			push(I)
+		}
+
+	case bytecode.NewArray:
+		if err = pop(I); err == nil {
+			push(A)
+		}
+	case bytecode.ArrayLength:
+		if err = pop(A); err == nil {
+			push(I)
+		}
+	case bytecode.IALoad, bytecode.CALoad:
+		if err = pop(I, A); err == nil { // index, array
+			push(I)
+		}
+	case bytecode.FALoad:
+		if err = pop(I, A); err == nil {
+			push(F)
+		}
+	case bytecode.AALoad:
+		if err = pop(I, A); err == nil {
+			push(A)
+		}
+	case bytecode.IAStore, bytecode.CAStore:
+		err = pop(I, I, A) // value, index, array
+	case bytecode.FAStore:
+		err = pop(F, I, A)
+	case bytecode.AAStore:
+		err = pop(A, I, A)
+
+	case bytecode.IfEq, bytecode.IfNe, bytecode.IfLt, bytecode.IfGe,
+		bytecode.IfGt, bytecode.IfLe:
+		err = pop(I)
+	case bytecode.IfNull, bytecode.IfNonNull:
+		err = pop(A)
+	case bytecode.IfICmpEq, bytecode.IfICmpNe, bytecode.IfICmpLt,
+		bytecode.IfICmpGe, bytecode.IfICmpGt, bytecode.IfICmpLe:
+		err = pop(I, I)
+	case bytecode.IfACmpEq, bytecode.IfACmpNe:
+		err = pop(A, A)
+
+	case bytecode.New:
+		push(A)
+	case bytecode.GetField:
+		fld := c.Pool.Fields[ins.A].Resolved
+		if fld == nil {
+			err = fail("unresolved field reference %d", ins.A)
+			break
+		}
+		if err = pop(A); err == nil {
+			push(fld.Type)
+		}
+	case bytecode.PutField:
+		fld := c.Pool.Fields[ins.A].Resolved
+		if fld == nil {
+			err = fail("unresolved field reference %d", ins.A)
+			break
+		}
+		err = pop(fld.Type, A) // value, object
+	case bytecode.GetStatic:
+		fld := c.Pool.Fields[ins.A].Resolved
+		if fld == nil {
+			err = fail("unresolved field reference %d", ins.A)
+			break
+		}
+		push(fld.Type)
+	case bytecode.PutStatic:
+		fld := c.Pool.Fields[ins.A].Resolved
+		if fld == nil {
+			err = fail("unresolved field reference %d", ins.A)
+			break
+		}
+		err = pop(fld.Type)
+
+	case bytecode.InvokeVirtual, bytecode.InvokeStatic, bytecode.InvokeSpecial:
+		callee := c.Pool.Methods[ins.A].Resolved
+		if callee == nil {
+			err = fail("unresolved method reference %d", ins.A)
+			break
+		}
+		if callee.IsStatic() != (op == bytecode.InvokeStatic) {
+			err = fail("%s of %s method %s", op, staticness(callee), callee.FullName())
+			break
+		}
+		// Arguments are popped last-parameter first; instance calls pop
+		// the receiver beneath them.
+		want := make([]bytecode.Type, 0, len(callee.Sig.Params)+1)
+		for k := len(callee.Sig.Params) - 1; k >= 0; k-- {
+			want = append(want, callee.Sig.Params[k])
+		}
+		if !callee.IsStatic() {
+			want = append(want, A)
+		}
+		if err = pop(want...); err == nil {
+			if callee.Sig.Ret != bytecode.TVoid {
+				push(callee.Sig.Ret)
+			}
+		}
+
+	case bytecode.Return:
+		if m.Sig.Ret != bytecode.TVoid {
+			err = fail("void return from method returning %s", m.Sig.Ret)
+		}
+	case bytecode.IReturn:
+		if m.Sig.Ret != I {
+			err = fail("ireturn from method returning %s", m.Sig.Ret)
+			break
+		}
+		err = pop(I)
+	case bytecode.FReturn:
+		if m.Sig.Ret != F {
+			err = fail("freturn from method returning %s", m.Sig.Ret)
+			break
+		}
+		err = pop(F)
+	case bytecode.AReturn:
+		if m.Sig.Ret != A {
+			err = fail("areturn from method returning %s", m.Sig.Ret)
+			break
+		}
+		err = pop(A)
+
+	case bytecode.MonitorEnter, bytecode.MonitorExit:
+		err = pop(A)
+
+	default:
+		err = fail("typeflow: unhandled opcode %v", ins.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func staticness(m *bytecode.Method) string {
+	if m.IsStatic() {
+		return "static"
+	}
+	return "instance"
+}
+
+// typecheckPass wraps TypeFlow as a CheckMethod pass.
+func typecheckPass(c *bytecode.Class, m *bytecode.Method, g *Graph) []Diagnostic {
+	if _, err := typeFlowOn(g, c, m); err != nil {
+		return []Diagnostic{{Method: m.FullName(), PC: errPC(err), Pass: "typecheck",
+			Sev: Error, Msg: err.Error()}}
+	}
+	return nil
+}

@@ -12,11 +12,34 @@ type Asm struct {
 	// their label was bound.
 	fixups map[int]string
 	err    error
+
+	// Prune-mode state (see Prune).
+	prune bool
+	dead  bool
+	// pruned marks labels bound inside a suppressed region that were
+	// never revived; a later branch to one would target code that was
+	// silently dropped, so Assemble rejects it.
+	pruned map[string]bool
 }
 
 // NewAsm returns an empty assembler.
 func NewAsm() *Asm {
 	return &Asm{labels: make(map[string]int), fixups: make(map[int]string)}
+}
+
+// Prune switches the assembler into reachability-pruning mode: after a
+// terminal instruction (return or unconditional goto) emission is
+// suppressed until a label with pending forward references binds, so
+// statically unreachable code never reaches the body. This assumes
+// structured control flow — a backward branch must target a label that
+// was bound while emission was live; branching to a label bound inside
+// a suppressed region is an Assemble error. The MiniJava code
+// generator runs in this mode so compiler output passes the
+// dead-code analysis pass.
+func (a *Asm) Prune() *Asm {
+	a.prune = true
+	a.pruned = make(map[string]bool)
+	return a
 }
 
 // Len returns the number of instructions emitted so far.
@@ -28,20 +51,48 @@ func (a *Asm) Emit(op Op) *Asm { return a.Op(op, 0, 0) }
 // I appends an instruction with one operand.
 func (a *Asm) I(op Op, operand int32) *Asm { return a.Op(op, operand, 0) }
 
-// Op appends an instruction with two operands.
+// Op appends an instruction with two operands. In prune mode the
+// instruction is dropped while emission is suppressed, and a terminal
+// opcode suppresses what follows.
 func (a *Asm) Op(op Op, x, y int32) *Asm {
+	if a.dead {
+		return a
+	}
 	a.code = append(a.code, Instr{Op: op, A: x, B: y})
+	if a.prune && op.IsTerminal() {
+		a.dead = true
+	}
 	return a
 }
 
-// Label binds name to the next instruction index.
+// Label binds name to the next instruction index. In prune mode a label
+// with pending forward references revives emission (the code after it
+// is reachable via those branches); an unreferenced label bound inside
+// a suppressed region is recorded so late branches to it fail loudly.
 func (a *Asm) Label(name string) *Asm {
 	if _, dup := a.labels[name]; dup {
 		a.err = fmt.Errorf("duplicate label %q", name)
 		return a
 	}
+	if a.dead {
+		if a.referenced(name) {
+			a.dead = false
+		} else {
+			a.pruned[name] = true
+		}
+	}
 	a.labels[name] = len(a.code)
 	return a
+}
+
+// referenced reports whether any emitted branch awaits the label.
+func (a *Asm) referenced(name string) bool {
+	for _, l := range a.fixups {
+		if l == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Branch appends a branch to the (possibly not yet bound) label.
@@ -50,8 +101,14 @@ func (a *Asm) Branch(op Op, label string) *Asm {
 		a.err = fmt.Errorf("%v is not a branch", op)
 		return a
 	}
+	if a.dead {
+		return a
+	}
 	a.fixups[len(a.code)] = label
 	a.code = append(a.code, Instr{Op: op})
+	if a.prune && op.IsTerminal() {
+		a.dead = true
+	}
 	return a
 }
 
@@ -61,6 +118,9 @@ func (a *Asm) Assemble() ([]Instr, error) {
 		return nil, a.err
 	}
 	for idx, label := range a.fixups {
+		if a.pruned[label] {
+			return nil, fmt.Errorf("branch to label %q bound in pruned code", label)
+		}
 		t, ok := a.labels[label]
 		if !ok {
 			return nil, fmt.Errorf("undefined label %q", label)
@@ -94,10 +154,10 @@ func Verify(c *Class, m *Method) error {
 		case ins.Op >= NumOps:
 			return bad(i, "invalid opcode")
 		case ins.Op.IsBranch():
-			if ins.Op == Goto || true { // all branches carry a target in A
-				if ins.A < 0 || int(ins.A) >= n {
-					return bad(i, "branch target %d out of range [0,%d)", ins.A, n)
-				}
+			// Every branch opcode — conditional or not — carries an
+			// instruction-index target in A.
+			if ins.A < 0 || int(ins.A) >= n {
+				return bad(i, "branch target %d outside body [0,%d)", ins.A, n)
 			}
 		case ins.Op == ILoad || ins.Op == FLoad || ins.Op == ALoad ||
 			ins.Op == IStore || ins.Op == FStore || ins.Op == AStore ||

@@ -1,6 +1,7 @@
 package bytecode
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -172,6 +173,31 @@ func TestVerifyRejects(t *testing.T) {
 		m := &Method{Name: "m", Sig: sig, MaxLocals: 2, Code: tc.code}
 		if err := Verify(c, m); err == nil {
 			t.Errorf("%s: verifier accepted invalid code", tc.name)
+		}
+	}
+}
+
+// TestVerifyRejectsAllBranchOps: the range check applies to every
+// branch opcode, not just Goto — a regression test for a guard that
+// once special-cased Goto (and was accidentally tautological).
+func TestVerifyRejectsAllBranchOps(t *testing.T) {
+	c := testClass()
+	sig, _ := ParseSignature("()V")
+	for op := Op(0); op < NumOps; op++ {
+		if !op.IsBranch() {
+			continue
+		}
+		for _, target := range []int32{-1, 2, 99} {
+			m := &Method{Name: "m", Sig: sig, MaxLocals: 2,
+				Code: []Instr{{Op: op, A: target}, {Op: Return}}}
+			err := Verify(c, m)
+			if err == nil {
+				t.Errorf("%v with target %d accepted", op, target)
+				continue
+			}
+			if !strings.Contains(err.Error(), "branch target") {
+				t.Errorf("%v target %d: err = %v, want branch-target message", op, target, err)
+			}
 		}
 	}
 }

@@ -204,6 +204,16 @@ func (o Op) IsInvoke() bool {
 	return o == InvokeVirtual || o == InvokeStatic || o == InvokeSpecial
 }
 
+// IsTerminal reports whether control never falls through to the next
+// instruction: returns and unconditional branches.
+func (o Op) IsTerminal() bool {
+	switch o {
+	case Goto, Return, IReturn, FReturn, AReturn:
+		return true
+	}
+	return false
+}
+
 // Instr is one decoded bytecode instruction. A and B are operands whose
 // meaning depends on the opcode (constant value, local slot, pool index,
 // branch target, increment).

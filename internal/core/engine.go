@@ -63,6 +63,9 @@ type Config struct {
 	// Quantum is the scheduler slice in bytecodes (interpreter) and
 	// 8x that in native instructions. Default 4096.
 	Quantum int
+	// Verify selects the class-load verification level (default
+	// vm.VerifyFull: structural checks plus the full analysis passes).
+	Verify vm.VerifyLevel
 }
 
 // Engine is the mixed-mode runtime: VM + interpreter + JIT + native CPU
@@ -140,6 +143,7 @@ func New(cfg Config) *Engine {
 	clock := &trace.Counter{}
 	full := trace.Tee(clock, cfg.Sink)
 	v := vm.New(full, cfg.Monitors)
+	v.Verify = cfg.Verify
 	e := &Engine{
 		VM:      v,
 		Policy:  cfg.Policy,

@@ -20,10 +20,22 @@ func sysClass() *bytecode.Class {
 		return g
 	}
 	mk := func(name, s string) *bytecode.Method {
+		// Stub bodies must be well-typed for their signature: the
+		// loader's full verifier checks intrinsics like everything else.
+		g := sig(s)
+		var code []bytecode.Instr
+		switch g.Ret {
+		case bytecode.TInt:
+			code = []bytecode.Instr{{Op: bytecode.IConst}, {Op: bytecode.IReturn}}
+		case bytecode.TRef:
+			code = []bytecode.Instr{{Op: bytecode.AConstNull}, {Op: bytecode.AReturn}}
+		default:
+			code = []bytecode.Instr{{Op: bytecode.Return}}
+		}
 		return &bytecode.Method{
-			Name: name, Sig: sig(s), Flags: bytecode.FlagStatic,
+			Name: name, Sig: g, Flags: bytecode.FlagStatic,
 			MaxLocals: 2,
-			Code:      []bytecode.Instr{{Op: bytecode.Return}},
+			Code:      code,
 		}
 	}
 	return &bytecode.Class{

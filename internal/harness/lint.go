@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"jrs/internal/analysis"
+	"jrs/internal/bytecode"
+	"jrs/internal/vm"
+	"jrs/internal/workloads"
+)
+
+// LintProgram is one named, compiled program submitted to Lint.
+type LintProgram struct {
+	Name    string
+	Classes []*bytecode.Class
+}
+
+// LintClasses links the program (assigning ids, laying out code and
+// resolving constant pools — analysis passes need resolved method and
+// field references) and runs every analysis pass over every method.
+// Linking uses structural verification only: lint's job is to report
+// findings, not to refuse the program outright.
+func LintClasses(classes []*bytecode.Class) ([]analysis.Diagnostic, error) {
+	v := vm.New(nil, nil)
+	v.Verify = vm.VerifyStructural
+	if err := v.Load(classes); err != nil {
+		return nil, err
+	}
+	return analysis.CheckProgram(classes), nil
+}
+
+// Lint renders the deterministic diagnostic report over progs: one
+// status line per program, indented findings (method, pc, pass,
+// severity, message) beneath it, and a trailing summary. It returns the
+// report and the total finding count; a program that fails to link at
+// all is an error.
+func Lint(progs []LintProgram) (string, int, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jrs lint — passes: %s\n", strings.Join(analysis.PassNames(), ", "))
+	total := 0
+	for _, p := range progs {
+		methods := 0
+		for _, c := range p.Classes {
+			methods += len(c.Methods)
+		}
+		diags, err := LintClasses(p.Classes)
+		if err != nil {
+			return "", 0, fmt.Errorf("%s: %v", p.Name, err)
+		}
+		if len(diags) == 0 {
+			fmt.Fprintf(&b, "%-9s %d classes, %d methods: clean\n",
+				p.Name, len(p.Classes), methods)
+			continue
+		}
+		fmt.Fprintf(&b, "%-9s %d classes, %d methods: %d finding(s)\n",
+			p.Name, len(p.Classes), methods, len(diags))
+		for _, d := range diags {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		total += len(diags)
+	}
+	fmt.Fprintf(&b, "%d program(s), %d finding(s)\n", len(progs), total)
+	return b.String(), total, nil
+}
+
+// WorkloadPrograms compiles every workload (or the opts subset) at its
+// default scale for linting.
+func WorkloadPrograms(opts Options) []LintProgram {
+	ws := opts.Workloads
+	if len(ws) == 0 {
+		ws = workloads.All()
+	}
+	progs := make([]LintProgram, len(ws))
+	for i, w := range ws {
+		progs[i] = LintProgram{Name: w.Name, Classes: w.Classes(opts.Scale)}
+	}
+	return progs
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jrs/internal/analysis"
+	"jrs/internal/bytecode"
+	"jrs/internal/minijava"
+)
+
+// TestLintWorkloadsGolden pins the full `jrs lint` report over every
+// workload: all passes, all eight programs, zero findings, and the exact
+// bytes (the report is part of the CLI contract and must stay
+// deterministic). Refresh with:
+//
+//	go test ./internal/harness -run TestLintWorkloadsGolden -update
+func TestLintWorkloadsGolden(t *testing.T) {
+	report, findings, err := Lint(WorkloadPrograms(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 0 {
+		t.Errorf("workloads must lint clean, got %d findings:\n%s", findings, report)
+	}
+	again, _, err := Lint(WorkloadPrograms(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report != again {
+		t.Error("lint report is not deterministic across runs")
+	}
+
+	path := filepath.Join("testdata", "golden", "lint.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if report != string(want) {
+		t.Errorf("lint report differs from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			path, report, want)
+	}
+}
+
+// TestLintSeededBugs plants one bug of each kind in an otherwise valid
+// program and asserts lint reports each with the right method and pc.
+func TestLintSeededBugs(t *testing.T) {
+	sigV, _ := bytecode.ParseSignature("()V")
+	mk := func(name string, code []bytecode.Instr) *bytecode.Method {
+		return &bytecode.Method{Name: name, Sig: sigV, Flags: bytecode.FlagStatic,
+			MaxLocals: 1, Code: code}
+	}
+	c := &bytecode.Class{Name: "Bugs", Methods: []*bytecode.Method{
+		mk("leaky", []bytecode.Instr{ // returns holding a monitor
+			{Op: bytecode.AConstNull}, {Op: bytecode.MonitorEnter},
+			{Op: bytecode.Return}, // @2
+		}),
+		mk("deadcode", []bytecode.Instr{ // unreachable tail block
+			{Op: bytecode.Goto, A: 2},
+			{Op: bytecode.Nop}, // @1 dead
+			{Op: bytecode.Return},
+		}),
+		mk("badjoin", []bytecode.Instr{ // arms disagree on stack depth
+			{Op: bytecode.IConst}, {Op: bytecode.IfEq, A: 4},
+			{Op: bytecode.IConst, A: 7}, {Op: bytecode.Goto, A: 4},
+			{Op: bytecode.Return}, // @4 join
+		}),
+	}}
+
+	diags, err := LintClasses([]*bytecode.Class{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		method, pass string
+		pc           int
+		sev          analysis.Severity
+	}
+	wants := []want{
+		{"Bugs.leaky()V", "monitor-balance", 2, analysis.Error},
+		{"Bugs.deadcode()V", "reachability", 1, analysis.Warning},
+		{"Bugs.badjoin()V", "typecheck", 4, analysis.Error},
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("findings = %v, want %d", diags, len(wants))
+	}
+	for i, w := range wants {
+		d := diags[i]
+		if d.Method != w.method || d.Pass != w.pass || d.PC != w.pc || d.Sev != w.sev {
+			t.Errorf("finding %d = %v, want %s %s@%d %s", i, d, w.method, w.pass, w.pc, w.sev)
+		}
+	}
+
+	report, findings, err := Lint([]LintProgram{{Name: "bugs", Classes: []*bytecode.Class{c}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings != 3 {
+		t.Fatalf("findings = %d, want 3\n%s", findings, report)
+	}
+	if !strings.Contains(report, "bugs      1 classes, 3 methods: 3 finding(s)") {
+		t.Errorf("report header wrong:\n%s", report)
+	}
+	if !strings.Contains(report, "Bugs.leaky()V @2: [monitor-balance] error: return with 1 monitor(s) still held") {
+		t.Errorf("report misses the monitor finding:\n%s", report)
+	}
+}
+
+// TestLintExamples: the shipped MiniJava examples stay lint-clean (they
+// are the documented `jrs lint` inputs).
+func TestLintExamples(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "minijava")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".mj") {
+			continue
+		}
+		n++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes, err := minijava.Compile(e.Name(), string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		diags, err := LintClasses(classes)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s: findings %v", e.Name(), diags)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no .mj examples found")
+	}
+}

@@ -23,6 +23,11 @@ func setup(t *testing.T, maxLocals int, code []bytecode.Instr, pool func(*byteco
 	}
 	ctr := &trace.Counter{}
 	v := vm.New(ctr, nil)
+	// Several tests drive the interpreter with deliberately ill-typed
+	// bodies (IStore on an empty stack to receive a pushed call result,
+	// IReturn from a ()V method) to exercise trap mechanics, so loading
+	// here skips the full analysis verifier.
+	v.Verify = vm.VerifyStructural
 	if err := v.Load([]*bytecode.Class{c}); err != nil {
 		t.Fatal(err)
 	}

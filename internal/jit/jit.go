@@ -19,6 +19,7 @@ package jit
 import (
 	"fmt"
 
+	"jrs/internal/analysis"
 	"jrs/internal/bytecode"
 	"jrs/internal/emit"
 	"jrs/internal/isa"
@@ -235,7 +236,7 @@ func (g *gen) slotOff(d int) int64 {
 }
 
 func (g *gen) run() (*Compiled, error) {
-	types, err := typeflow(g.cls, g.m)
+	types, err := analysis.TypeFlow(g.cls, g.m)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"jrs/internal/analysis"
 	"jrs/internal/bytecode"
 	"jrs/internal/isa"
 	"jrs/internal/trace"
@@ -202,7 +203,7 @@ func TestTypeflowRejectsBadStack(t *testing.T) {
 	m := method("f", "()V", bytecode.FlagStatic, 1,
 		[]bytecode.Instr{{Op: bytecode.Pop}, {Op: bytecode.Return}})
 	c := &bytecode.Class{Name: "A", Methods: []*bytecode.Method{m}}
-	if _, err := typeflow(c, m); err == nil ||
+	if _, err := analysis.TypeFlow(c, m); err == nil ||
 		!strings.Contains(err.Error(), "underflow") {
 		t.Fatalf("err = %v", err)
 	}
@@ -215,7 +216,7 @@ func TestTypeflowRejectsBadStack(t *testing.T) {
 		Emit(bytecode.Return)
 	m2 := method("g", "()V", bytecode.FlagStatic, 1, a.MustAssemble())
 	c2 := &bytecode.Class{Name: "B", Methods: []*bytecode.Method{m2}}
-	if _, err := typeflow(c2, m2); err == nil ||
+	if _, err := analysis.TypeFlow(c2, m2); err == nil ||
 		!strings.Contains(err.Error(), "join") {
 		t.Fatalf("join err = %v", err)
 	}
@@ -291,7 +292,7 @@ func TestStackEffectConservation(t *testing.T) {
 		I(bytecode.IStore, 0).Emit(bytecode.Return)
 	m := method("f", "()V", bytecode.FlagStatic, 1, a.MustAssemble())
 	c := &bytecode.Class{Name: "A", Methods: []*bytecode.Method{m}}
-	types, err := typeflow(c, m)
+	types, err := analysis.TypeFlow(c, m)
 	if err != nil {
 		t.Fatal(err)
 	}

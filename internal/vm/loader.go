@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"jrs/internal/analysis"
 	"jrs/internal/bytecode"
 	"jrs/internal/mem"
 )
@@ -146,6 +147,18 @@ func (v *VM) Load(classes []*bytecode.Class) error {
 		for _, m := range c.Methods {
 			if err := bytecode.Verify(c, m); err != nil {
 				return err
+			}
+		}
+		if v.Verify == VerifyFull {
+			// Full verification: the shared static-analysis passes run
+			// over every admitted method, and any Error finding (stack
+			// discipline, definite assignment, monitor balance) rejects
+			// the class — interpreted code gets the same guarantees the
+			// JIT's typeflow used to give compiled code only.
+			for _, m := range c.Methods {
+				if errs := analysis.Errors(analysis.CheckMethod(c, m)); len(errs) > 0 {
+					return fmt.Errorf("load %s: verification failed: %s", c.Name, errs[0].Msg)
+				}
 			}
 		}
 		v.emitLoadTrace(c)

@@ -61,9 +61,28 @@ func Throwf(kind, format string, args ...any) {
 	panic(&Error{Kind: kind, Msg: fmt.Sprintf(format, args...)})
 }
 
+// VerifyLevel selects how much static checking Load performs on every
+// method before admitting a class.
+type VerifyLevel int
+
+const (
+	// VerifyFull (the default) runs the structural checks plus the full
+	// internal/analysis pass suite — stack-type verification, definite
+	// assignment, monitor balance — and rejects any Error finding, the
+	// way the JVM verifier gates class loading.
+	VerifyFull VerifyLevel = iota
+	// VerifyStructural runs only bytecode.Verify (branch targets, pool
+	// indices, local slots). Tests exercising deliberately ill-typed
+	// bodies opt into this level.
+	VerifyStructural
+)
+
 // VM is the runtime instance.
 type VM struct {
 	Mem *mem.Memory
+	// Verify is the admission-check level Load applies (default
+	// VerifyFull).
+	Verify VerifyLevel
 	// Classes maps name to loaded class; ClassList is indexed by class
 	// id; MethodByID is indexed by method id.
 	Classes    map[string]*bytecode.Class

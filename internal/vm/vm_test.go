@@ -20,8 +20,13 @@ func mkMethod(name, sig string, flags uint32) *bytecode.Method {
 	if err != nil {
 		panic(err)
 	}
+	// Bodies must be well-typed for their signature (Load verifies).
+	code := []bytecode.Instr{{Op: bytecode.Return}}
+	if s.Ret == bytecode.TInt {
+		code = []bytecode.Instr{{Op: bytecode.IConst}, {Op: bytecode.IReturn}}
+	}
 	return &bytecode.Method{Name: name, Sig: s, Flags: flags, MaxLocals: 4,
-		Code: []bytecode.Instr{{Op: bytecode.Return}}}
+		Code: code}
 }
 
 func TestAllocObject(t *testing.T) {
