@@ -9,6 +9,10 @@
 //	jrs lint [file.mj ...]   run the static-analysis passes over every
 //	                         workload (default) or the given MiniJava
 //	                         sources; exits 1 if any finding is reported
+//	jrs analyze [file.mj ...]  whole-program interprocedural analysis
+//	                         report (call graph, devirtualization,
+//	                         lock elision, purity) over every workload
+//	                         (default) or the given MiniJava sources
 //
 // Flags:
 //
@@ -18,6 +22,7 @@
 //	-w names      comma-separated workload subset for experiments
 //	-parallel N   simulation workers (0 = GOMAXPROCS, 1 = serial)
 //	-cachedir D   persist per-cell results under D and reuse them on re-runs
+//	-json         emit lint/analyze reports as JSON instead of text
 package main
 
 import (
@@ -49,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wsel := fs.String("w", "", "comma-separated workload subset")
 	parallel := fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	cachedir := fs.String("cachedir", "", "directory for the persistent result cache (empty = no cache)")
+	jsonOut := fs.Bool("json", false, "emit lint/analyze reports as JSON")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,7 +126,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runWorkload(fs.Arg(1), *mode, opts, stdout, stderr)
 
 	case "lint":
-		return lint(fs.Args()[1:], opts, stdout, stderr)
+		return lint(fs.Args()[1:], opts, *jsonOut, stdout, stderr)
+
+	case "analyze":
+		return analyze(fs.Args()[1:], opts, runner, *jsonOut, stdout, stderr)
 
 	default:
 		exp, ok := harness.Lookup(cmd)
@@ -180,37 +189,85 @@ func runWorkload(name, modeName string, opts harness.Options, stdout, stderr io.
 	return 0
 }
 
+// compilePrograms loads the named MiniJava sources, or every workload
+// when no files are given.
+func compilePrograms(files []string, opts harness.Options, stderr io.Writer) ([]harness.LintProgram, bool) {
+	if len(files) == 0 {
+		return harness.WorkloadPrograms(opts), true
+	}
+	var progs []harness.LintProgram
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return nil, false
+		}
+		classes, err := minijava.Compile(f, string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return nil, false
+		}
+		progs = append(progs, harness.LintProgram{Name: f, Classes: classes})
+	}
+	return progs, true
+}
+
 // lint runs the analysis pass suite over the named MiniJava sources, or
 // over every workload when no files are given, and prints the
-// deterministic diagnostic report. Exit code 1 signals findings.
-func lint(files []string, opts harness.Options, stdout, stderr io.Writer) int {
-	var progs []harness.LintProgram
-	if len(files) == 0 {
-		progs = harness.WorkloadPrograms(opts)
-	} else {
-		for _, f := range files {
-			src, err := os.ReadFile(f)
-			if err != nil {
-				fmt.Fprintf(stderr, "jrs: %v\n", err)
-				return 1
-			}
-			classes, err := minijava.Compile(f, string(src))
-			if err != nil {
-				fmt.Fprintf(stderr, "jrs: %v\n", err)
-				return 1
-			}
-			progs = append(progs, harness.LintProgram{Name: f, Classes: classes})
-		}
+// deterministic diagnostic report (text or JSON). Exit code 1 signals
+// findings.
+func lint(files []string, opts harness.Options, jsonOut bool, stdout, stderr io.Writer) int {
+	progs, ok := compilePrograms(files, opts, stderr)
+	if !ok {
+		return 1
 	}
-	report, findings, err := harness.Lint(progs)
+	report, err := harness.BuildLintReport(progs)
 	if err != nil {
 		fmt.Fprintf(stderr, "jrs: %v\n", err)
 		return 1
 	}
-	fmt.Fprint(stdout, report)
-	if findings > 0 {
+	out := report.Render()
+	if jsonOut {
+		if out, err = report.JSON(); err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprint(stdout, out)
+	if report.Findings > 0 {
 		return 1
 	}
+	return 0
+}
+
+// analyze prints the whole-program interprocedural analysis report over
+// the named MiniJava sources, or every workload when no files are given
+// (the workload path runs on the -parallel worker pool).
+func analyze(files []string, opts harness.Options, runner *harness.Runner, jsonOut bool, stdout, stderr io.Writer) int {
+	var res *harness.AnalyzeResult
+	var err error
+	if len(files) == 0 {
+		res, err = harness.AnalyzeWith(opts, runner)
+	} else {
+		var progs []harness.LintProgram
+		var ok bool
+		if progs, ok = compilePrograms(files, opts, stderr); !ok {
+			return 1
+		}
+		res, err = harness.AnalyzePrograms(progs)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "jrs: %v\n", err)
+		return 1
+	}
+	out := res.Render()
+	if jsonOut {
+		if out, err = res.JSON(); err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprint(stdout, out)
 	return 0
 }
 
@@ -223,6 +280,7 @@ usage:
   jrs [flags] all
   jrs [flags] run <workload>
   jrs [flags] lint [file.mj ...]
+  jrs [flags] analyze [file.mj ...]
 
 flags:
 `)

@@ -1,0 +1,373 @@
+package ipa
+
+import (
+	"sort"
+
+	"jrs/internal/bytecode"
+)
+
+// The per-method abstract interpreter. Each stack slot and local holds
+// a small *set* of possible sources — Null, Param(index), Alloc(site) —
+// plus an "unknown" bit for values the analysis cannot name (ints,
+// heap loads, call results). Joins union the sets, so no constituent is
+// ever lost at a merge: if an allocation flows into an escaping
+// position along any path, the escape solver sees it.
+//
+// The unknown bit is deliberately ignorable for escape purposes: a
+// reference can only become unknown by being loaded from the heap (or
+// returned from a call), and to get into the heap it must have been
+// stored there — which already marked it escaped at the store site.
+// For elision decisions the bit is a veto instead: a monitor operand or
+// receiver with an unknown component might be a shared object, so it
+// never qualifies as thread-local.
+
+const (
+	rNull uint8 = iota
+	rParam
+	rAlloc
+)
+
+type ref struct {
+	kind uint8
+	id   int // alloc-site instruction index, or argument slot
+}
+
+func refLess(a, b ref) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.id < b.id
+}
+
+// absVal is a set of possible sources plus the unknown bit. members is
+// sorted and deduplicated.
+type absVal struct {
+	unknown bool
+	members []ref
+}
+
+var top = absVal{unknown: true}
+
+func valNull() absVal       { return absVal{members: []ref{{kind: rNull}}} }
+func valParam(i int) absVal { return absVal{members: []ref{{kind: rParam, id: i}}} }
+func valAlloc(pc int) absVal {
+	return absVal{members: []ref{{kind: rAlloc, id: pc}}}
+}
+
+// singleAlloc reports the value's allocation site when it is exactly
+// one allocation and nothing else.
+func (v absVal) singleAlloc() (int, bool) {
+	if !v.unknown && len(v.members) == 1 && v.members[0].kind == rAlloc {
+		return v.members[0].id, true
+	}
+	return 0, false
+}
+
+func joinVal(a, b absVal) absVal {
+	if equalVal(a, b) {
+		return a
+	}
+	out := absVal{unknown: a.unknown || b.unknown}
+	out.members = append(append([]ref(nil), a.members...), b.members...)
+	sort.Slice(out.members, func(i, j int) bool { return refLess(out.members[i], out.members[j]) })
+	w := 0
+	for i, m := range out.members {
+		if i == 0 || m != out.members[w-1] {
+			out.members[w] = m
+			w++
+		}
+	}
+	out.members = out.members[:w]
+	return out
+}
+
+func equalVal(a, b absVal) bool {
+	if a.unknown != b.unknown || len(a.members) != len(b.members) {
+		return false
+	}
+	for i := range a.members {
+		if a.members[i] != b.members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// callFact records one call site's resolution and abstract arguments
+// (receiver first for instance calls).
+type callFact struct {
+	pc      int
+	callee  *bytecode.Method
+	virtual bool
+	sys     bool
+	args    []absVal
+}
+
+// methodFacts is everything the escape/effect/devirt solvers need from
+// one method body.
+type methodFacts struct {
+	stores   []absVal       // values stored to heap or returned: they escape
+	spawned  []absVal       // values handed to Sys.spawn: they escape
+	calls    []callFact     // every call site, in pc order
+	monitors map[int]absVal // monitorenter/exit pc -> operand
+	intra    Effect         // local effects (calls excluded)
+	callIdx  map[int]int    // pc -> index into calls
+}
+
+func (f *methodFacts) callAt(pc int) *callFact {
+	if i, ok := f.callIdx[pc]; ok {
+		return &f.calls[i]
+	}
+	return nil
+}
+
+// collectFacts runs the abstract interpreter over every reachable
+// method body and sizes the escape summaries.
+func (r *Result) collectFacts() {
+	for _, c := range r.classes {
+		for _, m := range c.Methods {
+			if !r.Reachable[m] || m.Class.Name == "Sys" || len(m.Code) == 0 {
+				continue
+			}
+			r.facts[m] = r.interpret(m)
+			r.ParamEscapes[m] = make([]bool, m.NumArgs())
+		}
+	}
+}
+
+type absState struct {
+	stack  []absVal
+	locals []absVal
+}
+
+func (s absState) clone() absState {
+	return absState{
+		stack:  append([]absVal(nil), s.stack...),
+		locals: append([]absVal(nil), s.locals...),
+	}
+}
+
+// mergeInto joins src into dst pointwise, reporting change. Verified
+// code guarantees agreeing stack depths at joins.
+func mergeInto(dst *absState, src absState) bool {
+	changed := false
+	for i := range dst.stack {
+		if j := joinVal(dst.stack[i], src.stack[i]); !equalVal(j, dst.stack[i]) {
+			dst.stack[i] = j
+			changed = true
+		}
+	}
+	for i := range dst.locals {
+		if j := joinVal(dst.locals[i], src.locals[i]); !equalVal(j, dst.locals[i]) {
+			dst.locals[i] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (r *Result) interpret(m *bytecode.Method) *methodFacts {
+	f := &methodFacts{
+		monitors: map[int]absVal{},
+		callIdx:  map[int]int{},
+	}
+
+	entry := absState{locals: make([]absVal, m.MaxLocals)}
+	for i := range entry.locals {
+		entry.locals[i] = top
+	}
+	for i := 0; i < m.NumArgs() && i < len(entry.locals); i++ {
+		entry.locals[i] = valParam(i)
+	}
+
+	in := map[int]*absState{0: &entry}
+	work := []int{0}
+	queued := map[int]bool{0: true}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[pc] = false
+		st := in[pc].clone()
+		for _, s := range r.step(m, f, pc, &st) {
+			if s < 0 || s >= len(m.Code) {
+				continue
+			}
+			if prev, ok := in[s]; !ok {
+				cp := st.clone()
+				in[s] = &cp
+			} else if !mergeInto(prev, st) {
+				continue
+			}
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Deterministic pc order for the solvers.
+	sort.SliceStable(f.calls, func(i, j int) bool { return f.calls[i].pc < f.calls[j].pc })
+	for i := range f.calls {
+		f.callIdx[f.calls[i].pc] = i
+	}
+	f.intra = intraEffects(m)
+	return f
+}
+
+// step applies one instruction to st, records facts, and returns the
+// successor instruction indices.
+func (r *Result) step(m *bytecode.Method, f *methodFacts, pc int, st *absState) []int {
+	ins := m.Code[pc]
+	push := func(v absVal) { st.stack = append(st.stack, v) }
+	pop := func() absVal {
+		v := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		return v
+	}
+	popN := func(n int) []absVal {
+		vs := append([]absVal(nil), st.stack[len(st.stack)-n:]...)
+		st.stack = st.stack[:len(st.stack)-n]
+		return vs
+	}
+	next := []int{pc + 1}
+
+	switch op := ins.Op; {
+	case op == bytecode.Nop || op == bytecode.IInc:
+	case op == bytecode.IConst || op == bytecode.FConst || op == bytecode.SConst ||
+		op == bytecode.ILoad || op == bytecode.FLoad:
+		push(top)
+	case op == bytecode.AConstNull:
+		push(valNull())
+	case op == bytecode.ALoad:
+		push(st.locals[ins.A])
+	case op == bytecode.IStore || op == bytecode.FStore:
+		pop()
+	case op == bytecode.AStore:
+		st.locals[ins.A] = pop()
+	case op == bytecode.Pop:
+		pop()
+	case op == bytecode.Dup:
+		push(st.stack[len(st.stack)-1])
+	case op == bytecode.Swap:
+		n := len(st.stack)
+		st.stack[n-1], st.stack[n-2] = st.stack[n-2], st.stack[n-1]
+	case op >= bytecode.IAdd && op <= bytecode.IUshr && op != bytecode.INeg:
+		popN(2)
+		push(top)
+	case op == bytecode.INeg || op == bytecode.FNeg || op == bytecode.I2F || op == bytecode.F2I:
+		pop()
+		push(top)
+	case op == bytecode.FAdd || op == bytecode.FSub || op == bytecode.FMul ||
+		op == bytecode.FDiv || op == bytecode.FCmp:
+		popN(2)
+		push(top)
+	case op == bytecode.New:
+		r.AllocClass[Site{m.ID, pc}] = m.Class.Pool.Classes[ins.A].Resolved
+		push(valAlloc(pc))
+	case op == bytecode.NewArray:
+		pop()
+		r.AllocClass[Site{m.ID, pc}] = nil
+		push(valAlloc(pc))
+	case op == bytecode.ArrayLength:
+		pop()
+		push(top)
+	case op == bytecode.IALoad || op == bytecode.FALoad || op == bytecode.AALoad ||
+		op == bytecode.CALoad:
+		popN(2)
+		push(top)
+	case op == bytecode.AAStore:
+		f.stores = append(f.stores, st.stack[len(st.stack)-1])
+		popN(3)
+	case op == bytecode.IAStore || op == bytecode.FAStore || op == bytecode.CAStore:
+		popN(3)
+	case op == bytecode.Goto:
+		return []int{int(ins.A)}
+	case op == bytecode.IfEq || op == bytecode.IfNe || op == bytecode.IfLt ||
+		op == bytecode.IfGe || op == bytecode.IfGt || op == bytecode.IfLe ||
+		op == bytecode.IfNull || op == bytecode.IfNonNull:
+		pop()
+		return []int{pc + 1, int(ins.A)}
+	case op >= bytecode.IfICmpEq && op <= bytecode.IfACmpNe:
+		popN(2)
+		return []int{pc + 1, int(ins.A)}
+	case op == bytecode.GetField:
+		pop()
+		push(top)
+	case op == bytecode.PutField:
+		f.stores = append(f.stores, st.stack[len(st.stack)-1])
+		popN(2)
+	case op == bytecode.GetStatic:
+		push(top)
+	case op == bytecode.PutStatic:
+		f.stores = append(f.stores, pop())
+	case op.IsInvoke():
+		callee := m.Class.Pool.Methods[ins.A].Resolved
+		args := popN(callee.NumArgs())
+		cf := callFact{
+			pc:      pc,
+			callee:  callee,
+			virtual: op == bytecode.InvokeVirtual,
+			sys:     callee.Class.Name == "Sys",
+			args:    args,
+		}
+		if cf.sys && callee.Name == "spawn" && len(args) > 0 {
+			f.spawned = append(f.spawned, args[0])
+		}
+		// On revisits the site's fact is joined in place, never
+		// duplicated, so the recorded arguments cover every path.
+		if i, ok := f.callIdx[pc]; ok {
+			for j := range cf.args {
+				f.calls[i].args[j] = joinVal(f.calls[i].args[j], cf.args[j])
+			}
+		} else {
+			f.callIdx[pc] = len(f.calls)
+			f.calls = append(f.calls, cf)
+		}
+		if callee.Sig.Ret != bytecode.TVoid {
+			push(top)
+		}
+	case op == bytecode.Return:
+		return nil
+	case op == bytecode.IReturn || op == bytecode.FReturn:
+		pop()
+		return nil
+	case op == bytecode.AReturn:
+		f.stores = append(f.stores, pop())
+		return nil
+	case op == bytecode.MonitorEnter || op == bytecode.MonitorExit:
+		v := pop()
+		if prev, ok := f.monitors[pc]; ok {
+			f.monitors[pc] = joinVal(prev, v)
+		} else {
+			f.monitors[pc] = v
+		}
+	}
+	return next
+}
+
+// intraEffects scans a body linearly (dead code included — sound) for
+// local effects; call effects are folded in by the SCC solver.
+func intraEffects(m *bytecode.Method) Effect {
+	var e Effect
+	if m.IsSynchronized() {
+		e |= EffLock
+	}
+	for _, ins := range m.Code {
+		switch op := ins.Op; {
+		case op == bytecode.GetField || op == bytecode.GetStatic ||
+			op == bytecode.IALoad || op == bytecode.FALoad ||
+			op == bytecode.AALoad || op == bytecode.CALoad ||
+			op == bytecode.ArrayLength:
+			e |= EffReadHeap
+		case op == bytecode.PutField || op == bytecode.PutStatic ||
+			op == bytecode.IAStore || op == bytecode.FAStore ||
+			op == bytecode.AAStore || op == bytecode.CAStore:
+			e |= EffWriteHeap
+		case op == bytecode.New || op == bytecode.NewArray || op == bytecode.SConst:
+			e |= EffAlloc
+		case op == bytecode.MonitorEnter || op == bytecode.MonitorExit:
+			e |= EffLock
+		}
+	}
+	return e
+}

@@ -1,0 +1,324 @@
+package ipa
+
+import (
+	"sort"
+
+	"jrs/internal/bytecode"
+)
+
+// condense runs Tarjan's algorithm over the reachable call graph and
+// stores the components in emission order, which for Tarjan is reverse
+// topological: every SCC appears after all SCCs it calls into. The
+// bottom-up solvers walk this order so callee summaries are (mostly)
+// final before callers read them; cycles converge in the outer
+// fixpoint.
+func (r *Result) condense() {
+	var nodes []*bytecode.Method
+	for _, c := range r.classes {
+		for _, m := range c.Methods {
+			if r.facts[m] != nil {
+				nodes = append(nodes, m)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+
+	index := map[*bytecode.Method]int{}
+	low := map[*bytecode.Method]int{}
+	onStack := map[*bytecode.Method]bool{}
+	var stack []*bytecode.Method
+	next := 0
+
+	var strong func(m *bytecode.Method)
+	strong = func(m *bytecode.Method) {
+		index[m] = next
+		low[m] = next
+		next++
+		stack = append(stack, m)
+		onStack[m] = true
+		f := r.facts[m]
+		for i := range f.calls {
+			cf := &f.calls[i]
+			if cf.sys {
+				continue
+			}
+			for _, t := range r.siteTargets(m, cf) {
+				if r.facts[t] == nil {
+					continue
+				}
+				if _, seen := index[t]; !seen {
+					strong(t)
+					if low[t] < low[m] {
+						low[m] = low[t]
+					}
+				} else if onStack[t] && index[t] < low[m] {
+					low[m] = index[t]
+				}
+			}
+		}
+		if low[m] == index[m] {
+			var scc []*bytecode.Method
+			for {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[n] = false
+				scc = append(scc, n)
+				if n == m {
+					break
+				}
+			}
+			sort.Slice(scc, func(i, j int) bool { return scc[i].ID < scc[j].ID })
+			r.SCCs = append(r.SCCs, scc)
+		}
+	}
+	for _, m := range nodes {
+		if _, seen := index[m]; !seen {
+			strong(m)
+		}
+	}
+}
+
+// solveEscapes propagates escape facts to a fixpoint. A value escapes
+// when it is stored into any heap location, returned, handed to
+// Sys.spawn, or passed to an argument slot some possible callee lets
+// escape. Walking SCCs callee-first makes the common acyclic case
+// converge in one outer pass.
+func (r *Result) solveEscapes() {
+	changed := true
+	for changed {
+		changed = false
+		for _, scc := range r.SCCs {
+			for _, m := range scc {
+				f := r.facts[m]
+				for _, v := range f.stores {
+					changed = r.escape(m, v) || changed
+				}
+				for _, v := range f.spawned {
+					changed = r.escape(m, v) || changed
+				}
+				for i := range f.calls {
+					cf := &f.calls[i]
+					if cf.sys {
+						continue // only spawn captures; handled above
+					}
+					targets := r.siteTargets(m, cf)
+					for j, av := range cf.args {
+						if r.argEscapes(targets, j) {
+							changed = r.escape(m, av) || changed
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// argEscapes reports whether argument slot j may escape through any of
+// the possible callees; a callee without a summary is conservative.
+func (r *Result) argEscapes(targets []*bytecode.Method, j int) bool {
+	for _, t := range targets {
+		pe, ok := r.ParamEscapes[t]
+		if !ok || j >= len(pe) || pe[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// escape marks every named constituent of v escaped in m's frame.
+func (r *Result) escape(m *bytecode.Method, v absVal) bool {
+	changed := false
+	for _, mr := range v.members {
+		switch mr.kind {
+		case rAlloc:
+			s := Site{m.ID, mr.id}
+			if !r.Escaped[s] {
+				r.Escaped[s] = true
+				changed = true
+			}
+		case rParam:
+			pe := r.ParamEscapes[m]
+			if mr.id < len(pe) && !pe[mr.id] {
+				pe[mr.id] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// solveEffects folds callee summaries into callers bottom-up.
+func (r *Result) solveEffects() {
+	changed := true
+	for changed {
+		changed = false
+		for _, scc := range r.SCCs {
+			for _, m := range scc {
+				f := r.facts[m]
+				e := f.intra
+				for i := range f.calls {
+					cf := &f.calls[i]
+					if cf.sys {
+						e |= sysEffect(cf.callee.Name)
+						continue
+					}
+					for _, t := range r.siteTargets(m, cf) {
+						e |= r.Effects[t]
+					}
+				}
+				if e != r.Effects[m] {
+					r.Effects[m] = e
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func sysEffect(name string) Effect {
+	switch name {
+	case "print", "printi", "printf", "printc":
+		return EffIO
+	case "spawn":
+		return EffThread | EffAlloc
+	case "join", "yield":
+		return EffThread
+	}
+	return 0
+}
+
+// Summary is the call-graph census the analyze report prints. Field
+// order (and the json tags) is the `jrs analyze -json` contract.
+type Summary struct {
+	Classes             int `json:"classes"`
+	Methods             int `json:"methods"`
+	Reachable           int `json:"reachable"`
+	Instantiated        int `json:"instantiated"`
+	DirectEdges         int `json:"directEdges"`
+	VirtualSites        int `json:"virtualSites"`
+	VirtualEdges        int `json:"virtualEdges"`
+	MonoSites           int `json:"monoSites"`   // CHA target set of size one
+	DevirtSites         int `json:"devirtSites"` // Mono plus exact-receiver proofs
+	SCCs                int `json:"sccs"`
+	LargestSCC          int `json:"largestSCC"`
+	AllocSites          int `json:"allocSites"`
+	LocalAllocs         int `json:"localAllocs"`
+	ElideCallSites      int `json:"elideCallSites"`
+	ElideMonitorMethods int `json:"elideMonitorMethods"`
+	PureMethods         int `json:"pureMethods"`
+}
+
+// Summarize computes the census over the final fact maps.
+func (r *Result) Summarize() Summary {
+	s := Summary{Classes: len(r.classes)}
+	for _, c := range r.classes {
+		s.Methods += len(c.Methods)
+	}
+	s.Reachable = len(r.Reachable)
+	s.Instantiated = len(r.Instantiated)
+	for _, ts := range r.Targets {
+		s.VirtualSites++
+		s.VirtualEdges += len(ts)
+		if len(ts) == 1 {
+			s.MonoSites++
+		}
+	}
+	s.DevirtSites = len(r.Devirt)
+	for _, m := range r.sortedMethods() {
+		f := r.facts[m]
+		for i := range f.calls {
+			cf := &f.calls[i]
+			if !cf.virtual && !cf.sys {
+				s.DirectEdges++
+			}
+		}
+	}
+	s.SCCs = len(r.SCCs)
+	for _, scc := range r.SCCs {
+		if len(scc) > s.LargestSCC {
+			s.LargestSCC = len(scc)
+		}
+	}
+	s.AllocSites = len(r.AllocClass)
+	for site := range r.AllocClass {
+		if !r.Escaped[site] {
+			s.LocalAllocs++
+		}
+	}
+	s.ElideCallSites = len(r.ElideCalls)
+	s.ElideMonitorMethods = len(r.ElideMonitors)
+	for _, e := range r.Effects {
+		if e.Pure() {
+			s.PureMethods++
+		}
+	}
+	return s
+}
+
+func (r *Result) sortedMethods() []*bytecode.Method {
+	ms := make([]*bytecode.Method, 0, len(r.facts))
+	for _, c := range r.classes {
+		for _, m := range c.Methods {
+			if r.facts[m] != nil {
+				ms = append(ms, m)
+			}
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	return ms
+}
+
+// SiteFact is one (site, target) fact rendered for reports.
+type SiteFact struct {
+	Caller *bytecode.Method
+	PC     int
+	Target *bytecode.Method
+}
+
+func (r *Result) sortedSiteFacts(m map[Site]*bytecode.Method) []SiteFact {
+	out := make([]SiteFact, 0, len(m))
+	for site, t := range m {
+		out = append(out, SiteFact{Caller: r.byID[site.Method], PC: site.PC, Target: t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Caller.ID != b.Caller.ID {
+			return a.Caller.ID < b.Caller.ID
+		}
+		return a.PC < b.PC
+	})
+	return out
+}
+
+// SortedDevirt lists devirtualized sites in (method id, pc) order.
+func (r *Result) SortedDevirt() []SiteFact { return r.sortedSiteFacts(r.Devirt) }
+
+// SortedElideCalls lists elidable synchronized call sites in order.
+func (r *Result) SortedElideCalls() []SiteFact { return r.sortedSiteFacts(r.ElideCalls) }
+
+// SortedElideMonitors lists methods whose monitor bytecodes are
+// elidable, in method-id order.
+func (r *Result) SortedElideMonitors() []*bytecode.Method {
+	out := make([]*bytecode.Method, 0, len(r.ElideMonitors))
+	for m := range r.ElideMonitors {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MethodEffect pairs a method with its transitive summary.
+type MethodEffect struct {
+	Method *bytecode.Method
+	Effect Effect
+}
+
+// SortedEffects lists reachable-method summaries in method-id order.
+func (r *Result) SortedEffects() []MethodEffect {
+	out := make([]MethodEffect, 0, len(r.Effects))
+	for m, e := range r.Effects {
+		out = append(out, MethodEffect{Method: m, Effect: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Method.ID < out[j].Method.ID })
+	return out
+}

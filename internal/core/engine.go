@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"jrs/internal/analysis/ipa"
 	"jrs/internal/bytecode"
 	"jrs/internal/emit"
 	"jrs/internal/interp"
@@ -66,6 +67,19 @@ type Config struct {
 	// Verify selects the class-load verification level (default
 	// vm.VerifyFull: structural checks plus the full analysis passes).
 	Verify vm.VerifyLevel
+	// Devirt enables whole-program devirtualization: before the first
+	// run (or precompile), internal/analysis/ipa builds an RTA call
+	// graph and the JIT binds provably single-target virtual sites to
+	// direct calls instead of vtable-indexed indirect jumps (§4.2).
+	// Default off so baseline metrics stay untouched.
+	Devirt bool
+	// ElideLocks enables escape-analysis lock elision (§5): virtual
+	// call sites whose receiver is provably thread-local and whose
+	// unique target is synchronized are rebound to an unsynchronized
+	// clone, and monitorenter/monitorexit on thread-local objects is
+	// rewritten away, before internal/monitor sees any of it.
+	// Default off.
+	ElideLocks bool
 }
 
 // Engine is the mixed-mode runtime: VM + interpreter + JIT + native CPU
@@ -86,6 +100,17 @@ type Engine struct {
 	// VirtualCalls / DevirtCalls count dynamic virtual call sites taken
 	// (engine-level, both modes).
 	VirtualCalls uint64
+
+	// IPA holds the whole-program analysis result once prepare has run
+	// (nil when both knobs are off). ElidedSyncSites and
+	// ElidedMonitorOps count the static rewrites lock elision applied.
+	IPA              *ipa.Result
+	ElidedSyncSites  int
+	ElidedMonitorOps int
+
+	devirt     bool
+	elideLocks bool
+	prepared   bool
 
 	ctxs []*threadCtx
 }
@@ -145,10 +170,12 @@ func New(cfg Config) *Engine {
 	v := vm.New(full, cfg.Monitors)
 	v.Verify = cfg.Verify
 	e := &Engine{
-		VM:      v,
-		Policy:  cfg.Policy,
-		Clock:   clock,
-		Quantum: cfg.Quantum,
+		VM:         v,
+		Policy:     cfg.Policy,
+		Clock:      clock,
+		Quantum:    cfg.Quantum,
+		devirt:     cfg.Devirt,
+		elideLocks: cfg.ElideLocks,
 	}
 	e.Interp = interp.New(v)
 	e.JIT = jit.New(v, cfg.JITOptions)
@@ -181,6 +208,7 @@ func (e *Engine) Run(entry *bytecode.Method) (err error) {
 	if len(entry.Sig.Params) != 0 || !entry.IsStatic() {
 		return fmt.Errorf("entry %s must be a static niladic method", entry.FullName())
 	}
+	e.prepare()
 	e.Stats = make([]MethodStats, len(e.VM.MethodByID))
 
 	t := e.VM.NewThread(nil, 0)
@@ -467,6 +495,7 @@ func (e *Engine) spawn(obj uint64) int {
 // fully compiled program whose measured trace contains no translation or
 // loading activity.
 func (e *Engine) PrecompileAll() error {
+	e.prepare()
 	for _, m := range e.VM.MethodByID {
 		if m.Class != nil && m.Class.Name == "Sys" {
 			continue

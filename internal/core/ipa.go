@@ -1,0 +1,120 @@
+package core
+
+// Whole-program optimization plumbing: when Config.Devirt or
+// Config.ElideLocks is set, the engine runs internal/analysis/ipa once
+// over the loaded class set before the first execution (or precompile)
+// and applies the proofs:
+//
+//   - Devirt feeds single-target facts to the JIT through jit.Facts, so
+//     proven-monomorphic invokevirtual sites compile to direct calls
+//     instead of vtable-indexed indirect jumps (the paper's §4.2 / Table
+//     2 cost).
+//   - ElideLocks rewrites bytecode in place: an invokevirtual whose
+//     receiver is a thread-local allocation and whose unique target is
+//     synchronized is rebound (invokespecial) to an unsynchronized
+//     clone of that target, and monitorenter/monitorexit on thread-local
+//     objects becomes a plain pop — the monitor subsystem never sees
+//     the operation, statically reclassifying the §5 / Figure 11
+//     thread-local lock traffic.
+//
+// All rewrites preserve instruction widths (invoke 3 bytes either way,
+// monitorenter/monitorexit/pop all 1 byte), so code layout, addresses,
+// and footprint are unchanged.
+
+import (
+	"jrs/internal/analysis/ipa"
+	"jrs/internal/bytecode"
+)
+
+// ipaFacts adapts an ipa.Result to jit.Facts, mapping unsynchronized
+// clones back to the original method ids whose Code they share so
+// facts recorded against the original apply inside the clone too.
+type ipaFacts struct {
+	res   *ipa.Result
+	alias map[int]int
+}
+
+func (f *ipaFacts) DevirtTarget(m *bytecode.Method, pc int) *bytecode.Method {
+	id := m.ID
+	if orig, ok := f.alias[id]; ok {
+		id = orig
+	}
+	return f.res.DevirtTargetID(id, pc)
+}
+
+// prepare runs the analysis and applies the enabled optimizations.
+// Guarded so Run after PrecompileAll (the AOT sequence) analyzes once.
+func (e *Engine) prepare() {
+	if e.prepared {
+		return
+	}
+	e.prepared = true
+	if !e.devirt && !e.elideLocks {
+		return
+	}
+	res := ipa.Analyze(e.VM.ClassList)
+	e.IPA = res
+	alias := map[int]int{}
+
+	if e.elideLocks {
+		e.applyElision(res, alias)
+	}
+	if e.devirt {
+		e.JIT.Opt.Facts = &ipaFacts{res: res, alias: alias}
+	}
+}
+
+// applyElision rewrites elidable sites in place. Iteration order is
+// class list / method list / pc, so clone ids are deterministic.
+func (e *Engine) applyElision(res *ipa.Result, alias map[int]int) {
+	clones := map[*bytecode.Method]*bytecode.Method{}
+	for _, c := range e.VM.ClassList {
+		for _, m := range c.Methods {
+			if res.ElideMonitors[m] {
+				for pc, ins := range m.Code {
+					if ins.Op == bytecode.MonitorEnter || ins.Op == bytecode.MonitorExit {
+						m.Code[pc] = bytecode.Instr{Op: bytecode.Pop}
+						e.ElidedMonitorOps++
+					}
+				}
+			}
+			for pc := range m.Code {
+				target := res.ElideCalls[ipa.Site{Method: m.ID, PC: pc}]
+				if target == nil {
+					continue
+				}
+				clone := clones[target]
+				if clone == nil {
+					clone = e.VM.RegisterUnsyncClone(target)
+					clones[target] = clone
+					alias[clone.ID] = target.ID
+				}
+				m.Code[pc] = bytecode.Instr{
+					Op: bytecode.InvokeSpecial,
+					A:  clonePoolRef(&m.Class.Pool, clone),
+				}
+				e.ElidedSyncSites++
+			}
+		}
+	}
+}
+
+// clonePoolRef returns a pool index whose Resolved is the clone,
+// appending a pre-resolved entry on first use per pool. Pool.AddMethod
+// cannot be used: it dedupes by (class, name, sig) against entries the
+// loader resolved through the class's method tables, which the clone is
+// deliberately absent from.
+func clonePoolRef(p *bytecode.Pool, clone *bytecode.Method) int32 {
+	for i := range p.Methods {
+		if p.Methods[i].Resolved == clone {
+			return int32(i)
+		}
+	}
+	p.Methods = append(p.Methods, bytecode.MethodRef{
+		Class:    clone.Class.Name,
+		Name:     clone.Name,
+		Sig:      clone.Sig.String(),
+		Resolved: clone,
+	})
+	return int32(len(p.Methods) - 1)
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestAnalyzeGolden pins the full `jrs analyze` report over every
+// workload: the whole-program facts are part of the CLI contract and
+// must stay deterministic. Refresh with:
+//
+//	go test ./internal/harness -run TestAnalyzeGolden -update
+func TestAnalyzeGolden(t *testing.T) {
+	res, err := Analyze(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "analyze.txt", res.Render())
+}
+
+// TestAnalyzeDeterministicAcrossWorkers: the report is byte-identical
+// no matter how many runner workers fill the cells.
+func TestAnalyzeDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := AnalyzeWith(Options{}, &Runner{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := AnalyzeWith(Options{}, &Runner{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render() != parallel.Render() {
+		t.Error("analyze report differs between 1 and 8 workers")
+	}
+}
+
+// TestAnalyzeJSONRoundTrip: the -json form parses back into the exact
+// same structured result, and marshalling is deterministic.
+func TestAnalyzeJSONRoundTrip(t *testing.T) {
+	res, err := Analyze(helloOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AnalyzeResult
+	if err := json.Unmarshal([]byte(js), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Errorf("JSON round trip lost data:\n%+v\nvs\n%+v", *res, back)
+	}
+	again, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js != again {
+		t.Error("JSON output is not deterministic")
+	}
+}

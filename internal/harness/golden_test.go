@@ -1,49 +1,36 @@
 package harness
 
 import (
-	"flag"
-	"os"
-	"path/filepath"
 	"testing"
 )
 
-var updateGolden = flag.Bool("update", false, "rewrite golden render files")
+// goldenOpts picks the workload set an experiment's golden covers. Most
+// pins run at the hello quick scale; the two interprocedural ablations
+// need several real workloads so the goldens demonstrate the reductions
+// on more than a toy.
+func goldenOpts(name string) Options {
+	switch name {
+	case "ablate-devirt", "ablate-elide":
+		return helloOpts("hello", "db", "jess")
+	}
+	return helloOpts()
+}
 
 // TestGoldenRenders pins the exact report text of every registered
-// experiment at the hello quick scale. The shape tests in
-// harness_test.go assert properties; these assert bytes, so a
-// formatting or merge-order regression anywhere in the grid is caught.
-// Refresh with:
+// experiment. The shape tests in harness_test.go assert properties;
+// these assert bytes, so a formatting or merge-order regression
+// anywhere in the grid is caught. Refresh with:
 //
 //	go test ./internal/harness -run TestGoldenRenders -update
 func TestGoldenRenders(t *testing.T) {
-	o := helloOpts()
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			res, err := e.Run(o)
+			res, err := e.Run(goldenOpts(e.Name))
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := res.Render()
-			path := filepath.Join("testdata", "golden", e.Name+".txt")
-			if *updateGolden {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden (run with -update to create): %v", err)
-			}
-			if got != string(want) {
-				t.Errorf("render differs from golden %s\n--- got ---\n%s\n--- want ---\n%s",
-					path, got, want)
-			}
+			checkGolden(t, e.Name+".txt", res.Render())
 		})
 	}
 }

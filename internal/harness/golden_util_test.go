@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden is the single refresh switch for every golden file in
+// this package (experiment renders, lint, analyze):
+//
+//	go test ./internal/harness -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/golden/<name>, rewriting
+// the file instead when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

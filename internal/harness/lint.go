@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -30,15 +31,35 @@ func LintClasses(classes []*bytecode.Class) ([]analysis.Diagnostic, error) {
 	return analysis.CheckProgram(classes), nil
 }
 
-// Lint renders the deterministic diagnostic report over progs: one
-// status line per program, indented findings (method, pc, pass,
-// severity, message) beneath it, and a trailing summary. It returns the
-// report and the total finding count; a program that fails to link at
-// all is an error.
-func Lint(progs []LintProgram) (string, int, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "jrs lint — passes: %s\n", strings.Join(analysis.PassNames(), ", "))
-	total := 0
+// LintFinding is one diagnostic in the structured lint report.
+type LintFinding struct {
+	Method   string `json:"method"`
+	PC       int    `json:"pc"`
+	Pass     string `json:"pass"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// LintProgramReport is one program's lint outcome.
+type LintProgramReport struct {
+	Name     string        `json:"name"`
+	Classes  int           `json:"classes"`
+	Methods  int           `json:"methods"`
+	Findings []LintFinding `json:"findings"`
+}
+
+// LintReport is the structured form of the lint run; the text report
+// and the -json output both render from it, so they can never drift.
+type LintReport struct {
+	Passes   []string            `json:"passes"`
+	Programs []LintProgramReport `json:"programs"`
+	Findings int                 `json:"findings"`
+}
+
+// BuildLintReport lints every program into the structured report. A
+// program that fails to link at all is an error.
+func BuildLintReport(progs []LintProgram) (*LintReport, error) {
+	r := &LintReport{Passes: analysis.PassNames()}
 	for _, p := range progs {
 		methods := 0
 		for _, c := range p.Classes {
@@ -46,22 +67,60 @@ func Lint(progs []LintProgram) (string, int, error) {
 		}
 		diags, err := LintClasses(p.Classes)
 		if err != nil {
-			return "", 0, fmt.Errorf("%s: %v", p.Name, err)
+			return nil, fmt.Errorf("%s: %v", p.Name, err)
 		}
-		if len(diags) == 0 {
+		pr := LintProgramReport{Name: p.Name, Classes: len(p.Classes), Methods: methods}
+		for _, d := range diags {
+			pr.Findings = append(pr.Findings, LintFinding{
+				Method: d.Method, PC: d.PC, Pass: d.Pass,
+				Severity: d.Sev.String(), Message: d.Msg})
+		}
+		r.Programs = append(r.Programs, pr)
+		r.Findings += len(diags)
+	}
+	return r, nil
+}
+
+// Render formats the deterministic text report: one status line per
+// program, indented findings (method, pc, pass, severity, message)
+// beneath it, and a trailing summary.
+func (r *LintReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jrs lint — passes: %s\n", strings.Join(r.Passes, ", "))
+	for _, p := range r.Programs {
+		if len(p.Findings) == 0 {
 			fmt.Fprintf(&b, "%-9s %d classes, %d methods: clean\n",
-				p.Name, len(p.Classes), methods)
+				p.Name, p.Classes, p.Methods)
 			continue
 		}
 		fmt.Fprintf(&b, "%-9s %d classes, %d methods: %d finding(s)\n",
-			p.Name, len(p.Classes), methods, len(diags))
-		for _, d := range diags {
-			fmt.Fprintf(&b, "  %s\n", d)
+			p.Name, p.Classes, p.Methods, len(p.Findings))
+		for _, f := range p.Findings {
+			fmt.Fprintf(&b, "  %s @%d: [%s] %s: %s\n", f.Method, f.PC, f.Pass, f.Severity, f.Message)
 		}
-		total += len(diags)
 	}
-	fmt.Fprintf(&b, "%d program(s), %d finding(s)\n", len(progs), total)
-	return b.String(), total, nil
+	fmt.Fprintf(&b, "%d program(s), %d finding(s)\n", len(r.Programs), r.Findings)
+	return b.String()
+}
+
+// JSON renders the report as indented JSON with the struct-declared
+// field order (the -json CLI contract).
+func (r *LintReport) JSON() (string, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}
+
+// Lint renders the text diagnostic report over progs and returns it
+// with the total finding count.
+func Lint(progs []LintProgram) (string, int, error) {
+	r, err := BuildLintReport(progs)
+	if err != nil {
+		return "", 0, err
+	}
+	return r.Render(), r.Findings, nil
 }
 
 // WorkloadPrograms compiles every workload (or the opts subset) at its

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -33,21 +35,7 @@ func TestLintWorkloadsGolden(t *testing.T) {
 		t.Error("lint report is not deterministic across runs")
 	}
 
-	path := filepath.Join("testdata", "golden", "lint.txt")
-	if *updateGolden {
-		if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden (run with -update to create): %v", err)
-	}
-	if report != string(want) {
-		t.Errorf("lint report differs from golden %s\n--- got ---\n%s\n--- want ---\n%s",
-			path, report, want)
-	}
+	checkGolden(t, "lint.txt", report)
 }
 
 // TestLintSeededBugs plants one bug of each kind in an otherwise valid
@@ -146,5 +134,50 @@ func TestLintExamples(t *testing.T) {
 	}
 	if n == 0 {
 		t.Fatal("no .mj examples found")
+	}
+}
+
+// TestLintJSONRoundTrip: the -json form parses back into the exact
+// structured report (clean workloads and a program with findings), and
+// the text render from the parsed copy matches the original.
+func TestLintJSONRoundTrip(t *testing.T) {
+	sigV, _ := bytecode.ParseSignature("()V")
+	buggy := &bytecode.Class{Name: "Bugs", Methods: []*bytecode.Method{
+		{Name: "leaky", Sig: sigV, Flags: bytecode.FlagStatic, MaxLocals: 1,
+			Code: []bytecode.Instr{
+				{Op: bytecode.AConstNull}, {Op: bytecode.MonitorEnter},
+				{Op: bytecode.Return},
+			}},
+	}}
+	progs := append(WorkloadPrograms(helloOpts()),
+		LintProgram{Name: "bugs", Classes: []*bytecode.Class{buggy}})
+
+	report, err := BuildLintReport(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Findings == 0 {
+		t.Fatal("seeded program produced no findings")
+	}
+	js, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LintReport
+	if err := json.Unmarshal([]byte(js), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*report, back) {
+		t.Errorf("JSON round trip lost data:\n%+v\nvs\n%+v", *report, back)
+	}
+	if back.Render() != report.Render() {
+		t.Error("text render differs after JSON round trip")
+	}
+	again, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js != again {
+		t.Error("JSON output is not deterministic")
 	}
 }

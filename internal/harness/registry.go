@@ -85,6 +85,10 @@ func Experiments() []Experiment {
 			planOf(ablateTieredPlan)},
 		{"ablate-interp-ilp", "extension: interpreter IPC scaling with a target cache",
 			planOf(ablateInterpILPPlan)},
+		{"ablate-devirt", "extension: whole-program devirtualization (none / local CHA / interprocedural)",
+			planOf(ablateDevirtPlan)},
+		{"ablate-elide", "extension: escape-based lock elision vs baseline synchronization",
+			planOf(ablateElidePlan)},
 	}
 }
 

@@ -38,6 +38,12 @@ type Options struct {
 	// methods exceeding it are rejected (the engine then interprets
 	// them, like real JITs bailing out on hairy methods).
 	MaxStackRegs int
+	// Facts, when set, supplies whole-program devirtualization proofs
+	// (see internal/analysis/ipa): a site-specific unique target beats
+	// the local CHA check below because it folds in instantiation
+	// (rapid type analysis) and exact receiver types. Kept as a narrow
+	// interface so the compiler does not depend on the analysis package.
+	Facts Facts
 	// BaselineCodegen selects era-accurate naive one-bytecode-at-a-time
 	// code generation: per-bytecode bookkeeping glue and operand-stack
 	// spills at basic-block boundaries, on top of the register-mapped
@@ -45,6 +51,14 @@ type Options struct {
 	// operations", §4.1). Off, the generator emits tight register code
 	// only (a modern baseline JIT).
 	BaselineCodegen bool
+}
+
+// Facts answers devirtualization queries for compiled call sites.
+type Facts interface {
+	// DevirtTarget returns the proven unique runtime target of the
+	// invokevirtual at instruction index pc of m, or nil when the site
+	// stays polymorphic.
+	DevirtTarget(m *bytecode.Method, pc int) *bytecode.Method
 }
 
 // DefaultOptions returns the standard (paper-era) configuration.
@@ -670,6 +684,14 @@ func (g *gen) invoke(i int, ins bytecode.Instr, ts *emit.Seq) error {
 	}
 
 	virtual := ins.Op == bytecode.InvokeVirtual
+	if virtual && g.opt.Facts != nil {
+		// Whole-program proof: bind the site to its unique target (same
+		// signature, so the argument marshalling above is unaffected).
+		if t := g.opt.Facts.DevirtTarget(g.m, i); t != nil {
+			callee = t
+			virtual = false
+		}
+	}
 	if virtual && g.opt.Devirtualize && g.monomorphic(callee) {
 		virtual = false
 	}

@@ -189,7 +189,20 @@ type SuperCall struct {
 	Line int
 }
 
+// Sync is a `sync (expr) { ... }` block: enter the monitor of the lock
+// expression, run the body, exit. The checker forbids return/break/
+// continue from escaping the block so enter/exit always pair.
+type Sync struct {
+	Lock Expr
+	Body Stmt
+	Line int
+	// Slot is the hidden local that pins the lock reference across the
+	// body (assigned by the checker).
+	Slot int
+}
+
 func (*Block) stmtNode()     {}
+func (*Sync) stmtNode()      {}
 func (*VarDecl) stmtNode()   {}
 func (*If) stmtNode()        {}
 func (*While) stmtNode()     {}

@@ -212,6 +212,10 @@ type env struct {
 	next  int
 	max   int
 	loops int
+	// syncs records, for each open sync block, the loop depth at its
+	// entry; break/continue may not cross the innermost sync boundary
+	// and return may not leave any.
+	syncs []int
 }
 
 type localVar struct {

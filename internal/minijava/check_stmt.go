@@ -88,7 +88,30 @@ func (e *env) stmt(s Stmt) error {
 		defer func() { e.loops-- }()
 		return e.stmt(st.Body)
 
+	case *Sync:
+		if err := e.expr(st.Lock); err != nil {
+			return err
+		}
+		if st.Lock.TypeOf().Kind != KindClass {
+			return e.errf(st.Line, "sync needs a class instance, got %s", st.Lock.TypeOf())
+		}
+		e.push()
+		defer e.pop()
+		// Hidden temp pinning the lock across the body; '$' cannot
+		// appear in a source identifier, so it can never collide.
+		slot, err := e.define(fmt.Sprintf("$sync%d", len(e.syncs)), st.Lock.TypeOf(), st.Line)
+		if err != nil {
+			return err
+		}
+		st.Slot = slot
+		e.syncs = append(e.syncs, e.loops)
+		defer func() { e.syncs = e.syncs[:len(e.syncs)-1] }()
+		return e.stmt(st.Body)
+
 	case *Return:
+		if len(e.syncs) > 0 {
+			return e.errf(st.Line, "return inside sync block")
+		}
 		want := e.m.Ret
 		if st.Val == nil {
 			if want.Kind != KindVoid {
@@ -115,10 +138,16 @@ func (e *env) stmt(s Stmt) error {
 		if e.loops == 0 {
 			return e.errf(st.Line, "break outside loop")
 		}
+		if n := len(e.syncs); n > 0 && e.syncs[n-1] >= e.loops {
+			return e.errf(st.Line, "break crosses sync block boundary")
+		}
 		return nil
 	case *Continue:
 		if e.loops == 0 {
 			return e.errf(st.Line, "continue outside loop")
+		}
+		if n := len(e.syncs); n > 0 && e.syncs[n-1] >= e.loops {
+			return e.errf(st.Line, "continue crosses sync block boundary")
 		}
 		return nil
 

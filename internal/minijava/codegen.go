@@ -196,6 +196,24 @@ func (g *mgen) stmt(s Stmt) error {
 		g.storeLocal(st.Slot, st.Type)
 		return nil
 
+	case *Sync:
+		// Evaluate the lock once, pin it in the hidden slot, and bracket
+		// the body with monitorenter/monitorexit on the same reference.
+		// The checker bars return/break/continue from crossing, so the
+		// pair is balanced on every path.
+		if err := g.expr(st.Lock); err != nil {
+			return err
+		}
+		g.asm.Emit(bytecode.Dup)
+		g.asm.I(bytecode.AStore, int32(st.Slot))
+		g.asm.Emit(bytecode.MonitorEnter)
+		if err := g.stmt(st.Body); err != nil {
+			return err
+		}
+		g.asm.I(bytecode.ALoad, int32(st.Slot))
+		g.asm.Emit(bytecode.MonitorExit)
+		return nil
+
 	case *If:
 		lElse := g.fresh("else")
 		lEnd := g.fresh("endif")

@@ -337,6 +337,31 @@ func (p *Parser) stmt() (Stmt, error) {
 		}
 		return &While{Cond: cond, Body: body, Line: line}, nil
 
+	case p.is("sync"):
+		// Statement position: `sync (expr) { ... }`. (As a member-level
+		// modifier, `sync` marks a method synchronized instead.)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		lock, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if !p.is("{") {
+			return nil, p.errf("sync body must be a block")
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Sync{Lock: lock, Body: body, Line: line}, nil
+
 	case p.is("for"):
 		if err := p.advance(); err != nil {
 			return nil, err

@@ -1,0 +1,165 @@
+package minijava_test
+
+import (
+	"testing"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/core"
+	"jrs/internal/minijava"
+)
+
+func compile(t *testing.T, src string) []*bytecode.Class {
+	t.Helper()
+	classes, err := minijava.Compile("test.mj", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return classes
+}
+
+// TestSyncBlockRuns: the sync statement takes and releases the lock
+// around the body in every execution mode.
+func TestSyncBlockRuns(t *testing.T) {
+	runBoth(t, `
+class Acc {
+	int total;
+}
+class Main {
+	static void main() {
+		Acc a = new Acc();
+		int i = 0;
+		while (i < 4) {
+			sync (a) {
+				a.total = a.total + i;
+			}
+			i = i + 1;
+		}
+		sync (a) {
+			sync (a) { // recursive: same lock, nested
+				a.total = a.total + 100;
+			}
+		}
+		Sys.printi(a.total);
+		Sys.printc(10);
+	}
+}`, "106\n")
+}
+
+// TestSyncBlockLocks: the monitor manager sees the enters/exits.
+func TestSyncBlockLocks(t *testing.T) {
+	src := `
+class Acc { int total; }
+class Main {
+	static void main() {
+		Acc a = new Acc();
+		Acc b = a;
+		sync (a) {
+			sync (b) {
+				a.total = 7;
+			}
+		}
+		Sys.printi(a.total);
+	}
+}`
+	classes := compile(t, src)
+	e := core.New(core.Config{Policy: core.InterpretOnly{}})
+	if err := e.VM.Load(classes); err != nil {
+		t.Fatal(err)
+	}
+	main, err := e.VM.LookupMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	st := e.VM.Monitors.Stats()
+	if st.Enters != 2 || st.Exits != 2 {
+		t.Errorf("monitor ops = %d/%d, want 2/2", st.Enters, st.Exits)
+	}
+	if got := e.VM.Out.String(); got != "7" {
+		t.Errorf("output %q, want 7", got)
+	}
+}
+
+// TestSyncBlockRejections: static structure errors the checker owes us.
+func TestSyncBlockRejections(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"returnInside", `
+class L { }
+class Main {
+	static int f() {
+		L l = new L();
+		sync (l) { return 1; }
+	}
+	static void main() { Sys.printi(f()); }
+}`, "return inside sync block"},
+		{"breakAcross", `
+class L { }
+class Main {
+	static void main() {
+		L l = new L();
+		int i = 0;
+		while (i < 3) {
+			sync (l) { break; }
+		}
+	}
+}`, "break crosses sync block boundary"},
+		{"continueAcross", `
+class L { }
+class Main {
+	static void main() {
+		L l = new L();
+		int i = 0;
+		while (i < 3) {
+			sync (l) { continue; }
+		}
+	}
+}`, "continue crosses sync block boundary"},
+		{"intLock", `
+class Main {
+	static void main() {
+		sync (3) { }
+	}
+}`, "sync needs a class instance"},
+		{"arrayLock", `
+class Main {
+	static void main() {
+		int[] a = new int[2];
+		sync (a) { }
+	}
+}`, "sync needs a class instance"},
+		{"nonBlockBody", `
+class L { }
+class Main {
+	static void main() {
+		L l = new L();
+		sync (l) Sys.printi(1);
+	}
+}`, "sync body must be a block"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { expectError(t, tc.src, tc.want) })
+	}
+}
+
+// TestSyncBlockInsideLoopWithInnerLoop: break/continue that stay inside
+// the sync block are fine.
+func TestSyncBlockInnerLoopOK(t *testing.T) {
+	runBoth(t, `
+class L { int n; }
+class Main {
+	static void main() {
+		L l = new L();
+		sync (l) {
+			int i = 0;
+			while (i < 10) {
+				if (i > 3) { break; }
+				l.n = l.n + i;
+				i = i + 1;
+			}
+		}
+		Sys.printi(l.n);
+	}
+}`, "6")
+}

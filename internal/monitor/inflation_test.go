@@ -1,0 +1,124 @@
+package monitor
+
+import (
+	"testing"
+
+	"jrs/internal/emit"
+	"jrs/internal/trace"
+)
+
+func newThin() *Thin { return NewThin(emit.New(trace.Discard, trace.PhaseExec)) }
+
+// TestThinInflatesOnContention: a second thread contending for a
+// thin-held lock forces the case (d) inflation; the lock stays fat, the
+// fat fallback carries all later traffic, and every operation is still
+// counted exactly once in the thin manager's stats.
+func TestThinInflatesOnContention(t *testing.T) {
+	m := newThin()
+	if !m.Enter(1, obj1) {
+		t.Fatal("initial enter should succeed")
+	}
+	if m.Inflations != 0 {
+		t.Fatalf("inflations before contention = %d", m.Inflations)
+	}
+	if m.Enter(2, obj1) {
+		t.Fatal("contended enter should block")
+	}
+	if m.Inflations != 1 {
+		t.Fatalf("inflations after contention = %d, want 1", m.Inflations)
+	}
+	st := m.Stats()
+	if st.Cases[CaseD] != 1 || st.BlockEvents != 1 {
+		t.Fatalf("contention bookkeeping: cases %v, blocks %d", st.Cases, st.BlockEvents)
+	}
+	if !m.words[obj1].fat {
+		t.Fatal("lock word must be inflated after contention")
+	}
+
+	// The original owner unwinds through the fat path; the lock frees.
+	m.Exit(1, obj1)
+	if !m.Enter(2, obj1) {
+		t.Fatal("enter after release should succeed on the fat path")
+	}
+	m.Exit(2, obj1)
+
+	st = m.Stats()
+	if st.Enters != 3 || st.Exits != 2 {
+		t.Fatalf("op counts %d/%d, want 3/2", st.Enters, st.Exits)
+	}
+	// Fat-path traffic is folded into the thin stats, never counted in
+	// the fallback as well.
+	if fb := m.fallback.Stats(); fb.Enters != 0 || fb.Exits != 0 || fb.BlockEvents != 0 {
+		t.Fatalf("fallback stats leak: %+v", fb)
+	}
+	if m.Inflations != 1 {
+		t.Fatalf("inflations after release/re-lock = %d, want 1 (stays fat)", m.Inflations)
+	}
+}
+
+// TestThinInflatesOnDeepRecursion: recursion past the 8-bit depth field
+// (case (c)) inflates exactly once; the holder keeps recursing on the
+// fat path and unwinds every level cleanly, after which the lock is
+// free for another thread.
+func TestThinInflatesOnDeepRecursion(t *testing.T) {
+	m := newThin()
+	const depth = Threshold + 5
+	for i := 0; i < depth; i++ {
+		if !m.Enter(1, obj1) {
+			t.Fatalf("recursive enter %d failed", i)
+		}
+	}
+	if m.Inflations != 1 {
+		t.Fatalf("inflations = %d, want exactly 1", m.Inflations)
+	}
+	st := m.Stats()
+	// Every enter at depth >= Threshold classifies as case (c): the
+	// overflow enter that inflates plus each deep recursive enter after
+	// it. Only the first one performs the thin->fat transition.
+	if want := uint64(depth - Threshold); st.Cases[CaseC] != want {
+		t.Fatalf("case (c) count = %d, want %d", st.Cases[CaseC], want)
+	}
+	if got := st.Cases[CaseA] + st.Cases[CaseB] + st.Cases[CaseC] + st.Cases[CaseD]; got != depth {
+		t.Fatalf("case counts sum to %d, want %d", got, depth)
+	}
+	if !m.words[obj1].fat {
+		t.Fatal("lock word must be inflated after depth overflow")
+	}
+
+	// Unwind all levels; a blocked second thread gets in only after the
+	// last exit.
+	for i := 0; i < depth; i++ {
+		if i < depth-1 && m.Enter(2, obj1) {
+			t.Fatalf("thread 2 entered while %d levels still held", depth-i)
+		}
+		m.Exit(1, obj1)
+	}
+	if !m.Enter(2, obj1) {
+		t.Fatal("lock should be free after full unwind")
+	}
+	m.Exit(2, obj1)
+	if fb := m.fallback.Stats(); fb.Enters != 0 || fb.Exits != 0 {
+		t.Fatalf("fallback stats leak: %+v", fb)
+	}
+}
+
+// TestThinIndependentObjects: inflating one object's lock leaves other
+// objects on the thin fast path.
+func TestThinIndependentObjects(t *testing.T) {
+	m := newThin()
+	m.Enter(1, obj1)
+	m.Enter(2, obj1) // inflates obj1
+	if m.Inflations != 1 {
+		t.Fatalf("inflations = %d, want 1", m.Inflations)
+	}
+	if !m.Enter(2, obj2) {
+		t.Fatal("uncontended enter on a different object should succeed")
+	}
+	m.Exit(2, obj2)
+	if m.words[obj2] != nil && m.words[obj2].fat {
+		t.Fatal("obj2 must stay thin")
+	}
+	if m.Inflations != 1 {
+		t.Fatalf("obj2 traffic changed inflations: %d", m.Inflations)
+	}
+}
