@@ -23,6 +23,10 @@
 //	-parallel N   simulation workers (0 = GOMAXPROCS, 1 = serial)
 //	-cachedir D   persist per-cell results under D and reuse them on re-runs
 //	-json         emit lint/analyze reports as JSON instead of text
+//	-nobatch      deliver trace instructions one at a time (disable the
+//	              batched transport; for debugging and A/B timing)
+//	-cpuprofile F write a CPU profile to F
+//	-memprofile F write a heap profile to F on exit
 package main
 
 import (
@@ -30,11 +34,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"jrs/internal/core"
 	"jrs/internal/harness"
 	"jrs/internal/minijava"
+	"jrs/internal/trace"
 	"jrs/internal/workloads"
 )
 
@@ -55,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	cachedir := fs.String("cachedir", "", "directory for the persistent result cache (empty = no cache)")
 	jsonOut := fs.Bool("json", false, "emit lint/analyze reports as JSON")
+	nobatch := fs.Bool("nobatch", false, "disable the batched trace transport (per-instruction delivery)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +73,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() < 1 {
 		fs.Usage()
 		return 2
+	}
+
+	if *nobatch {
+		trace.BatchSize = 1
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "jrs: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "jrs: %v\n", err)
+			}
+		}()
 	}
 
 	opts := harness.Options{Scale: *scale, Quick: *quick}

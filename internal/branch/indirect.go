@@ -120,3 +120,13 @@ func (u *IndirectUnit) Emit(in trace.Inst) {
 		u.Observe(in)
 	}
 }
+
+// EmitBatch implements trace.BatchSink, filtering non-control
+// instructions without per-instruction dispatch.
+func (u *IndirectUnit) EmitBatch(batch []trace.Inst) {
+	for i := range batch {
+		if batch[i].Class.IsControl() {
+			u.Observe(batch[i])
+		}
+	}
+}

@@ -102,6 +102,7 @@ type Cache struct {
 	sets      [][]line
 	numSets   int
 	lineShift uint
+	setShift  uint
 	setMask   uint64
 	tick      uint64
 	seen      map[uint64]struct{} // line addresses ever touched, for compulsory classification
@@ -110,6 +111,9 @@ type Cache struct {
 	// translate-isolation study). Callers index it with trace.Phase.
 	PhaseStats [3]Stats
 	phase      int
+	// ps caches &PhaseStats[phase] so the per-access path doesn't
+	// re-index; SetPhase keeps it current.
+	ps *Stats
 }
 
 // New builds a cache from cfg. It panics on an invalid configuration;
@@ -128,14 +132,17 @@ func New(cfg Config) *Cache {
 	for 1<<shift != cfg.LineSize {
 		shift++
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		sets:      sets,
 		numSets:   numSets,
 		lineShift: shift,
+		setShift:  uintLog2(numSets),
 		setMask:   uint64(numSets - 1),
 		seen:      make(map[uint64]struct{}),
 	}
+	c.ps = &c.PhaseStats[0]
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -145,6 +152,7 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) SetPhase(p int) {
 	if p >= 0 && p < len(c.PhaseStats) {
 		c.phase = p
+		c.ps = &c.PhaseStats[p]
 	}
 }
 
@@ -154,10 +162,10 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	lineAddr := addr >> c.lineShift
 	setIdx := lineAddr & c.setMask
 	set := c.sets[setIdx]
-	tag := lineAddr >> uintLog2(c.numSets)
+	tag := lineAddr >> c.setShift
 	c.tick++
 
-	ps := &c.PhaseStats[c.phase]
+	ps := c.ps
 	if write {
 		c.Stats.Writes++
 		ps.Writes++
@@ -223,7 +231,7 @@ func (c *Cache) InstallLine(addr uint64) {
 	lineAddr := addr >> c.lineShift
 	setIdx := lineAddr & c.setMask
 	set := c.sets[setIdx]
-	tag := lineAddr >> uintLog2(c.numSets)
+	tag := lineAddr >> c.setShift
 	c.tick++
 	c.seen[lineAddr] = struct{}{}
 	for i := range set {

@@ -38,6 +38,11 @@ func PaperDefault() *Hierarchy {
 func (h *Hierarchy) Emit(in trace.Inst) {
 	h.I.SetPhase(int(in.Phase))
 	h.D.SetPhase(int(in.Phase))
+	h.step(&in)
+}
+
+// step is one instruction's probes, phase attribution already set.
+func (h *Hierarchy) step(in *trace.Inst) {
 	h.I.Access(in.PC, false)
 	switch in.Class {
 	case trace.Load:
@@ -48,6 +53,27 @@ func (h *Hierarchy) Emit(in trace.Inst) {
 			return
 		}
 		h.D.Access(in.Addr, true)
+	}
+}
+
+// EmitBatch implements trace.BatchSink. The per-instruction SetPhase
+// pair is hoisted to phase-change boundaries within the batch: runs of
+// same-phase instructions (the overwhelmingly common case — phase only
+// changes at interpreter/translator/loader transitions) pay for phase
+// attribution once instead of twice per instruction. Setting the same
+// phase repeatedly is idempotent, so results are byte-identical to the
+// per-instruction path.
+func (h *Hierarchy) EmitBatch(batch []trace.Inst) {
+	const noPhase = trace.Phase(0xFF)
+	cur := noPhase
+	for i := range batch {
+		in := &batch[i]
+		if in.Phase != cur {
+			cur = in.Phase
+			h.I.SetPhase(int(cur))
+			h.D.SetPhase(int(cur))
+		}
+		h.step(in)
 	}
 }
 
@@ -84,6 +110,25 @@ func (s *Sampler) Emit(in trace.Inst) {
 	s.count++
 	if s.count%s.Window == 0 {
 		s.flush()
+	}
+}
+
+// EmitBatch implements trace.BatchSink, splitting the batch at sampling
+// window boundaries so every window closes at exactly the same
+// instruction as the per-instruction path.
+func (s *Sampler) EmitBatch(batch []trace.Inst) {
+	for len(batch) > 0 {
+		room := s.Window - s.count%s.Window
+		n := uint64(len(batch))
+		if n > room {
+			n = room
+		}
+		s.H.EmitBatch(batch[:n])
+		s.count += n
+		if s.count%s.Window == 0 {
+			s.flush()
+		}
+		batch = batch[n:]
 	}
 }
 

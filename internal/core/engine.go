@@ -55,6 +55,13 @@ func (s MethodStats) ExecAvg() float64 {
 type Config struct {
 	// Sink receives the full native trace (nil = discard).
 	Sink trace.Sink
+	// BatchSize is the trace-transport delivery buffer length: emitted
+	// instructions accumulate in a Shade-style batch buffer and reach
+	// Sink in []Inst batches of this size (0 = the trace.BatchSize
+	// process default; 1 = per-instruction delivery, the -nobatch
+	// escape hatch). Batch boundaries never change simulated outcomes —
+	// only how often the downstream sinks are dispatched.
+	BatchSize int
 	// Policy is the translate decision (default CompileFirst).
 	Policy Policy
 	// JITOptions tunes the compiler.
@@ -91,8 +98,17 @@ type Engine struct {
 	CPU    *native.CPU
 	Policy Policy
 	// Clock counts every emitted instruction and splits it by class and
-	// phase — the run's time base and the Figure 1/2 source.
-	Clock   *trace.Counter
+	// phase — the run's time base and the Figure 1/2 source. It sits
+	// downstream of the batch transport and so lags by the buffered
+	// instructions mid-run; now() compensates with Batch.Pending(), and
+	// every run-level summary reads it after the end-of-run flush.
+	Clock *trace.Counter
+	// Batch is the engine's trace transport: all emitters share this
+	// buffer and Config.Sink receives whole batches from it. The engine
+	// flushes it at every observation boundary (end of run, precompile
+	// completion); harnesses swapping sinks mid-run must FlushTrace
+	// first.
+	Batch   *trace.Batcher
 	Quantum int
 
 	// Stats is indexed by method id after Load.
@@ -166,13 +182,14 @@ func New(cfg Config) *Engine {
 		cfg.JITOptions = jit.DefaultOptions()
 	}
 	clock := &trace.Counter{}
-	full := trace.Tee(clock, cfg.Sink)
-	v := vm.New(full, cfg.Monitors)
+	batch := trace.NewBatcher(trace.Tee(clock, cfg.Sink), cfg.BatchSize)
+	v := vm.New(batch, cfg.Monitors)
 	v.Verify = cfg.Verify
 	e := &Engine{
 		VM:         v,
 		Policy:     cfg.Policy,
 		Clock:      clock,
+		Batch:      batch,
 		Quantum:    cfg.Quantum,
 		devirt:     cfg.Devirt,
 		elideLocks: cfg.ElideLocks,
@@ -183,8 +200,17 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// now returns the global instruction clock.
-func (e *Engine) now() uint64 { return e.Clock.Total }
+// now returns the global instruction clock: the flushed total plus the
+// instructions still buffered in the transport, so the per-method cost
+// accounting sees the exact count regardless of batch boundaries.
+func (e *Engine) now() uint64 { return e.Clock.Total + uint64(e.Batch.Pending()) }
+
+// FlushTrace delivers any instructions still buffered in the trace
+// transport to the configured sink. Run and PrecompileAll flush on
+// completion; callers that swap sinks mid-run (trace.Switchable) or
+// inspect sink state between engine phases must flush first so the
+// observation boundary is exact.
+func (e *Engine) FlushTrace() { e.Batch.Flush() }
 
 func (e *Engine) stat(m *bytecode.Method) *MethodStats {
 	for len(e.Stats) <= m.ID {
@@ -204,6 +230,10 @@ func (e *Engine) Run(entry *bytecode.Method) (err error) {
 			panic(r)
 		}
 	}()
+	// End-of-run flush: the last partial batch reaches the sinks before
+	// any caller reads their state (runs LIFO-first, before the recover
+	// above, so error paths deliver their partial trace too).
+	defer e.FlushTrace()
 
 	if len(entry.Sig.Params) != 0 || !entry.IsStatic() {
 		return fmt.Errorf("entry %s must be a static niladic method", entry.FullName())
@@ -495,6 +525,10 @@ func (e *Engine) spawn(obj uint64) int {
 // fully compiled program whose measured trace contains no translation or
 // loading activity.
 func (e *Engine) PrecompileAll() error {
+	// Mode-switch flush: everything precompilation emits must reach (and
+	// be dropped or observed by) the *current* sink destination before
+	// the harness swaps a Switchable to the measured simulators.
+	defer e.FlushTrace()
 	e.prepare()
 	for _, m := range e.VM.MethodByID {
 		if m.Class != nil && m.Class.Name == "Sys" {
@@ -513,9 +547,9 @@ func (e *Engine) PrecompileAll() error {
 // PhaseInstrs returns the instruction counts charged to execution,
 // translation and loading (the Figure 1 decomposition).
 func (e *Engine) PhaseInstrs() (exec, translate, load uint64) {
-	return e.Clock.ByPhase[trace.PhaseExec],
-		e.Clock.ByPhase[trace.PhaseTranslate],
-		e.Clock.ByPhase[trace.PhaseLoad]
+	return e.Clock.ByPhase(trace.PhaseExec),
+		e.Clock.ByPhase(trace.PhaseTranslate),
+		e.Clock.ByPhase(trace.PhaseLoad)
 }
 
 // TotalInstrs returns the run's total instruction count.

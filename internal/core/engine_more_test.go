@@ -56,7 +56,7 @@ class Main {
 		}
 		c1, c2 := e1.Clock, e2.Clock
 		for cl := trace.Class(0); cl < trace.NumClasses; cl++ {
-			if c1.ByClass[cl] != c2.ByClass[cl] {
+			if c1.ByClass(cl) != c2.ByClass(cl) {
 				t.Fatalf("%s: class %v count differs", p.Name(), cl)
 			}
 		}

@@ -135,7 +135,7 @@ func TestDevirtReducesIndirection(t *testing.T) {
 		if err := e.Run(m); err != nil {
 			t.Fatal(err)
 		}
-		return c.ByClass[trace.IndirectJump] + c.ByClass[trace.IndirectCall]
+		return c.ByClass(trace.IndirectJump) + c.ByClass(trace.IndirectCall)
 	}
 
 	noDevirt := Config{}

@@ -26,6 +26,16 @@ type Emitter struct {
 	// Count is the number of instructions emitted through this emitter,
 	// the time proxy used by the §3 cost accounting.
 	Count uint64
+
+	// Batch is the Shade-style fast path: when Sink is a
+	// *trace.Batcher, every emit is a concrete buffer append and the
+	// downstream interface dispatch happens once per batch. All of an
+	// engine's emitters (interpreter, JIT translator, native CPU,
+	// runtime services, class loading) share the engine's one Batcher,
+	// so the merged stream keeps exact program order. Hot per-inst call
+	// sites (Seq.emit, the native CPU) test it directly so the append
+	// inlines without an intermediate call.
+	Batch *trace.Batcher
 }
 
 // New returns an emitter over sink in phase p.
@@ -33,7 +43,22 @@ func New(sink trace.Sink, p trace.Phase) *Emitter {
 	if sink == nil {
 		sink = trace.Discard
 	}
-	return &Emitter{Sink: sink, Phase: p}
+	e := &Emitter{Sink: sink, Phase: p}
+	if b, ok := sink.(*trace.Batcher); ok {
+		e.Batch = b
+	}
+	return e
+}
+
+// Emit delivers one instruction, counting it and taking the batched
+// fast path when available.
+func (e *Emitter) Emit(in trace.Inst) {
+	e.Count++
+	if e.Batch != nil {
+		e.Batch.Add(in)
+		return
+	}
+	e.Sink.Emit(in)
 }
 
 // Seq walks a template starting at a fixed PC. The zero register
@@ -70,8 +95,17 @@ func (s *Seq) nextReg() uint8 {
 func (s *Seq) emit(in trace.Inst) *Seq {
 	in.PC = s.pc
 	in.Phase = s.e.Phase
-	s.e.Sink.Emit(in)
-	s.e.Count++
+	// Manually flattened Emitter.Emit: this is the grid's single
+	// hottest call site, and keeping the batched append inline here
+	// (rather than behind another call) is worth several percent of
+	// whole-grid time.
+	e := s.e
+	e.Count++
+	if e.Batch != nil {
+		e.Batch.Add(in)
+	} else {
+		e.Sink.Emit(in)
+	}
 	s.pc += isa.WordSize
 	if in.Dst != trace.RegNone {
 		s.prevDst = in.Dst

@@ -55,7 +55,7 @@ func ablateDevirtPlan(o Options) (*Plan, *AblateDevirtResult) {
 				if err != nil {
 					return row, err
 				}
-				indirect := c.ByClass[trace.IndirectJump] + c.ByClass[trace.IndirectCall]
+				indirect := c.ByClass(trace.IndirectJump) + c.ByClass(trace.IndirectCall)
 				gshare := suite.Units[2].Stats.MispredictRate()
 				switch variant {
 				case "none":

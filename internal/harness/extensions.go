@@ -83,6 +83,16 @@ func (s sinkUnit) Emit(in trace.Inst) {
 	}
 }
 
+// EmitBatch implements trace.BatchSink, filtering the non-control bulk
+// of the batch without per-instruction dispatch.
+func (s sinkUnit) EmitBatch(batch []trace.Inst) {
+	for i := range batch {
+		if batch[i].Class.IsControl() {
+			s.u.Observe(batch[i])
+		}
+	}
+}
+
 // Render formats the indirect-predictor study.
 func (r *AblateIndirectResult) Render() string {
 	t := stats.NewTable("Extension: indirect-branch target cache vs BTB (2K entries, 12-bit path history)",

@@ -52,8 +52,10 @@ func fig2Plan(o Options) (*Plan, *Fig2Result) {
 			}
 			cum := &res.Cumulative[mi]
 			cum.Total += m.Counter.Total
-			for i := range m.Counter.ByClass {
-				cum.ByClass[i] += m.Counter.ByClass[i]
+			for cl := range m.Counter.ByClassPhase {
+				for p := range m.Counter.ByClassPhase[cl] {
+					cum.ByClassPhase[cl][p] += m.Counter.ByClassPhase[cl][p]
+				}
 			}
 		}
 		return nil

@@ -76,7 +76,10 @@ type Interp struct {
 }
 
 // New builds an interpreter for v emitting application-phase instructions
-// to the same sink as v's runtime emitter.
+// to the same sink as v's runtime emitter. Sharing the runtime's sink —
+// in a batching engine, its trace.Batcher — keeps the dispatch-loop and
+// handler templates interleaved in exact program order with runtime and
+// JIT emissions while the transport buffers deliveries downstream.
 func New(v *vm.VM) *Interp {
 	return &Interp{VM: v, EM: emit.New(v.RT.Sink, trace.PhaseExec)}
 }

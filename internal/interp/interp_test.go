@@ -137,10 +137,10 @@ func TestBranchingLoop(t *testing.T) {
 	}
 	// The dispatch loop must have produced indirect jumps and data reads
 	// of the bytecode stream.
-	if ctr.ByClass[trace.IndirectJump] == 0 {
+	if ctr.ByClass(trace.IndirectJump) == 0 {
 		t.Error("no dispatch indirect jumps in trace")
 	}
-	if ctr.ByClass[trace.Load] == 0 || ctr.ByClass[trace.Store] == 0 {
+	if ctr.ByClass(trace.Load) == 0 || ctr.ByClass(trace.Store) == 0 {
 		t.Error("no memory traffic in trace")
 	}
 }

@@ -71,11 +71,11 @@ func TestCompileEmitsTranslateTrace(t *testing.T) {
 	if _, err := jc.Compile(m); err != nil {
 		t.Fatal(err)
 	}
-	if ctr.ByPhase[trace.PhaseTranslate] == 0 {
+	if ctr.ByPhase(trace.PhaseTranslate) == 0 {
 		t.Fatal("no translate-phase trace emitted")
 	}
 	// Installation writes into the code cache must appear as stores.
-	if ctr.ByClass[trace.Store] == 0 {
+	if ctr.ByClass(trace.Store) == 0 {
 		t.Fatal("no install stores")
 	}
 }

@@ -232,10 +232,9 @@ func (c *CPU) Run(t *vm.Thread, a *Activation, quantum int) rt.Trap {
 
 		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBle, isa.OpBgt:
 			taken := evalBranch(in.Op, R[in.Rs1], R[in.Rs2])
-			c.EM.Sink.Emit(trace.Inst{PC: pc, Class: trace.Branch, Target: in.Target,
+			c.put(trace.Inst{PC: pc, Class: trace.Branch, Target: in.Target,
 				Taken: taken, Phase: trace.PhaseExec, Src1: in.Rs1, Src2: in.Rs2,
 				Dst: trace.RegNone})
-			c.EM.Count++
 			if taken {
 				if in.Target == vm.TrapPC {
 					vm.Throwf("ArrayIndexOutOfBounds", "%s: runtime check failed", a.C.M.FullName())
@@ -256,19 +255,17 @@ func (c *CPU) Run(t *vm.Thread, a *Activation, quantum int) rt.Trap {
 		case isa.OpJalr:
 			target := uint64(R[in.Rs1])
 			R[isa.RLR] = int64(pc + isa.WordSize)
-			c.EM.Sink.Emit(trace.Inst{PC: pc, Class: trace.IndirectCall, Target: target,
+			c.put(trace.Inst{PC: pc, Class: trace.IndirectCall, Target: target,
 				Taken: true, Phase: trace.PhaseExec, Src1: in.Rs1, Src2: trace.RegNone,
 				Dst: isa.RLR})
-			c.EM.Count++
 			a.PC = next
 			return c.callTrap(target, true)
 
 		case isa.OpJr:
 			target := uint64(R[in.Rs1])
-			c.EM.Sink.Emit(trace.Inst{PC: pc, Class: trace.IndirectJump, Target: target,
+			c.put(trace.Inst{PC: pc, Class: trace.IndirectJump, Target: target,
 				Taken: true, Phase: trace.PhaseExec, Src1: in.Rs1, Src2: trace.RegNone,
 				Dst: trace.RegNone})
-			c.EM.Count++
 			next = c.codeIndex(a, target)
 
 		case isa.OpRet:
@@ -414,16 +411,28 @@ func SetResult(a *Activation, ret bytecode.Type, val int64) {
 
 // --- trace emission helpers -------------------------------------------
 
+// put is Emitter.Emit flattened into this package: the generated-code
+// loop emits one Inst per simulated instruction through these helpers,
+// and keeping the batched append inline (no intermediate call) matters
+// at that rate.
+func (c *CPU) put(in trace.Inst) {
+	em := c.EM
+	em.Count++
+	if em.Batch != nil {
+		em.Batch.Add(in)
+	} else {
+		em.Sink.Emit(in)
+	}
+}
+
 func (c *CPU) emitALU(pc uint64, in isa.Inst) {
-	c.EM.Sink.Emit(trace.Inst{PC: pc, Class: trace.ALU, Phase: trace.PhaseExec,
+	c.put(trace.Inst{PC: pc, Class: trace.ALU, Phase: trace.PhaseExec,
 		Src1: srcOrNone(in.Rs1), Src2: srcOrNone(in.Rs2), Dst: dstOrNone(in.Rd)})
-	c.EM.Count++
 }
 
 func (c *CPU) emitFPU(pc uint64, in isa.Inst) {
-	c.EM.Sink.Emit(trace.Inst{PC: pc, Class: trace.FPU, Phase: trace.PhaseExec,
+	c.put(trace.Inst{PC: pc, Class: trace.FPU, Phase: trace.PhaseExec,
 		Src1: srcOrNone(in.Rs1), Src2: srcOrNone(in.Rs2), Dst: dstOrNone(in.Rd)})
-	c.EM.Count++
 }
 
 func (c *CPU) emitMem(pc uint64, in isa.Inst, ea uint64, write bool) {
@@ -433,16 +442,14 @@ func (c *CPU) emitMem(pc uint64, in isa.Inst, ea uint64, write bool) {
 		cl = trace.Store
 		dst = trace.RegNone
 	}
-	c.EM.Sink.Emit(trace.Inst{PC: pc, Class: cl, Addr: ea, Phase: trace.PhaseExec,
+	c.put(trace.Inst{PC: pc, Class: cl, Addr: ea, Phase: trace.PhaseExec,
 		Src1: srcOrNone(in.Rs1), Src2: srcOrNone(in.Rs2), Dst: dst})
-	c.EM.Count++
 }
 
 func (c *CPU) emitCtl(pc uint64, cl trace.Class, target uint64) {
-	c.EM.Sink.Emit(trace.Inst{PC: pc, Class: cl, Target: target, Taken: true,
+	c.put(trace.Inst{PC: pc, Class: cl, Target: target, Taken: true,
 		Phase: trace.PhaseExec, Src1: trace.RegNone, Src2: trace.RegNone,
 		Dst: trace.RegNone})
-	c.EM.Count++
 }
 
 func srcOrNone(r uint8) uint8 {

@@ -230,10 +230,10 @@ func TestTraceHasRealPCsAndAddrs(t *testing.T) {
 	c := &bytecode.Class{Name: "A", Methods: []*bytecode.Method{m}}
 	cpu, th, act := compileOne(t, []*bytecode.Class{c}, m, nil, ctr)
 	cpu.Run(th, act, 100000)
-	if ctr.ByPhase[trace.PhaseExec] == 0 {
+	if ctr.ByPhase(trace.PhaseExec) == 0 {
 		t.Fatal("no exec-phase instructions")
 	}
-	if ctr.ByClass[trace.Load] == 0 || ctr.ByClass[trace.Store] == 0 {
+	if ctr.ByClass(trace.Load) == 0 || ctr.ByClass(trace.Store) == 0 {
 		t.Fatal("locals traffic missing from trace")
 	}
 	// Exactly one application-phase return (loading/translation emit

@@ -95,12 +95,14 @@ type Core struct {
 	issueMask uint64
 	clearedTo uint64
 
-	// memReady[addr>>3] is the cycle the last store to that word
+	// memReady records, per 8-byte word, the cycle the last store to it
 	// completes; loads from the word wait for it (store-to-load
 	// forwarding). This carries the true memory dependences — loop
 	// variables the JIT keeps in frame slots, the interpreter's operand
-	// stack — without which the model overstates ILP badly.
-	memReady map[uint64]uint64
+	// stack — without which the model overstates ILP badly. It is an
+	// open-addressing table rather than a Go map: one probe per
+	// load/store is the model's hottest lookup.
+	memReady wordCycleTable
 
 	// Instrs counts retired instructions; LastCycle the final completion.
 	Instrs    uint64
@@ -122,8 +124,8 @@ func New(cfg Config) *Core {
 		window:    make([]uint64, cfg.WindowSize),
 		issued:    make([]uint8, issueRing),
 		issueMask: issueRing - 1,
-		memReady:  make(map[uint64]uint64),
 	}
+	c.memReady.init()
 	return c
 }
 
@@ -171,14 +173,30 @@ func maxU64(a, b uint64) uint64 {
 	return b
 }
 
+// EmitBatch implements trace.BatchSink: the front end consumes whole
+// fetch batches through one dispatch, timing each instruction in place
+// (no per-instruction 40-byte Inst copy) with a direct call into the
+// core.
+func (c *Core) EmitBatch(batch []trace.Inst) {
+	for i := range batch {
+		c.step(&batch[i])
+	}
+}
+
 // Emit implements trace.Sink, timing one instruction.
-func (c *Core) Emit(in trace.Inst) {
+func (c *Core) Emit(in trace.Inst) { c.step(&in) }
+
+// step times one instruction.
+func (c *Core) step(in *trace.Inst) {
 	cfg := &c.cfg
 
 	// Window: the next instruction cannot enter until the oldest retires.
 	if c.wCount == cfg.WindowSize {
 		oldest := c.window[c.wHead]
-		c.wHead = (c.wHead + 1) % cfg.WindowSize
+		c.wHead++
+		if c.wHead == cfg.WindowSize {
+			c.wHead = 0
+		}
 		c.wCount--
 		if oldest+1 > c.fetchCycle {
 			c.fetchCycle = oldest + 1
@@ -226,7 +244,7 @@ func (c *Core) Emit(in trace.Inst) {
 		complete = issueAt + lat
 		// Store-to-load dependence: the value isn't available before the
 		// producing store completes (forwarded same-cycle).
-		if sr, ok := c.memReady[in.Addr>>3]; ok && sr+cfg.ForwardLatency > complete {
+		if sr, ok := c.memReady.get(in.Addr >> 3); ok && sr+cfg.ForwardLatency > complete {
 			complete = sr + cfg.ForwardLatency
 		}
 	case trace.Store:
@@ -238,7 +256,7 @@ func (c *Core) Emit(in trace.Inst) {
 			lat += cfg.MissPenalty
 		}
 		complete = issueAt + lat
-		c.memReady[in.Addr>>3] = complete
+		c.memReady.put(in.Addr>>3, complete)
 	default:
 		lat = cfg.IntLatency
 		complete = issueAt + lat
@@ -251,7 +269,7 @@ func (c *Core) Emit(in trace.Inst) {
 	// Control transfers: on a misprediction the fetch of younger
 	// instructions resumes only after resolution plus the penalty.
 	if in.Class.IsControl() {
-		if c.pred.Observe(in) {
+		if c.pred.Observe(*in) {
 			resume := complete + cfg.MispredictPenalty
 			if resume > c.fetchCycle {
 				c.fetchCycle = resume
@@ -261,7 +279,10 @@ func (c *Core) Emit(in trace.Inst) {
 	}
 
 	// Enter window.
-	tail := (c.wHead + c.wCount) % cfg.WindowSize
+	tail := c.wHead + c.wCount
+	if tail >= cfg.WindowSize {
+		tail -= cfg.WindowSize
+	}
 	c.window[tail] = complete
 	c.wCount++
 

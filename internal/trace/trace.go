@@ -162,12 +162,26 @@ type discard struct{}
 // Emit implements Sink by dropping the instruction.
 func (discard) Emit(Inst) {}
 
-// Tee fans the stream out to several sinks in order. A nil entry is
-// skipped. Tee of zero or one sinks collapses to the trivial sink.
+// EmitBatch implements BatchSink by dropping the batch.
+func (discard) EmitBatch([]Inst) {}
+
+// Tee fans the stream out to several sinks in order. A nil or Discard
+// entry is skipped, and a member that is itself a Tee is flattened: its
+// members are inlined in place, so arbitrarily nested Tee construction
+// always yields a single fan-out level (one dispatch per member per
+// batch, not one per nesting level). Tee of zero or one live sinks
+// collapses to the trivial sink.
 func Tee(sinks ...Sink) Sink {
 	live := make([]Sink, 0, len(sinks))
 	for _, s := range sinks {
-		if s != nil {
+		switch m := s.(type) {
+		case nil:
+			continue
+		case discard:
+			continue
+		case *tee:
+			live = append(live, m.sinks...)
+		default:
 			live = append(live, s)
 		}
 	}
@@ -189,6 +203,14 @@ func (t *tee) Emit(i Inst) {
 	}
 }
 
+// EmitBatch implements BatchSink, fanning the whole batch to every
+// member (members that only implement Sink receive it unrolled).
+func (t *tee) EmitBatch(batch []Inst) {
+	for _, s := range t.sinks {
+		EmitBatchTo(s, batch)
+	}
+}
+
 // Switchable is a Sink whose destination can be swapped mid-run. The
 // harness uses it to exclude phases from measurement — e.g. the AOT
 // ("C/C++-like") configuration precompiles every method while S is nil
@@ -203,15 +225,23 @@ func (s *Switchable) Emit(i Inst) {
 	}
 }
 
+// EmitBatch implements BatchSink. Engines flush their transport before
+// the destination is swapped, so a batch is never split across two
+// destinations and the swap point stays an exact observation boundary.
+func (s *Switchable) EmitBatch(batch []Inst) {
+	if s.S != nil {
+		EmitBatchTo(s.S, batch)
+	}
+}
+
 // Counter is a Sink that accumulates the instruction-mix statistics the
-// paper reports in Figure 2, split by phase.
+// paper reports in Figure 2, split by phase. Only the full
+// (class, phase) matrix is maintained on the hot path — one increment
+// per instruction — and the per-class / per-phase marginals are summed
+// from it on demand.
 type Counter struct {
 	// Total is the number of instructions observed.
 	Total uint64
-	// ByClass counts instructions per class.
-	ByClass [NumClasses]uint64
-	// ByPhase counts instructions per phase.
-	ByPhase [NumPhases]uint64
 	// ByClassPhase counts instructions per (class, phase).
 	ByClassPhase [NumClasses][NumPhases]uint64
 }
@@ -219,9 +249,35 @@ type Counter struct {
 // Emit implements Sink.
 func (c *Counter) Emit(i Inst) {
 	c.Total++
-	c.ByClass[i.Class]++
-	c.ByPhase[i.Phase]++
 	c.ByClassPhase[i.Class][i.Phase]++
+}
+
+// EmitBatch implements BatchSink, accumulating the whole batch with one
+// dispatch.
+func (c *Counter) EmitBatch(batch []Inst) {
+	c.Total += uint64(len(batch))
+	for i := range batch {
+		in := &batch[i]
+		c.ByClassPhase[in.Class][in.Phase]++
+	}
+}
+
+// ByClass returns the number of instructions observed in class cl.
+func (c *Counter) ByClass(cl Class) uint64 {
+	var n uint64
+	for p := Phase(0); p < NumPhases; p++ {
+		n += c.ByClassPhase[cl][p]
+	}
+	return n
+}
+
+// ByPhase returns the number of instructions observed in phase p.
+func (c *Counter) ByPhase(p Phase) uint64 {
+	var n uint64
+	for cl := Class(0); cl < NumClasses; cl++ {
+		n += c.ByClassPhase[cl][p]
+	}
+	return n
 }
 
 // Reset zeroes the counter.
@@ -232,7 +288,7 @@ func (c *Counter) Frac(cl Class) float64 {
 	if c.Total == 0 {
 		return 0
 	}
-	return float64(c.ByClass[cl]) / float64(c.Total)
+	return float64(c.ByClass(cl)) / float64(c.Total)
 }
 
 // MemFrac returns the fraction of instructions that access data memory.
@@ -240,7 +296,7 @@ func (c *Counter) MemFrac() float64 {
 	if c.Total == 0 {
 		return 0
 	}
-	return float64(c.ByClass[Load]+c.ByClass[Store]) / float64(c.Total)
+	return float64(c.ByClass(Load)+c.ByClass(Store)) / float64(c.Total)
 }
 
 // ControlFrac returns the fraction of instructions that transfer control.
@@ -250,7 +306,7 @@ func (c *Counter) ControlFrac() float64 {
 	}
 	var n uint64
 	for cl := Branch; cl <= IndirectCall; cl++ {
-		n += c.ByClass[cl]
+		n += c.ByClass(cl)
 	}
 	return float64(n) / float64(c.Total)
 }
@@ -261,6 +317,6 @@ func (c *Counter) IndirectFrac() float64 {
 	if c.Total == 0 {
 		return 0
 	}
-	n := c.ByClass[Ret] + c.ByClass[IndirectJump] + c.ByClass[IndirectCall]
+	n := c.ByClass(Ret) + c.ByClass(IndirectJump) + c.ByClass(IndirectCall)
 	return float64(n) / float64(c.Total)
 }

@@ -69,11 +69,11 @@ func TestCounter(t *testing.T) {
 	if got := c.ControlFrac(); got != 0.25 {
 		t.Errorf("control frac = %v", got)
 	}
-	if c.ByPhase[PhaseTranslate] != 1 {
-		t.Errorf("translate phase count = %d", c.ByPhase[PhaseTranslate])
+	if c.ByPhase(PhaseTranslate) != 1 {
+		t.Errorf("translate phase count = %d", c.ByPhase(PhaseTranslate))
 	}
 	c.Reset()
-	if c.Total != 0 || c.ByClass[Load] != 0 {
+	if c.Total != 0 || c.ByClass(Load) != 0 {
 		t.Error("reset did not clear")
 	}
 }
@@ -86,8 +86,8 @@ func TestCounterSumsProperty(t *testing.T) {
 			c.Emit(Inst{Class: Class(b % uint8(NumClasses))})
 		}
 		var sum uint64
-		for _, n := range c.ByClass {
-			sum += n
+		for cl := Class(0); cl < NumClasses; cl++ {
+			sum += c.ByClass(cl)
 		}
 		return sum == c.Total && c.Total == uint64(len(classes))
 	}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# bench.sh — run the grid macro-benchmarks and the trace-transport
+# micro-benchmarks, recording the results as a labeled entry in
+# BENCH_<date>.json (benchstat-replayable via the entry's raw lines;
+# see scripts/benchjson).
+#
+# Usage: scripts/bench.sh [label] [count]
+#   label  entry label in the JSON log (default: dev)
+#   count  -count passed to go test (default: 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-dev}"
+count="${2:-3}"
+out="BENCH_$(date +%F).json"
+commit="$(git rev-parse --short HEAD 2>/dev/null || true)"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== grid macro-benchmarks (count=$count) =="
+go test -run '^$' -bench 'BenchmarkGrid' -benchmem -count "$count" -timeout 120m . | tee -a "$tmp"
+
+echo "== trace-transport micro-benchmarks (count=$count) =="
+go test ./internal/trace -run '^$' -bench TraceTransport -benchmem -count "$count" | tee -a "$tmp"
+
+go run ./scripts/benchjson -label "$label" -commit "$commit" -out "$out" < "$tmp"

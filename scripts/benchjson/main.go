@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a labeled entry of a JSON benchmark log. The raw benchmark lines are
+// kept verbatim inside the entry, so any entry can be replayed through
+// benchstat:
+//
+//	jq -r '.entries[] | select(.label=="baseline") | .raw[]' BENCH_X.json > old.txt
+//	jq -r '.entries[] | select(.label=="batched")  | .raw[]' BENCH_X.json > new.txt
+//	benchstat old.txt new.txt
+//
+// Re-running with an existing label replaces that entry in place.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metric is one value/unit pair from a benchmark line (ns/op, B/op, …).
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name    string   `json:"name"`
+	Iters   int64    `json:"iters"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Entry is one labeled benchmark run.
+type Entry struct {
+	Label      string      `json:"label"`
+	Commit     string      `json:"commit,omitempty"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw holds the verbatim `go test -bench` lines (header + results)
+	// in benchstat's input format.
+	Raw []string `json:"raw"`
+}
+
+// Log is the whole BENCH_<date>.json file.
+type Log struct {
+	Entries []Entry `json:"entries"`
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		b.Metrics = append(b.Metrics, Metric{Value: v, Unit: fields[i+1]})
+	}
+	return b, true
+}
+
+func main() {
+	label := flag.String("label", "dev", "entry label (replaces an existing entry with the same label)")
+	commit := flag.String("commit", "", "commit hash the run measured")
+	note := flag.String("note", "", "free-form note stored with the entry")
+	out := flag.String("out", "", "JSON log file to create or update (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	entry := Entry{Label: *label, Commit: *commit, Note: *note}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				entry.Benchmarks = append(entry.Benchmarks, b)
+				entry.Raw = append(entry.Raw, line)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			entry.Raw = append(entry.Raw, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entry.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var log Log
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &log); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a benchmark log: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	replaced := false
+	for i := range log.Entries {
+		if log.Entries[i].Label == entry.Label {
+			log.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		log.Entries = append(log.Entries, entry)
+	}
+
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote entry %q (%d benchmarks) to %s\n", entry.Label, len(entry.Benchmarks), *out)
+}
