@@ -22,6 +22,18 @@
 //	-w names      comma-separated workload subset for experiments
 //	-parallel N   simulation workers (0 = GOMAXPROCS, 1 = serial)
 //	-cachedir D   persist per-cell results under D and reuse them on re-runs
+//	-celltimeout D watchdog deadline per cell attempt (0 = none); hung
+//	              cells become retryable timeout failures
+//	-retries N    re-attempts per cell after a retryable failure
+//	              (panic, timeout, transient/injected fault)
+//	-keepgoing    degraded mode: drain every cell, render what
+//	              succeeded, print a run report; exit 3 on failures
+//	-resume       trust the run journal under -cachedir: journaled
+//	              cells are served from the cache, everything else
+//	              re-simulates (continue an interrupted run)
+//	-chaos SPEC   deterministic fault injection, e.g.
+//	              seed=1,panic=0.1,hang=0.05,err=0.1,corrupt=0.02
+//	              (also upto=K, cell=SUBSTR); the supervision test rig
 //	-json         emit lint/analyze reports as JSON instead of text
 //	-nobatch      deliver trace instructions one at a time (disable the
 //	              batched transport; for debugging and A/B timing)
@@ -34,12 +46,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"jrs/internal/core"
 	"jrs/internal/harness"
+	"jrs/internal/harness/chaos"
 	"jrs/internal/minijava"
 	"jrs/internal/trace"
 	"jrs/internal/workloads"
@@ -61,6 +76,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wsel := fs.String("w", "", "comma-separated workload subset")
 	parallel := fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	cachedir := fs.String("cachedir", "", "directory for the persistent result cache (empty = no cache)")
+	celltimeout := fs.Duration("celltimeout", 0, "watchdog deadline per cell attempt (0 = none)")
+	retries := fs.Int("retries", 0, "re-attempts per cell after a retryable failure")
+	keepgoing := fs.Bool("keepgoing", false, "drain all cells despite failures; report and exit 3")
+	resume := fs.Bool("resume", false, "resume an interrupted run from the -cachedir journal")
+	chaosSpec := fs.String("chaos", "", "deterministic fault-injection spec (seed=N,panic=P,hang=P,err=P,corrupt=P,upto=K,cell=S)")
 	jsonOut := fs.Bool("json", false, "emit lint/analyze reports as JSON")
 	nobatch := fs.Bool("nobatch", false, "disable the batched trace transport (per-instruction delivery)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -118,7 +138,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	runner := &harness.Runner{Workers: *parallel}
+	runner := &harness.Runner{
+		Workers:     *parallel,
+		CellTimeout: *celltimeout,
+		Retries:     *retries,
+		KeepGoing:   *keepgoing,
+		BackoffBase: 100 * time.Millisecond,
+	}
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 2
+		}
+		runner.Chaos = chaos.New(spec)
+	}
 	if *cachedir != "" {
 		cache, err := harness.OpenResultCache(*cachedir)
 		if err != nil {
@@ -126,6 +160,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		runner.Cache = cache
+		// The run journal lives next to the cache: every completed cell
+		// is recorded so a later -resume continues where this run dies.
+		journal, err := harness.OpenJournal(filepath.Join(*cachedir, harness.JournalName))
+		if err != nil {
+			fmt.Fprintf(stderr, "jrs: %v\n", err)
+			return 1
+		}
+		defer journal.Close()
+		runner.Journal = journal
+	}
+	if *resume {
+		if *cachedir == "" {
+			fmt.Fprintln(stderr, "jrs: -resume requires -cachedir (the journal lives there)")
+			return 2
+		}
+		runner.Resume = true
 	}
 	runner.Progress = func(key harness.CellKey, cached bool) {
 		tag := "sim"
@@ -158,6 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "done: %d cells simulated, %d from cache\n",
 			runner.Simulated(), runner.CacheHits())
 		fmt.Fprint(stdout, out)
+		return reportExit(runner, *keepgoing, stdout)
 
 	case "run":
 		if fs.NArg() < 2 {
@@ -187,7 +238,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "jrs: %v\n", err)
 			return 1
 		}
-		fmt.Fprint(stdout, r.Render())
+		fmt.Fprint(stdout, runner.SafeRender(r))
+		return reportExit(runner, *keepgoing, stdout)
+	}
+	return 0
+}
+
+// reportExit finishes a supervised experiment command: in -keepgoing
+// mode it appends the deterministic run report to stdout and converts
+// "some cells failed" into exit code 3 (degraded but rendered), keeping
+// 0 for a fully healthy run.
+func reportExit(runner *harness.Runner, keepgoing bool, stdout io.Writer) int {
+	if !keepgoing {
+		return 0
+	}
+	rep := runner.Report()
+	fmt.Fprint(stdout, rep.Render())
+	if rep.Failed > 0 {
+		return 3
 	}
 	return 0
 }

@@ -124,3 +124,108 @@ func TestCachedirReuse(t *testing.T) {
 		t.Errorf("second run shows no cache hits:\n%s", errb2.String())
 	}
 }
+
+// TestChaosFlagValidation: a malformed -chaos spec is a usage error
+// (exit 2) before any simulation starts.
+func TestChaosFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-chaos", "panic=2", "fig1"}, &out, &errb); code != 2 {
+		t.Fatalf("bad -chaos spec exit code = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "chaos") {
+		t.Errorf("stderr = %q, want a chaos spec error", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty on usage error: %q", out.String())
+	}
+}
+
+// TestResumeRequiresCachedir: -resume without -cachedir is a usage
+// error — there is no journal to resume from.
+func TestResumeRequiresCachedir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-resume", "fig1"}, &out, &errb); code != 2 {
+		t.Fatalf("-resume without -cachedir exit code = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-cachedir") {
+		t.Errorf("stderr = %q, want a -cachedir hint", errb.String())
+	}
+}
+
+// TestChaosRetriesMatchClean: the CLI-level chaos contract — a run under
+// injected faults with retries and a watchdog produces stdout
+// byte-identical to a clean run (the CI chaos-smoke step in miniature).
+func TestChaosRetriesMatchClean(t *testing.T) {
+	var clean, chaotic, errb bytes.Buffer
+	if code := run([]string{"-quick", "-w", "hello", "fig2"}, &clean, &errb); code != 0 {
+		t.Fatalf("clean run failed (%d): %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-quick", "-w", "hello",
+		"-chaos", "seed=1,panic=0.3,hang=0.2,err=0.3,upto=1",
+		"-retries", "3", "-celltimeout", "2s", "fig2"}, &chaotic, &errb); code != 0 {
+		t.Fatalf("chaotic run failed (%d): %s", code, errb.String())
+	}
+	if clean.String() != chaotic.String() {
+		t.Errorf("chaotic stdout differs from clean:\n--- clean ---\n%s\n--- chaotic ---\n%s",
+			clean.String(), chaotic.String())
+	}
+}
+
+// TestKeepGoingExitCode: a persistent targeted fault under -keepgoing
+// renders the degraded result, appends the run report, and exits 3.
+func TestKeepGoingExitCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-quick", "-w", "hello", "-keepgoing",
+		"-chaos", "seed=1,panic=1,upto=99,cell=/interp", "fig2"}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("keepgoing degraded run exit code = %d, want 3 (stderr: %s)", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "run report:") || !strings.Contains(s, "cause=panic") {
+		t.Errorf("stdout missing the run report:\n%s", s)
+	}
+
+	// The report is deterministic: a second identical run produces
+	// byte-identical stdout.
+	var out2, errb2 bytes.Buffer
+	if code := run([]string{"-quick", "-w", "hello", "-keepgoing",
+		"-chaos", "seed=1,panic=1,upto=99,cell=/interp", "fig2"}, &out2, &errb2); code != 3 {
+		t.Fatalf("second degraded run exit code = %d, want 3", code)
+	}
+	if out.String() != out2.String() {
+		t.Errorf("degraded stdout not deterministic:\n--- first ---\n%s\n--- second ---\n%s",
+			out.String(), out2.String())
+	}
+}
+
+// TestResumeFlagFlow: interrupt a cached run with a targeted persistent
+// panic, then finish it with -resume and no chaos; the resumed stdout
+// must equal an uninterrupted run's.
+func TestResumeFlagFlow(t *testing.T) {
+	dir := t.TempDir()
+	var ref, errb bytes.Buffer
+	if code := run([]string{"-quick", "-w", "hello", "fig2"}, &ref, &errb); code != 0 {
+		t.Fatalf("reference run failed (%d): %s", code, errb.String())
+	}
+
+	var out1, errb1 bytes.Buffer
+	code := run([]string{"-quick", "-w", "hello", "-parallel", "1", "-cachedir", dir,
+		"-chaos", "seed=1,panic=1,upto=99,cell=/jit", "fig2"}, &out1, &errb1)
+	if code != 1 {
+		t.Fatalf("interrupted run exit code = %d, want 1 (stderr: %s)", code, errb1.String())
+	}
+
+	var out2, errb2 bytes.Buffer
+	if code := run([]string{"-quick", "-w", "hello", "-parallel", "1",
+		"-cachedir", dir, "-resume", "fig2"}, &out2, &errb2); code != 0 {
+		t.Fatalf("resume run failed (%d): %s", code, errb2.String())
+	}
+	if out2.String() != ref.String() {
+		t.Errorf("resumed stdout differs from uninterrupted:\n--- resumed ---\n%s\n--- reference ---\n%s",
+			out2.String(), ref.String())
+	}
+	if !strings.Contains(errb2.String(), "[cache]") {
+		t.Errorf("resume served nothing from the cache:\n%s", errb2.String())
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCancelHookAbortsRun proves the cooperative cancellation path: a
+// hook that starts failing mid-run aborts the engine with a CancelError
+// wrapping the hook's cause, under both execution policies.
+func TestCancelHookAbortsRun(t *testing.T) {
+	cause := errors.New("watchdog fired")
+	for _, p := range []Policy{InterpretOnly{}, CompileFirst{}} {
+		polls := 0
+		cfg := Config{Policy: p, Cancel: func() error {
+			polls++
+			if polls > 3 {
+				return cause
+			}
+			return nil
+		}}
+		e := New(cfg)
+		if err := e.VM.Load(sumProgram(1_000_000)); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		main, err := e.VM.LookupMain()
+		if err != nil {
+			t.Fatalf("main: %v", err)
+		}
+		err = e.Run(main)
+		if err == nil {
+			t.Fatalf("%s: run completed despite cancellation", p.Name())
+		}
+		var ce *CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: error %v is not a CancelError", p.Name(), err)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatalf("%s: CancelError does not wrap the hook's cause: %v", p.Name(), err)
+		}
+	}
+}
+
+// TestCancelHookContextDeadline wires a real expired context through the
+// hook — the harness watchdog's exact configuration — and checks the
+// run reports context.DeadlineExceeded.
+func TestCancelHookContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(Config{Policy: InterpretOnly{}, Cancel: ctx.Err})
+	if err := e.VM.Load(sumProgram(1000)); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	main, err := e.VM.LookupMain()
+	if err != nil {
+		t.Fatalf("main: %v", err)
+	}
+	if err := e.Run(main); !errors.Is(err, context.Canceled) {
+		t.Fatalf("run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelHookNilIsInvisible: a never-firing hook must not change the
+// simulated outcome in any way (output and instruction count).
+func TestCancelHookNilIsInvisible(t *testing.T) {
+	run := func(hook func() error) (string, uint64) {
+		e := New(Config{Policy: CompileFirst{}, Cancel: hook})
+		if err := e.VM.Load(sumProgram(500)); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		main, err := e.VM.LookupMain()
+		if err != nil {
+			t.Fatalf("main: %v", err)
+		}
+		if err := e.Run(main); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return e.VM.Out.String(), e.TotalInstrs()
+	}
+	outNone, instrNone := run(nil)
+	outHook, instrHook := run(func() error { return nil })
+	if outNone != outHook || instrNone != instrHook {
+		t.Fatalf("benign hook changed the run: out %q vs %q, instrs %d vs %d",
+			outNone, outHook, instrNone, instrHook)
+	}
+}
+
+// TestPrecompileAllCancel: AOT precompilation honors the hook too.
+func TestPrecompileAllCancel(t *testing.T) {
+	cause := errors.New("stop")
+	e := New(Config{Policy: CompileFirst{}, Cancel: func() error { return cause }})
+	if err := e.VM.Load(sumProgram(100)); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := e.PrecompileAll(); !errors.Is(err, cause) {
+		t.Fatalf("precompile error = %v, want wrapped %v", err, cause)
+	}
+}

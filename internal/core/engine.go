@@ -87,6 +87,15 @@ type Config struct {
 	// rewritten away, before internal/monitor sees any of it.
 	// Default off.
 	ElideLocks bool
+	// Cancel, when non-nil, is polled cooperatively on the
+	// instruction-budget path: once per scheduler slice by the engine,
+	// at slice entry by the interpreter and the native CPU, and at
+	// translation entry by the JIT. A non-nil return aborts the run
+	// with a CancelError wrapping the returned cause — the hook a
+	// harness watchdog uses to turn a hung simulation into an error
+	// (pass func() error { return ctx.Err() }). Nil means never cancel
+	// and costs one predictable branch per slice.
+	Cancel func() error
 }
 
 // Engine is the mixed-mode runtime: VM + interpreter + JIT + native CPU
@@ -127,6 +136,7 @@ type Engine struct {
 	devirt     bool
 	elideLocks bool
 	prepared   bool
+	cancel     func() error
 
 	ctxs []*threadCtx
 }
@@ -193,11 +203,35 @@ func New(cfg Config) *Engine {
 		Quantum:    cfg.Quantum,
 		devirt:     cfg.Devirt,
 		elideLocks: cfg.ElideLocks,
+		cancel:     cfg.Cancel,
 	}
 	e.Interp = interp.New(v)
 	e.JIT = jit.New(v, cfg.JITOptions)
 	e.CPU = native.New(v)
+	// The sub-engines share the cancellation hook so a pending cancel
+	// ends a slice before its budget is spent, not after.
+	e.Interp.Cancel = cfg.Cancel
+	e.CPU.Cancel = cfg.Cancel
+	e.JIT.Cancel = cfg.Cancel
 	return e
+}
+
+// CancelError reports a run aborted by the Config.Cancel hook; Cause is
+// the hook's return (context.DeadlineExceeded under a watchdog timeout).
+type CancelError struct{ Cause error }
+
+func (e *CancelError) Error() string { return "run canceled: " + e.Cause.Error() }
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// checkCancel polls the cancellation hook.
+func (e *Engine) checkCancel() error {
+	if e.cancel == nil {
+		return nil
+	}
+	if cause := e.cancel(); cause != nil {
+		return &CancelError{Cause: cause}
+	}
+	return nil
 }
 
 // now returns the global instruction clock: the flushed total plus the
@@ -246,6 +280,13 @@ func (e *Engine) Run(entry *bytecode.Method) (err error) {
 	e.ctxs = append(e.ctxs, tc)
 
 	for {
+		// Cooperative cancellation: one poll per scheduler pass. Slices
+		// are budget-bounded (Quantum bytecodes / 8x native), so every
+		// execution path — including a workload spinning forever —
+		// returns here within a bounded instruction count.
+		if err := e.checkCancel(); err != nil {
+			return err
+		}
 		ran := false
 		done := true
 		for i := 0; i < len(e.ctxs); i++ {
@@ -533,6 +574,9 @@ func (e *Engine) PrecompileAll() error {
 	for _, m := range e.VM.MethodByID {
 		if m.Class != nil && m.Class.Name == "Sys" {
 			continue
+		}
+		if err := e.checkCancel(); err != nil {
+			return err
 		}
 		if _, err := e.JIT.Compile(m); err != nil {
 			return fmt.Errorf("precompile %s: %w", m.FullName(), err)

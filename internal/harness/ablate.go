@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"jrs/internal/branch"
@@ -39,7 +40,7 @@ func ablateInstallPlan(o Options) (*Plan, *AblateInstallResult) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "ablate-install", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
 			Config: "wa+wna+direct"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			wa := cache.PaperDefault()
 
 			wna := cache.NewHierarchy(
@@ -52,7 +53,7 @@ func ablateInstallPlan(o Options) (*Plan, *AblateInstallResult) {
 			direct.CodeLow = mem.CodeCacheBase
 			direct.CodeHigh = mem.ClassBase
 
-			if _, err := Run(w, scale, ModeJIT, core.Config{}, wa, wna, direct); err != nil {
+			if _, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{}, wa, wna, direct); err != nil {
 				return nil, err
 			}
 			return AblateInstallRow{
@@ -117,7 +118,7 @@ func ablateInlinePlan(o Options) (*Plan, *AblateInlineResult) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "ablate-inline", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
 			Config: "devirt+nodevirt"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			row := AblateInlineRow{Workload: w.Name}
 			for _, devirt := range []bool{true, false} {
 				c := &trace.Counter{}
@@ -126,7 +127,7 @@ func ablateInlinePlan(o Options) (*Plan, *AblateInlineResult) {
 				if !devirt {
 					cfg.JITOptions = jitNoDevirt()
 				}
-				if _, err := Run(w, scale, ModeJIT, cfg, c, suite); err != nil {
+				if _, err := RunCtx(ctx, w, scale, ModeJIT, cfg, c, suite); err != nil {
 					return row, err
 				}
 				gshare := suite.Units[2].Stats.MispredictRate()
@@ -190,30 +191,30 @@ func ablateThresholdPlan(o Options) (*Plan, *AblateThresholdResult) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "ablate-threshold", Workload: w.Name, Scale: scale, Mode: "policy-sweep",
 			Config: "interp+thresh1,5,25,100+jit+oracle"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			row := ThresholdRow{Workload: w.Name}
 			add := func(name string, e *core.Engine) {
 				row.Policies = append(row.Policies, name)
 				row.Instrs = append(row.Instrs, e.TotalInstrs())
 			}
-			ei, err := Run(w, scale, ModeInterp, core.Config{})
+			ei, err := RunCtx(ctx, w, scale, ModeInterp, core.Config{})
 			if err != nil {
 				return row, err
 			}
 			add("interp", ei)
 			for _, n := range []uint64{1, 5, 25, 100} {
-				e, err := Run(w, scale, ModeJIT, core.Config{Policy: core.Threshold{N: n}})
+				e, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{Policy: core.Threshold{N: n}})
 				if err != nil {
 					return row, err
 				}
 				add(fmt.Sprintf("thresh-%d", n), e)
 			}
-			ej, err := Run(w, scale, ModeJIT, core.Config{})
+			ej, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{})
 			if err != nil {
 				return row, err
 			}
 			add("jit-first", ej)
-			eo, _, err := RunOracle(w, scale)
+			eo, _, err := RunOracleCtx(ctx, w, scale)
 			if err != nil {
 				return row, err
 			}
@@ -282,14 +283,14 @@ func ablateScalePlan(o Options) (*Plan, *ScaleResult) {
 		i, w := i, w
 		key := CellKey{Experiment: "ablate-scale", Workload: w.Name, Scale: w.DefaultN, Mode: ModeJIT.String(),
 			Config: "muls=0.25,1,4"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			row := ScaleRow{Workload: w.Name}
 			for _, m := range muls {
 				scale := int(float64(w.DefaultN) * m)
 				if scale < 1 {
 					scale = 1
 				}
-				e, err := Run(w, scale, ModeJIT, core.Config{})
+				e, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{})
 				if err != nil {
 					return row, err
 				}

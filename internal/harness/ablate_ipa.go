@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"jrs/internal/branch"
 	"jrs/internal/core"
 	"jrs/internal/stats"
@@ -39,7 +40,7 @@ func ablateDevirtPlan(o Options) (*Plan, *AblateDevirtResult) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "ablate-devirt", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
 			Config: "none+cha+ipa"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			row := AblateDevirtRow{Workload: w.Name}
 			for _, variant := range []string{"none", "cha", "ipa"} {
 				c := &trace.Counter{}
@@ -51,7 +52,7 @@ func ablateDevirtPlan(o Options) (*Plan, *AblateDevirtResult) {
 				case "ipa":
 					cfg.Devirt = true
 				}
-				e, err := Run(w, scale, ModeJIT, cfg, c, suite)
+				e, err := RunCtx(ctx, w, scale, ModeJIT, cfg, c, suite)
 				if err != nil {
 					return row, err
 				}
@@ -124,14 +125,14 @@ func ablateElidePlan(o Options) (*Plan, *AblateElideResult) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "ablate-elide", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
 			Config: "base+elide"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			row := AblateElideRow{Workload: w.Name}
-			base, err := Run(w, scale, ModeJIT, core.Config{})
+			base, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{})
 			if err != nil {
 				return row, err
 			}
 			row.LockOpsBase = base.VM.Monitors.Stats().Ops()
-			opt, err := Run(w, scale, ModeJIT, core.Config{ElideLocks: true})
+			opt, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{ElideLocks: true})
 			if err != nil {
 				return row, err
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -90,7 +91,7 @@ func analyzePlan(o Options) (*Plan, *AnalyzeResult) {
 		i, w := i, w
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "analyze", Workload: w.Name, Scale: scale, Mode: "static", Config: "ipa"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			return analyzeClasses(w.Name, w.Classes(scale))
 		})
 	}

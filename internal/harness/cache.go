@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"jrs/internal/cache"
@@ -36,9 +37,9 @@ func table3Plan(o Options) (*Plan, *Table3Result) {
 			res.Rows = append(res.Rows, Table3Row{})
 			key := CellKey{Experiment: "table3", Workload: w.Name, Scale: scale, Mode: mode.String(),
 				Config: "64K-32B-i2w-d4w"}
-			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+			p.add(key, &res.Rows[len(res.Rows)-1], func(ctx context.Context) (any, error) {
 				h := cache.PaperDefault()
-				if _, err := Run(w, scale, mode, core.Config{}, h); err != nil {
+				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, h); err != nil {
 					return nil, err
 				}
 				return Table3Row{Workload: w.Name, Mode: mode, I: h.I.Stats, D: h.D.Stats}, nil
@@ -115,7 +116,7 @@ func fig3Plan(o Options) (*Plan, *Fig3Result) {
 			res.Rows = append(res.Rows, Fig3Row{})
 			key := CellKey{Experiment: "fig3", Workload: w.Name, Scale: scale, Mode: mode.String(),
 				Config: "dm-32B-8K..128K"}
-			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+			p.add(key, &res.Rows[len(res.Rows)-1], func(ctx context.Context) (any, error) {
 				var hs []*cache.Hierarchy
 				var sinks []trace.Sink
 				for _, sz := range sizes {
@@ -126,7 +127,7 @@ func fig3Plan(o Options) (*Plan, *Fig3Result) {
 					hs = append(hs, h)
 					sinks = append(sinks, h)
 				}
-				if _, err := Run(w, scale, mode, core.Config{}, sinks...); err != nil {
+				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, sinks...); err != nil {
 					return nil, err
 				}
 				row := Fig3Row{Workload: w.Name, Mode: mode, Sizes: sizes}
@@ -199,9 +200,9 @@ func fig4Plan(o Options) (*Plan, *Fig4Result) {
 			scale := resolveScale(o, w)
 			key := CellKey{Experiment: "fig4", Workload: w.Name, Scale: scale, Mode: mode.String(),
 				Config: "64K-32B-i2w-d4w"}
-			p.add(key, &grid[wi][mi], func() (any, error) {
+			p.add(key, &grid[wi][mi], func(ctx context.Context) (any, error) {
 				h := cache.PaperDefault()
-				if _, err := Run(w, scale, mode, core.Config{}, h); err != nil {
+				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, h); err != nil {
 					return nil, err
 				}
 				return cacheIR{I: h.I.Stats, D: h.D.Stats}, nil
@@ -289,8 +290,8 @@ func fig5Plan(o Options) (*Plan, *Fig5Result) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "fig5", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
 			Config: "64K-32B-i2w-d4w-phase"}
-		p.add(key, &res.Rows[i], func() (any, error) {
-			return fig5Cell(w, scale)
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
+			return fig5Cell(ctx, w, scale)
 		})
 	}
 	return p, res
@@ -306,9 +307,9 @@ func Fig5(o Options) (*Fig5Result, error) {
 }
 
 // fig5Cell measures one workload's translate-portion cache behaviour.
-func fig5Cell(w workloads.Workload, scale int) (Fig5Row, error) {
+func fig5Cell(ctx context.Context, w workloads.Workload, scale int) (Fig5Row, error) {
 	h := cache.PaperDefault()
-	if _, err := Run(w, scale, ModeJIT, core.Config{}, h); err != nil {
+	if _, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{}, h); err != nil {
 		return Fig5Row{}, err
 	}
 	tI := h.I.PhaseStats[trace.PhaseTranslate]
@@ -384,9 +385,9 @@ func fig6Plan(o Options) (*Plan, *Fig6Result) {
 		}
 		key := CellKey{Experiment: "fig6", Workload: w.Name, Scale: scale, Mode: mode.String(),
 			Config: fmt.Sprintf("window=%d", window)}
-		p.add(key, dest, func() (any, error) {
+		p.add(key, dest, func(ctx context.Context) (any, error) {
 			s := cache.NewSampler(cache.PaperDefault(), window)
-			if _, err := Run(w, scale, mode, core.Config{}, s); err != nil {
+			if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, s); err != nil {
 				return nil, err
 			}
 			s.Finish()
@@ -537,7 +538,7 @@ func sweepPlan(o Options, experiment, cfg string, rows *[]SweepRow, params []int
 			scale := resolveScale(o, w)
 			key := CellKey{Experiment: experiment, Workload: w.Name, Scale: scale, Mode: mode.String(),
 				Config: cfg}
-			p.add(key, &(*rows)[idx], func() (any, error) {
+			p.add(key, &(*rows)[idx], func(ctx context.Context) (any, error) {
 				var hs []*cache.Hierarchy
 				var sinks []trace.Sink
 				for _, prm := range params {
@@ -546,7 +547,7 @@ func sweepPlan(o Options, experiment, cfg string, rows *[]SweepRow, params []int
 					hs = append(hs, h)
 					sinks = append(sinks, h)
 				}
-				if _, err := Run(w, scale, mode, core.Config{}, sinks...); err != nil {
+				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, sinks...); err != nil {
 					return nil, err
 				}
 				row := SweepRow{Workload: w.Name, Mode: mode, Params: params}

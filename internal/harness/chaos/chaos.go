@@ -1,0 +1,236 @@
+// Package chaos injects deterministic faults into supervised experiment
+// runs. A Spec names a seed and per-fault probabilities; an Injector
+// derives each decision purely from (seed, cell id, attempt), so two
+// runs with the same spec and plan fault the exact same cells in the
+// exact same way regardless of worker count or scheduling — which is
+// what lets a test assert that a fault-then-retry run renders byte-
+// identically to a fault-free run. The injector is the test vehicle for
+// the harness's panic isolation, watchdog timeouts, retry/backoff,
+// crash-safe caching and keep-going reporting.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is the fault injected at one (cell, attempt).
+type Kind int
+
+// Fault kinds.
+const (
+	// None injects nothing; the attempt runs clean.
+	None Kind = iota
+	// Panic panics inside the cell's simulation (exercises recover
+	// isolation; retryable).
+	Panic
+	// Hang blocks the cell until its watchdog deadline (exercises the
+	// cooperative timeout path; retryable).
+	Hang
+	// Transient returns an error tagged transient (exercises
+	// retry/backoff classification).
+	Transient
+	// Corrupt truncates the cell's freshly persisted cache entry
+	// (exercises torn-write recovery: the next read must degrade to a
+	// miss and re-simulate).
+	Corrupt
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	case Transient:
+		return "transient"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Spec describes a deterministic fault-injection campaign.
+type Spec struct {
+	// Seed keys every decision; same seed + same plan = same faults.
+	Seed int64
+	// PanicRate, HangRate, ErrRate and CorruptRate are per-(cell,
+	// attempt) probabilities; their sum must not exceed 1.
+	PanicRate   float64
+	HangRate    float64
+	ErrRate     float64
+	CorruptRate float64
+	// UpTo limits injection to attempts <= UpTo (default 1: fault the
+	// first attempt only, so bounded retry always converges). A large
+	// UpTo makes matching cells fail persistently — the keep-going
+	// degraded-mode test case.
+	UpTo int
+	// Cell, when non-empty, restricts injection to cells whose id
+	// contains the substring (targeted faults for reproducible tests).
+	Cell string
+}
+
+// ParseSpec parses the comma-separated key=value syntax of the -chaos
+// flag: seed=N, panic=P, hang=P, err=P, corrupt=P, upto=K, cell=SUBSTR.
+// Example: "seed=1,panic=0.1,hang=0.05,err=0.1".
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Seed: 1, UpTo: 1}
+	if strings.TrimSpace(s) == "" {
+		return spec, fmt.Errorf("chaos: empty spec")
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return spec, fmt.Errorf("chaos: malformed field %q (want key=value)", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "panic":
+			spec.PanicRate, err = parseRate(v)
+		case "hang":
+			spec.HangRate, err = parseRate(v)
+		case "err":
+			spec.ErrRate, err = parseRate(v)
+		case "corrupt":
+			spec.CorruptRate, err = parseRate(v)
+		case "upto":
+			spec.UpTo, err = strconv.Atoi(v)
+		case "cell":
+			spec.Cell = v
+		default:
+			return spec, fmt.Errorf("chaos: unknown field %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("chaos: field %q: %w", field, err)
+		}
+	}
+	if spec.UpTo < 1 {
+		return spec, fmt.Errorf("chaos: upto must be >= 1")
+	}
+	if total := spec.PanicRate + spec.HangRate + spec.ErrRate + spec.CorruptRate; total > 1 {
+		return spec, fmt.Errorf("chaos: rates sum to %.3f > 1", total)
+	}
+	return spec, nil
+}
+
+func parseRate(v string) (float64, error) {
+	r, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate %v outside [0,1]", r)
+	}
+	return r, nil
+}
+
+// String renders the spec in parseable form.
+func (s Spec) String() string {
+	out := fmt.Sprintf("seed=%d", s.Seed)
+	add := func(k string, v float64) {
+		if v > 0 {
+			out += fmt.Sprintf(",%s=%g", k, v)
+		}
+	}
+	add("panic", s.PanicRate)
+	add("hang", s.HangRate)
+	add("err", s.ErrRate)
+	add("corrupt", s.CorruptRate)
+	if s.UpTo > 1 {
+		out += fmt.Sprintf(",upto=%d", s.UpTo)
+	}
+	if s.Cell != "" {
+		out += ",cell=" + s.Cell
+	}
+	return out
+}
+
+// Injector makes deterministic fault decisions for a Spec.
+type Injector struct{ spec Spec }
+
+// New builds an injector. The zero UpTo is normalized to 1.
+func New(spec Spec) *Injector {
+	if spec.UpTo < 1 {
+		spec.UpTo = 1
+	}
+	return &Injector{spec: spec}
+}
+
+// Spec returns the injector's campaign description.
+func (i *Injector) Spec() Spec { return i.spec }
+
+// Decide returns the fault for attempt number attempt (1-based) of the
+// cell identified by cellID. The decision is a pure function of (seed,
+// cellID, attempt): it does not depend on scheduling, worker count, or
+// which other cells ran first.
+func (i *Injector) Decide(cellID string, attempt int) Kind {
+	s := i.spec
+	if attempt > s.UpTo {
+		return None
+	}
+	if s.Cell != "" && !strings.Contains(cellID, s.Cell) {
+		return None
+	}
+	u := roll(s.Seed, cellID, attempt)
+	for _, c := range []struct {
+		rate float64
+		kind Kind
+	}{
+		{s.PanicRate, Panic},
+		{s.HangRate, Hang},
+		{s.ErrRate, Transient},
+		{s.CorruptRate, Corrupt},
+	} {
+		if u < c.rate {
+			return c.kind
+		}
+		u -= c.rate
+	}
+	return None
+}
+
+// roll maps (seed, cellID, attempt) to a uniform float64 in [0,1) via
+// SHA-256 — stable across platforms and Go releases, unlike math/rand.
+func roll(seed int64, cellID string, attempt int) float64 {
+	h := sha256.New()
+	fmt.Fprintf(h, "jrs-chaos\x00%d\x00%s\x00%d", seed, cellID, attempt)
+	x := binary.BigEndian.Uint64(h.Sum(nil)[:8])
+	return float64(x>>11) / (1 << 53)
+}
+
+// InjectedError is the transient fault's error value. It satisfies the
+// harness's Transient() classification, so the supervisor retries it.
+type InjectedError struct {
+	Cell    string
+	Attempt int
+}
+
+// Error renders the fault. The cell and attempt are deterministic under
+// a fixed spec, so the message is golden-safe.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected transient error (attempt %d)", e.Attempt)
+}
+
+// Transient marks the error retryable.
+func (e *InjectedError) Transient() bool { return true }
+
+// PanicValue is the value an injected panic carries, so supervision
+// tests (and humans reading a CellError) can tell injected panics from
+// real simulator bugs.
+type PanicValue struct {
+	Cell    string
+	Attempt int
+}
+
+// String renders the panic value.
+func (p PanicValue) String() string {
+	return fmt.Sprintf("chaos: injected panic (attempt %d)", p.Attempt)
+}

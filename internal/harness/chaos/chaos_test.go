@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=7,panic=0.1,hang=0.05,err=0.2,corrupt=0.02,upto=3,cell=fig1/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Seed: 7, PanicRate: 0.1, HangRate: 0.05, ErrRate: 0.2,
+		CorruptRate: 0.02, UpTo: 3, Cell: "fig1/hello"}
+	if spec != want {
+		t.Fatalf("parsed %+v, want %+v", spec, want)
+	}
+	// Round trip through String.
+	back, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", spec.String(), err)
+	}
+	if back != spec {
+		t.Fatalf("round trip %+v != %+v", back, spec)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"panic",             // no value
+		"panic=2",           // rate out of range
+		"panic=-0.1",        // negative rate
+		"bogus=1",           // unknown key
+		"upto=0",            // attempts start at 1
+		"panic=0.6,err=0.6", // rates sum past 1
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestDecideDeterministic: identical (seed, cell, attempt) triples must
+// decide identically across injector instances — the property the
+// golden-equality chaos tests rest on.
+func TestDecideDeterministic(t *testing.T) {
+	spec := Spec{Seed: 1, PanicRate: 0.2, HangRate: 0.2, ErrRate: 0.2, CorruptRate: 0.2, UpTo: 2}
+	a, b := New(spec), New(spec)
+	faults := 0
+	for i := 0; i < 200; i++ {
+		cell := fmt.Sprintf("exp/w%d@10/jit", i)
+		for attempt := 1; attempt <= 3; attempt++ {
+			ka, kb := a.Decide(cell, attempt), b.Decide(cell, attempt)
+			if ka != kb {
+				t.Fatalf("cell %s attempt %d: %v vs %v", cell, attempt, ka, kb)
+			}
+			if attempt > spec.UpTo && ka != None {
+				t.Fatalf("cell %s attempt %d faulted past upto", cell, attempt)
+			}
+			if ka != None {
+				faults++
+			}
+		}
+	}
+	if faults == 0 {
+		t.Fatal("0.8 total fault rate over 400 eligible rolls injected nothing")
+	}
+}
+
+// TestDecideSeedAndCellFilter: different seeds decide differently
+// somewhere, and the cell filter restricts injection to matching ids.
+func TestDecideSeedAndCellFilter(t *testing.T) {
+	s1 := New(Spec{Seed: 1, PanicRate: 0.5, UpTo: 1})
+	s2 := New(Spec{Seed: 2, PanicRate: 0.5, UpTo: 1})
+	differs := false
+	for i := 0; i < 100; i++ {
+		cell := fmt.Sprintf("exp/w%d@10/jit", i)
+		if s1.Decide(cell, 1) != s2.Decide(cell, 1) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("seeds 1 and 2 decide identically over 100 cells")
+	}
+
+	targeted := New(Spec{Seed: 1, PanicRate: 1, UpTo: 9, Cell: "w42@"})
+	for i := 0; i < 100; i++ {
+		cell := fmt.Sprintf("exp/w%d@10/jit", i)
+		got := targeted.Decide(cell, 1)
+		if i == 42 && got != Panic {
+			t.Errorf("matching cell %s not faulted", cell)
+		}
+		if i != 42 && got != None {
+			t.Errorf("non-matching cell %s faulted: %v", cell, got)
+		}
+	}
+}
+
+// TestRatePartition: with rates summing to 1 every roll yields a fault,
+// and each kind occurs (the cumulative-partition logic is exercised end
+// to end).
+func TestRatePartition(t *testing.T) {
+	inj := New(Spec{Seed: 3, PanicRate: 0.25, HangRate: 0.25, ErrRate: 0.25, CorruptRate: 0.25, UpTo: 1})
+	seen := map[Kind]int{}
+	for i := 0; i < 400; i++ {
+		seen[inj.Decide(fmt.Sprintf("cell-%d", i), 1)]++
+	}
+	if seen[None] != 0 {
+		t.Errorf("rates sum to 1 but %d rolls injected nothing", seen[None])
+	}
+	for _, k := range []Kind{Panic, Hang, Transient, Corrupt} {
+		if seen[k] == 0 {
+			t.Errorf("kind %v never chosen in 400 rolls at rate 0.25", k)
+		}
+	}
+}

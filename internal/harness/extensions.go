@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"jrs/internal/branch"
@@ -39,11 +40,11 @@ func ablateIndirectPlan(o Options) (*Plan, *AblateIndirectResult) {
 			res.Rows = append(res.Rows, IndirectRow{})
 			key := CellKey{Experiment: "ablate-indirect", Workload: w.Name, Scale: scale, Mode: mode.String(),
 				Config: "btb+targetcache"}
-			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+			p.add(key, &res.Rows[len(res.Rows)-1], func(ctx context.Context) (any, error) {
 				base := branch.NewUnit(branch.NewGshare(2048, 5), 1024)
 				enhanced := branch.NewIndirectUnit()
 				baseSink := sinkUnit{base}
-				if _, err := Run(w, scale, mode, core.Config{}, baseSink, enhanced); err != nil {
+				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, baseSink, enhanced); err != nil {
 					return nil, err
 				}
 				row := IndirectRow{Workload: w.Name, Mode: mode}
@@ -154,12 +155,12 @@ func ablateTieredPlan(o Options) (*Plan, *AblateTieredResult) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "ablate-tiered", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
 			Config: "jit+tiered20"}
-		p.add(key, &res.Rows[i], func() (any, error) {
-			base, err := Run(w, scale, ModeJIT, core.Config{})
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
+			base, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{})
 			if err != nil {
 				return nil, err
 			}
-			tiered, err := Run(w, scale, ModeJIT,
+			tiered, err := RunCtx(ctx, w, scale, ModeJIT,
 				core.Config{Policy: core.Tiered{N1: 0, N2: 20}})
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"jrs/internal/core"
@@ -76,12 +77,12 @@ func fig1Plan(o Options) (*Plan, *Fig1Result) {
 		i, w := i, w
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "fig1", Workload: w.Name, Scale: scale, Mode: "interp+jit+opt"}
-		p.add(key, &res.Rows[i], func() (any, error) {
-			set, interpRun, jitRun, err := ComputeOracle(w, scale)
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
+			set, interpRun, jitRun, err := ComputeOracleCtx(ctx, w, scale)
 			if err != nil {
 				return nil, err
 			}
-			optRun, err := Run(w, scale, ModeJIT, core.Config{Policy: core.Oracle{Set: set}})
+			optRun, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{Policy: core.Oracle{Set: set}})
 			if err != nil {
 				return nil, err
 			}
@@ -186,12 +187,12 @@ func table1Plan(o Options) (*Plan, *Table1Result) {
 		i, w := i, w
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "table1", Workload: w.Name, Scale: scale, Mode: "interp+jit"}
-		p.add(key, &res.Rows[i], func() (any, error) {
-			ei, err := Run(w, scale, ModeInterp, core.Config{})
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
+			ei, err := RunCtx(ctx, w, scale, ModeInterp, core.Config{})
 			if err != nil {
 				return nil, err
 			}
-			ej, err := Run(w, scale, ModeJIT, core.Config{})
+			ej, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"jrs/internal/core"
 	"jrs/internal/stats"
 	"jrs/internal/trace"
@@ -34,9 +35,9 @@ func fig2Plan(o Options) (*Plan, *Fig2Result) {
 			scale := resolveScale(o, w)
 			res.Rows = append(res.Rows, MixRow{Workload: w.Name, Mode: mode})
 			key := CellKey{Experiment: "fig2", Workload: w.Name, Scale: scale, Mode: mode.String()}
-			p.add(key, &res.Rows[len(res.Rows)-1].Counter, func() (any, error) {
+			p.add(key, &res.Rows[len(res.Rows)-1].Counter, func(ctx context.Context) (any, error) {
 				c := &trace.Counter{}
-				if _, err := Run(w, scale, mode, core.Config{}, c); err != nil {
+				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, c); err != nil {
 					return nil, err
 				}
 				return c, nil

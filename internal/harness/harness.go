@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"jrs/internal/core"
@@ -77,6 +78,18 @@ func (o Options) seven() []workloads.Workload {
 // extra sinks attached to the native trace, and returns the finished
 // engine.
 func Run(w workloads.Workload, scale int, mode Mode, cfg core.Config, sinks ...trace.Sink) (*core.Engine, error) {
+	return RunCtx(context.Background(), w, scale, mode, cfg, sinks...)
+}
+
+// RunCtx is Run under a context: the engine polls ctx on the
+// instruction-budget path (cooperative cancellation), so a deadline or
+// cancellation converts a hung or overlong simulation into an error
+// instead of a stuck goroutine. A context that never cancels behaves
+// exactly like Run.
+func RunCtx(ctx context.Context, w workloads.Workload, scale int, mode Mode, cfg core.Config, sinks ...trace.Sink) (*core.Engine, error) {
+	if ctx != nil && ctx.Done() != nil && cfg.Cancel == nil {
+		cfg.Cancel = ctx.Err
+	}
 	sw := &trace.Switchable{}
 	measured := trace.Tee(sinks...)
 	switch mode {
@@ -116,25 +129,22 @@ func Run(w workloads.Workload, scale int, mode Mode, cfg core.Config, sinks ...t
 	return e, nil
 }
 
-// MustRun is Run for harness-internal flows where workload failure is a
-// programming error.
-func MustRun(w workloads.Workload, scale int, mode Mode, cfg core.Config, sinks ...trace.Sink) *core.Engine {
-	e, err := Run(w, scale, mode, cfg, sinks...)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 // ComputeOracle runs the two profiling passes of §3 (interpret-only and
 // JIT-always) and derives the opt set: compile method i iff invoking it
 // n_i times is cheaper translated, i.e. n_i > N_i = T_i / (I_i - E_i).
 func ComputeOracle(w workloads.Workload, scale int) (set map[int]bool, interp, jitRun *core.Engine, err error) {
-	interp, err = Run(w, scale, ModeInterp, core.Config{})
+	return ComputeOracleCtx(context.Background(), w, scale)
+}
+
+// ComputeOracleCtx is ComputeOracle under a cancellable context. Workload
+// setup failures return as errors (never panics), so they flow through
+// the supervised runner path like any other cell failure.
+func ComputeOracleCtx(ctx context.Context, w workloads.Workload, scale int) (set map[int]bool, interp, jitRun *core.Engine, err error) {
+	interp, err = RunCtx(ctx, w, scale, ModeInterp, core.Config{})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	jitRun, err = Run(w, scale, ModeJIT, core.Config{})
+	jitRun, err = RunCtx(ctx, w, scale, ModeJIT, core.Config{})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -164,11 +174,16 @@ func ComputeOracle(w workloads.Workload, scale int) (set map[int]bool, interp, j
 
 // RunOracle executes w under the opt policy derived from profiling.
 func RunOracle(w workloads.Workload, scale int, sinks ...trace.Sink) (*core.Engine, map[int]bool, error) {
-	set, _, _, err := ComputeOracle(w, scale)
+	return RunOracleCtx(context.Background(), w, scale, sinks...)
+}
+
+// RunOracleCtx is RunOracle under a cancellable context.
+func RunOracleCtx(ctx context.Context, w workloads.Workload, scale int, sinks ...trace.Sink) (*core.Engine, map[int]bool, error) {
+	set, _, _, err := ComputeOracleCtx(ctx, w, scale)
 	if err != nil {
 		return nil, nil, err
 	}
-	e, err := Run(w, scale, ModeJIT, core.Config{Policy: core.Oracle{Set: set}}, sinks...)
+	e, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{Policy: core.Oracle{Set: set}}, sinks...)
 	if err != nil {
 		return nil, nil, err
 	}

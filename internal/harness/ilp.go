@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"jrs/internal/core"
@@ -40,7 +41,7 @@ func fig9Plan(o Options) (*Plan, *Fig9Result) {
 			res.Rows = append(res.Rows, ILPRow{})
 			key := CellKey{Experiment: "fig9", Workload: w.Name, Scale: scale, Mode: mode.String(),
 				Config: "width=1,2,4,8"}
-			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+			p.add(key, &res.Rows[len(res.Rows)-1], func(ctx context.Context) (any, error) {
 				var cores []*pipeline.Core
 				var sinks []trace.Sink
 				for _, width := range widths {
@@ -48,7 +49,7 @@ func fig9Plan(o Options) (*Plan, *Fig9Result) {
 					cores = append(cores, c)
 					sinks = append(sinks, c)
 				}
-				if _, err := Run(w, scale, mode, core.Config{}, sinks...); err != nil {
+				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, sinks...); err != nil {
 					return nil, err
 				}
 				row := ILPRow{Workload: w.Name, Mode: mode, Widths: widths}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"jrs/internal/core"
 	"jrs/internal/pipeline"
 	"jrs/internal/stats"
@@ -33,7 +34,7 @@ func ablateInterpILPPlan(o Options) (*Plan, *AblateInterpILPResult) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "ablate-interp-ilp", Workload: w.Name, Scale: scale, Mode: ModeInterp.String(),
 			Config: "btb+targetcache-width=1,2,4,8"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			var btbCores, tcCores []*pipeline.Core
 			var sinks []trace.Sink
 			for _, width := range widths {
@@ -45,7 +46,7 @@ func ablateInterpILPPlan(o Options) (*Plan, *AblateInterpILPResult) {
 				tcCores = append(tcCores, t)
 				sinks = append(sinks, b, t)
 			}
-			if _, err := Run(w, scale, ModeInterp, core.Config{}, sinks...); err != nil {
+			if _, err := RunCtx(ctx, w, scale, ModeInterp, core.Config{}, sinks...); err != nil {
 				return nil, err
 			}
 			row := InterpILPRow{Workload: w.Name, Widths: widths}

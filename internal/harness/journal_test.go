@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalRecordReload: recorded hashes survive a close/reopen cycle.
+func TestJournalRecordReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []CellKey{synKey(0), synKey(1), synKey(2)}
+	for _, k := range keys {
+		if err := j.Record(k.Hash(), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Len() != 3 {
+		t.Fatalf("len = %d, want 3", j.Len())
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 3 {
+		t.Fatalf("reloaded len = %d, want 3", j2.Len())
+	}
+	for _, k := range keys {
+		if !j2.Done(k.Hash()) {
+			t.Errorf("hash of %s lost across reopen", k)
+		}
+	}
+	if j2.Done(synKey(9).Hash()) {
+		t.Error("unrecorded hash reported done")
+	}
+}
+
+// TestJournalDedup: re-recording a hash neither grows the set nor the
+// file.
+func TestJournalDedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	k := synKey(0)
+	if err := j.Record(k.Hash(), k); err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := os.Stat(path)
+	if err := j.Record(k.Hash(), k); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := os.Stat(path)
+	if j.Len() != 1 || st1.Size() != st2.Size() {
+		t.Errorf("duplicate record changed state: len=%d size %d -> %d", j.Len(), st1.Size(), st2.Size())
+	}
+}
+
+// TestJournalTornTail: a final line without a trailing newline is a torn
+// append from a crash — it must be discarded on reload, and complete
+// prior lines kept.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := synKey(0)
+	if err := j.Record(good.Hash(), good); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: a partial record with no newline.
+	torn := synKey(1)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(torn.Hash()[:40]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Done(good.Hash()) {
+		t.Error("complete record lost")
+	}
+	if j2.Len() != 1 {
+		t.Errorf("len = %d, want 1 (torn tail kept?)", j2.Len())
+	}
+
+	// The journal stays appendable after recovery, and the next reopen
+	// sees both the old record and the new one.
+	next := synKey(2)
+	if err := j2.Record(next.Hash(), next); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if !j3.Done(good.Hash()) || !j3.Done(next.Hash()) {
+		t.Error("records lost after torn-tail recovery")
+	}
+}
+
+// TestJournalMalformedLines: junk lines (wrong hash length, non-hex,
+// empty) are skipped, valid ones kept.
+func TestJournalMalformedLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	good := synKey(0)
+	content := strings.Join([]string{
+		"not-a-hash some junk",
+		good.Hash() + " " + good.String(),
+		"deadbeef short",
+		"",
+		strings.Repeat("zz", 32) + " non-hex but 64 chars",
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 1 || !j.Done(good.Hash()) {
+		t.Errorf("len = %d, done = %v; want exactly the one valid record", j.Len(), j.Done(good.Hash()))
+	}
+}

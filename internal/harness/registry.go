@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"sort"
 )
 
@@ -142,7 +143,21 @@ func RunAllWith(o Options, r *Runner, progress func(e Experiment)) (string, erro
 	}
 	out := ""
 	for i, e := range exps {
-		out += "## " + e.Name + " — " + e.Desc + "\n\n" + plans[i].Result().Render() + "\n"
+		out += "## " + e.Name + " — " + e.Desc + "\n\n" + r.SafeRender(plans[i].Result()) + "\n"
 	}
 	return out, nil
+}
+
+// SafeRender renders a plan result; in KeepGoing mode a renderer
+// panicking over zero-valued slots left by failed cells degrades to a
+// placeholder instead of killing the degraded run it is reporting on.
+func (r *Runner) SafeRender(res Renderer) (out string) {
+	if r.KeepGoing {
+		defer func() {
+			if rec := recover(); rec != nil {
+				out = fmt.Sprintf("(render failed: %v)\n", rec)
+			}
+		}()
+	}
+	return res.Render()
 }

@@ -67,8 +67,12 @@ func (c *ResultCache) Get(k CellKey) (json.RawMessage, bool) {
 	return e.Payload, true
 }
 
-// Put stores the payload for k atomically (temp file + rename), so a
-// concurrent reader never observes a torn entry.
+// Put stores the payload for k crash-safely: write to a temp file,
+// fsync the data, rename over the final path, fsync the directory. A
+// concurrent reader never observes a torn entry (rename is atomic), and
+// a crash at any point leaves either the old state or the complete new
+// entry — never a short file under the final name. Failed writes remove
+// their temp file so an interrupted run doesn't litter the cache.
 func (c *ResultCache) Put(k CellKey, payload json.RawMessage) error {
 	data, err := json.Marshal(cacheEntry{Schema: CacheSchema, Key: k, Payload: payload})
 	if err != nil {
@@ -79,12 +83,52 @@ func (c *ResultCache) Put(k CellKey, payload json.RawMessage) error {
 		return err
 	}
 	tmp := fmt.Sprintf("%s.tmp.%d.%d", final, os.Getpid(), c.seq.Add(1))
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
 		return err
 	}
+	// Durability of the rename itself: fsync the containing directory
+	// so the entry survives the machine dying right after Put returns.
+	// Best effort — some filesystems refuse directory fsync.
+	if d, err := os.Open(filepath.Dir(final)); err == nil {
+		d.Sync()
+		d.Close()
+	}
 	return nil
+}
+
+// writeSync writes data to path and fsyncs it before close, so the
+// subsequent rename never publishes a name whose bytes are still only
+// in the page cache.
+func writeSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Corrupt truncates the stored entry for k to half its length —
+// simulating the torn write of a crashed or buggy peer. Get must treat
+// the damaged entry as a miss. Chaos injection and recovery tests use
+// this; production code never calls it.
+func (c *ResultCache) Corrupt(k CellKey) error {
+	path := c.path(k.Hash())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data[:len(data)/2], 0o644)
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -8,7 +9,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"jrs/internal/harness/chaos"
 	"jrs/internal/workloads"
 )
 
@@ -53,10 +56,12 @@ func (k CellKey) Hash() string {
 // producing a JSON-serializable payload, and the destination the payload
 // is decoded into. Every payload — fresh or cached — passes through the
 // same JSON round trip, so a run never observes different values
-// depending on where a cell's result came from.
+// depending on where a cell's result came from. The closure receives the
+// attempt's context and must pass it down (RunCtx) so the supervisor's
+// watchdog can cancel a hung simulation cooperatively.
 type Cell struct {
 	Key  CellKey
-	sim  func() (any, error)
+	sim  func(context.Context) (any, error)
 	dest any
 }
 
@@ -77,7 +82,7 @@ func newPlan(experiment string, result Renderer) *Plan {
 
 // add appends a cell. dest must be a pointer; the cell payload (from the
 // simulation or the cache) is JSON-decoded into it.
-func (p *Plan) add(key CellKey, dest any, sim func() (any, error)) {
+func (p *Plan) add(key CellKey, dest any, sim func(context.Context) (any, error)) {
 	p.cells = append(p.cells, Cell{Key: key, sim: sim, dest: dest})
 }
 
@@ -103,12 +108,16 @@ func resolveScale(o Options, w workloads.Workload) int {
 	return w.DefaultN
 }
 
-// Runner executes plan cells on a bounded worker pool. Every cell owns
-// its engine and simulators, so cells never share mutable state; the
-// merge into experiment results is deterministic because each cell
-// decodes into a preallocated slot and post-aggregation runs in
-// enumeration order. A Runner with Workers <= 1 degenerates to the
-// serial execution order of the original per-experiment loops.
+// Runner executes plan cells on a bounded worker pool under
+// supervision: each cell attempt runs with panic isolation (a panicking
+// simulator becomes a structured CellError, not a dead process), an
+// optional watchdog deadline, and bounded retry with deterministic
+// backoff for transient failures. Every cell owns its engine and
+// simulators, so cells never share mutable state; the merge into
+// experiment results is deterministic because each cell decodes into a
+// preallocated slot and post-aggregation runs in enumeration order. A
+// Runner with Workers <= 1 degenerates to the serial execution order of
+// the original per-experiment loops.
 type Runner struct {
 	// Workers bounds concurrent cells; 0 (or negative) means
 	// runtime.GOMAXPROCS(0).
@@ -120,9 +129,52 @@ type Runner struct {
 	// completes; cached reports whether the result came from the cache.
 	Progress func(key CellKey, cached bool)
 
+	// CellTimeout bounds one attempt of one cell (0 = no watchdog). The
+	// deadline reaches the engines through the cell's context and the
+	// cooperative core.Config.Cancel hook, so an expired attempt returns
+	// a retryable timeout error instead of hanging its worker forever.
+	CellTimeout time.Duration
+	// Retries bounds re-attempts after a retryable failure (0 = fail on
+	// the first error). Deterministic simulation errors never retry;
+	// panics, watchdog timeouts, transient I/O and injected faults do.
+	Retries int
+	// BackoffBase, when positive, sleeps min(BackoffBase << (k-1),
+	// BackoffMax) before the k-th retry of a cell — deterministic
+	// exponential backoff with no jitter, so supervised runs stay
+	// reproducible. Zero disables sleeping (the library/test default).
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay (0 = BackoffBase << 6).
+	BackoffMax time.Duration
+	// KeepGoing switches to degraded mode: instead of stopping at the
+	// first failed cell, the runner drains every cell, fills all slots
+	// that succeeded, and reports failures through Report(). RunPlans
+	// then returns nil; callers decide what a degraded run is worth
+	// (cmd/jrs exits 3).
+	KeepGoing bool
+	// Journal, when non-nil, records each completed cell (fsynced
+	// append) so an interrupted run can resume.
+	Journal *Journal
+	// Resume trusts only journaled cells: a cache entry whose hash the
+	// journal does not record is ignored and the cell re-simulates.
+	// Requires Cache and Journal to be useful.
+	Resume bool
+	// Chaos, when non-nil, injects deterministic faults (panics, hangs,
+	// transient errors, cache corruption) into cell attempts — the test
+	// vehicle for everything above.
+	Chaos *chaos.Injector
+
+	// sleep replaces time.Sleep in tests (nil = time.Sleep).
+	sleep func(time.Duration)
+
 	simulated  atomic.Int64
 	cacheHits  atomic.Int64
+	retried    atomic.Int64
 	progressMu sync.Mutex
+
+	reportMu  sync.Mutex
+	cells     int
+	attempted int
+	failures  []CellFailure
 }
 
 // Simulated returns how many cells this runner actually simulated
@@ -132,11 +184,15 @@ func (r *Runner) Simulated() int64 { return r.simulated.Load() }
 // CacheHits returns how many cells were served from the result cache.
 func (r *Runner) CacheHits() int64 { return r.cacheHits.Load() }
 
+// Retried returns how many extra cell attempts supervision made beyond
+// each cell's first.
+func (r *Runner) Retried() int64 { return r.retried.Load() }
+
 // cellGroup is a set of cells sharing one key: simulated (or fetched)
 // once, decoded into every member's destination.
 type cellGroup struct {
 	key   CellKey
-	sim   func() (any, error)
+	sim   func(context.Context) (any, error)
 	dests []any
 	order int // lowest cell index, for deterministic error selection
 }
@@ -144,7 +200,9 @@ type cellGroup struct {
 // RunPlans executes every cell of every plan, then runs each plan's
 // aggregation step in plan order. Duplicate keys across plans collapse
 // to one simulation. The returned error is the one belonging to the
-// earliest cell in enumeration order, independent of scheduling.
+// earliest cell in enumeration order, independent of scheduling; in
+// KeepGoing mode failures are collected into Report() instead and the
+// returned error is nil.
 func (r *Runner) RunPlans(plans ...*Plan) error {
 	var groups []*cellGroup
 	index := make(map[string]*cellGroup)
@@ -171,14 +229,41 @@ func (r *Runner) RunPlans(plans ...*Plan) error {
 		if p.finish == nil {
 			continue
 		}
-		if err := p.finish(); err != nil {
+		if err := runFinish(p); err != nil {
+			if r.KeepGoing {
+				// Degraded mode: a failed aggregation (possibly fed
+				// zero-valued slots from failed cells) is reported, not
+				// fatal; the plan renders whatever state it reached.
+				r.recordFailure(order, CellFailure{
+					Key:      CellKey{Experiment: p.experiment, Config: "aggregate"},
+					Attempts: 1,
+					Cause:    CauseAggregate,
+					Err:      err.Error(),
+				})
+				order++
+				continue
+			}
 			return fmt.Errorf("%s: %w", p.experiment, err)
 		}
 	}
 	return nil
 }
 
-// runGroups drains the group list with Workers goroutines.
+// runFinish runs a plan's aggregation step with panic isolation.
+func runFinish(p *Plan) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = newPanicError(rec)
+		}
+	}()
+	return p.finish()
+}
+
+// runGroups drains the group list with Workers goroutines. Early-stop
+// semantics: once a worker claims a group, that group always runs to
+// completion and records its outcome (results, counters, progress,
+// journal) — a failure elsewhere only stops workers from claiming NEW
+// groups. Groups never claimed are accounted as skipped in Report().
 func (r *Runner) runGroups(groups []*cellGroup) error {
 	workers := r.Workers
 	if workers <= 0 {
@@ -187,6 +272,9 @@ func (r *Runner) runGroups(groups []*cellGroup) error {
 	if workers > len(groups) {
 		workers = len(groups)
 	}
+	r.reportMu.Lock()
+	r.cells += len(groups)
+	r.reportMu.Unlock()
 	if len(groups) == 0 {
 		return nil
 	}
@@ -204,7 +292,9 @@ func (r *Runner) runGroups(groups []*cellGroup) error {
 			bestErr, bestIdx = err, g.order
 		}
 		mu.Unlock()
-		stop.Store(true)
+		if !r.KeepGoing {
+			stop.Store(true)
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -213,33 +303,107 @@ func (r *Runner) runGroups(groups []*cellGroup) error {
 		go func() {
 			defer wg.Done()
 			for {
+				// The stop check precedes the claim: a group is either
+				// never claimed (skipped) or fully supervised — claimed
+				// work is never silently dropped mid-cell.
+				if stop.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
-				if i >= len(groups) || stop.Load() {
+				if i >= len(groups) {
 					return
 				}
 				g := groups[i]
-				if err := r.runGroup(g); err != nil {
-					fail(g, fmt.Errorf("%s: %w", g.key.Experiment, err))
+				r.reportMu.Lock()
+				r.attempted++
+				r.reportMu.Unlock()
+				if ce := r.superviseGroup(g); ce != nil {
+					r.recordFailure(g.order, CellFailure{
+						Key:      ce.Key,
+						Attempts: ce.Attempts,
+						Cause:    ce.Cause,
+						Err:      ce.Err.Error(),
+					})
+					fail(g, fmt.Errorf("%s: %w", g.key.Experiment, ce))
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if r.KeepGoing {
+		return nil
+	}
 	return bestErr
 }
 
-// runGroup resolves one unique cell: from the cache when possible,
-// otherwise by simulation, then decodes the payload into every
-// destination.
-func (r *Runner) runGroup(g *cellGroup) error {
+// superviseGroup resolves one unique cell under the full supervision
+// policy: panic isolation, watchdog deadline, classification and
+// bounded retry with deterministic backoff. A nil return means the
+// cell's payload reached every destination.
+func (r *Runner) superviseGroup(g *cellGroup) *CellError {
+	maxAttempts := r.Retries + 1
+	for attempt := 1; ; attempt++ {
+		err := r.attemptGroup(g, attempt)
+		if err == nil {
+			return nil
+		}
+		cause, retryable := classify(err)
+		if !retryable || attempt >= maxAttempts {
+			return &CellError{Key: g.key, Attempts: attempt, Cause: cause, Err: err, Stack: panicStack(err)}
+		}
+		r.retried.Add(1)
+		r.sleepFor(backoffDelay(r.BackoffBase, r.BackoffMax, attempt))
+	}
+}
+
+// attemptGroup makes one isolated attempt at a cell: cache lookup
+// (journal-gated under Resume), chaos injection, simulation under the
+// watchdog context, persistence, fan-out decode, journaling, progress.
+// Any panic inside the simulation surfaces as a *PanicError.
+func (r *Runner) attemptGroup(g *cellGroup, attempt int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = newPanicError(rec)
+		}
+	}()
+	ctx := context.Background()
+	if r.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.CellTimeout)
+		defer cancel()
+	}
+
+	fault := chaos.None
+	if r.Chaos != nil {
+		fault = r.Chaos.Decide(g.key.String(), attempt)
+	}
+
 	var raw json.RawMessage
 	cached := false
-	if r.Cache != nil {
+	if r.Cache != nil && (!r.Resume || (r.Journal != nil && r.Journal.Done(g.key.Hash()))) {
 		raw, cached = r.Cache.Get(g.key)
 	}
 	if !cached {
-		payload, err := g.sim()
+		switch fault {
+		case chaos.Panic:
+			panic(chaos.PanicValue{Cell: g.key.String(), Attempt: attempt})
+		case chaos.Hang:
+			if _, ok := ctx.Deadline(); !ok {
+				return fmt.Errorf("%s: chaos hang injected without a watchdog (set a cell timeout)", g.key)
+			}
+			<-ctx.Done()
+			return fmt.Errorf("%s: %w", g.key, ctx.Err())
+		case chaos.Transient:
+			return &chaos.InjectedError{Cell: g.key.String(), Attempt: attempt}
+		}
+		payload, err := g.sim(ctx)
 		if err != nil {
+			if cause := ctx.Err(); cause != nil {
+				// The watchdog fired mid-simulation: classify as a
+				// timeout even when the engine dressed the cancellation
+				// in workload context.
+				return fmt.Errorf("%s: %w (sim: %v)", g.key, cause, err)
+			}
 			return err
 		}
 		raw, err = json.Marshal(payload)
@@ -251,6 +415,14 @@ func (r *Runner) runGroup(g *cellGroup) error {
 			if err := r.Cache.Put(g.key, raw); err != nil {
 				return fmt.Errorf("%s: persist cell payload: %w", g.key, err)
 			}
+			if fault == chaos.Corrupt {
+				// Simulate a torn write by a crashed peer: the in-memory
+				// payload stays good (this run's result is unaffected),
+				// but the stored entry must degrade to a miss next read.
+				if err := r.Cache.Corrupt(g.key); err != nil {
+					return fmt.Errorf("%s: chaos corrupt: %w", g.key, err)
+				}
+			}
 		}
 	} else {
 		r.cacheHits.Add(1)
@@ -260,12 +432,37 @@ func (r *Runner) runGroup(g *cellGroup) error {
 			return fmt.Errorf("%s: decode cell payload: %w", g.key, err)
 		}
 	}
+	if r.Journal != nil {
+		if err := r.Journal.Record(g.key.Hash(), g.key); err != nil {
+			return fmt.Errorf("%s: %w", g.key, err)
+		}
+	}
 	if r.Progress != nil {
 		r.progressMu.Lock()
 		r.Progress(g.key, cached)
 		r.progressMu.Unlock()
 	}
 	return nil
+}
+
+// sleepFor waits d (0 is free), via the test hook when set.
+func (r *Runner) sleepFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if r.sleep != nil {
+		r.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// recordFailure appends a failure at the given enumeration order.
+func (r *Runner) recordFailure(order int, f CellFailure) {
+	f.order = order
+	r.reportMu.Lock()
+	r.failures = append(r.failures, f)
+	r.reportMu.Unlock()
 }
 
 // serialRunner is the default execution vehicle for the typed

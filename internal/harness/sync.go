@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"jrs/internal/core"
 	"jrs/internal/monitor"
 	"jrs/internal/stats"
@@ -50,10 +51,10 @@ func fig11Plan(o Options) (*Plan, *Fig11Result) {
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "fig11", Workload: w.Name, Scale: scale, Mode: ModeJIT.String(),
 			Config: "fat+thin+onebit"}
-		p.add(key, &res.Rows[i], func() (any, error) {
+		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			row := SyncRow{Workload: w.Name}
 			for _, impl := range []string{"fat", "thin", "onebit"} {
-				e, err := Run(w, scale, ModeJIT, core.Config{Monitors: monitorFactory(impl)})
+				e, err := RunCtx(ctx, w, scale, ModeJIT, core.Config{Monitors: monitorFactory(impl)})
 				if err != nil {
 					return nil, err
 				}

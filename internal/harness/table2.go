@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"jrs/internal/branch"
 	"jrs/internal/core"
 	"jrs/internal/stats"
@@ -37,9 +38,9 @@ func table2Plan(o Options) (*Plan, *Table2Result) {
 			res.Rows = append(res.Rows, Table2Row{})
 			key := CellKey{Experiment: "table2", Workload: w.Name, Scale: scale, Mode: mode.String(),
 				Config: "2bit+bht+gshare+gap"}
-			p.add(key, &res.Rows[len(res.Rows)-1], func() (any, error) {
+			p.add(key, &res.Rows[len(res.Rows)-1], func(ctx context.Context) (any, error) {
 				suite := branch.NewSuite()
-				if _, err := Run(w, scale, mode, core.Config{}, suite); err != nil {
+				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, suite); err != nil {
 					return nil, err
 				}
 				row := Table2Row{Workload: w.Name, Mode: mode}

@@ -73,6 +73,10 @@ type Interp struct {
 	EM *emit.Emitter
 	// Bytecodes counts executed bytecodes.
 	Bytecodes uint64
+	// Cancel, when non-nil, is polled at slice entry (the
+	// instruction-budget path); a non-nil return ends the slice with a
+	// yield so the engine's scheduler can abort the run.
+	Cancel func() error
 }
 
 // New builds an interpreter for v emitting application-phase instructions
@@ -135,8 +139,13 @@ func (in *Interp) Push(f *Frame, v int64) {
 func (f *Frame) bcAddr() uint64 { return f.M.Addr + f.M.PCOffsets[f.PC] }
 
 // Run interprets up to quantum bytecodes in f, returning the trap that
-// suspended it (TrapNone when the quantum expired).
+// suspended it (TrapNone when the quantum expired). A pending
+// cancellation yields immediately instead of spending the budget; the
+// engine's scheduler converts the condition into the run's error.
 func (in *Interp) Run(t *vm.Thread, f *Frame, quantum int) rt.Trap {
+	if in.Cancel != nil && in.Cancel() != nil {
+		return rt.Trap{Kind: rt.TrapYield}
+	}
 	for i := 0; i < quantum; i++ {
 		tr := in.Step(t, f)
 		if tr.Kind != 0 {

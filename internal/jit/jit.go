@@ -98,6 +98,12 @@ type Compiler struct {
 	CodeBytes       uint64
 	Translations    int
 	Reoptimizations int
+	// Cancel, when non-nil, is polled at translation entry (translation
+	// is on the instruction-budget path: its emitted instructions charge
+	// the method's T_i); a non-nil return aborts the compile without
+	// recording the method as failed, so a later clean run can still
+	// translate it.
+	Cancel func() error
 }
 
 // New builds a compiler for v, emitting translation-phase trace to the
@@ -126,6 +132,11 @@ func (c *Compiler) Compile(m *bytecode.Method) (*Compiled, error) {
 	}
 	if err := c.Failed[m.ID]; err != nil {
 		return nil, err
+	}
+	if c.Cancel != nil {
+		if err := c.Cancel(); err != nil {
+			return nil, err
+		}
 	}
 	g := &gen{c: c, m: m, cls: m.Class, opt: c.Opt}
 	cm, err := g.run()

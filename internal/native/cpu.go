@@ -81,6 +81,10 @@ type CPU struct {
 	// Executed counts retired native instructions (application code
 	// only, excluding runtime-service templates).
 	Executed uint64
+	// Cancel, when non-nil, is polled at slice entry (the
+	// instruction-budget path); a non-nil return ends the slice with a
+	// yield so the engine's scheduler can abort the run.
+	Cancel func() error
 }
 
 // New builds a CPU for v emitting to the VM's sink.
@@ -91,6 +95,9 @@ func New(v *vm.VM) *CPU {
 // Run executes up to quantum instructions of a, returning the suspending
 // trap (TrapNone when the quantum expires).
 func (c *CPU) Run(t *vm.Thread, a *Activation, quantum int) rt.Trap {
+	if c.Cancel != nil && c.Cancel() != nil {
+		return rt.Trap{Kind: rt.TrapYield}
+	}
 	v := c.VM
 	code := a.C.Code
 	for n := 0; n < quantum; n++ {
