@@ -83,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chaosSpec := fs.String("chaos", "", "deterministic fault-injection spec (seed=N,panic=P,hang=P,err=P,corrupt=P,upto=K,cell=S)")
 	jsonOut := fs.Bool("json", false, "emit lint/analyze reports as JSON")
 	nobatch := fs.Bool("nobatch", false, "disable the batched trace transport (per-instruction delivery)")
+	checkpipe := fs.Bool("checkpipe", false, "attach the pipeline invariant checker to every superscalar core (debug; slower)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() { usage(fs, stderr) }
@@ -126,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opts := harness.Options{Scale: *scale, Quick: *quick}
+	opts := harness.Options{Scale: *scale, Quick: *quick, CheckPipe: *checkpipe}
 	if *wsel != "" {
 		for _, name := range strings.Split(*wsel, ",") {
 			w, ok := workloads.ByName(strings.TrimSpace(name))

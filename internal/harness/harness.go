@@ -57,6 +57,12 @@ type Options struct {
 	// Quick selects each workload's reduced benchmark scale (tests and
 	// go-bench runs).
 	Quick bool
+	// CheckPipe attaches the pipeline invariant checker to every
+	// superscalar core the experiments build (fig9/fig10,
+	// ablate-interp-ilp, ablate-ooo); a violation fails the cell. Debug
+	// aid — it roughly doubles pipeline-simulation cost, so hot runs
+	// leave it off.
+	CheckPipe bool
 }
 
 // scaleFor resolves the effective scale for one workload.

@@ -43,13 +43,20 @@ func fig9Plan(o Options) (*Plan, *Fig9Result) {
 				Config: "width=1,2,4,8"}
 			p.add(key, &res.Rows[len(res.Rows)-1], func(ctx context.Context) (any, error) {
 				var cores []*pipeline.Core
+				var checks []*pipeline.Checker
 				var sinks []trace.Sink
 				for _, width := range widths {
 					c := pipeline.New(pipeline.DefaultConfig(width))
+					if o.CheckPipe {
+						checks = append(checks, c.Check())
+					}
 					cores = append(cores, c)
 					sinks = append(sinks, c)
 				}
 				if _, err := RunCtx(ctx, w, scale, mode, core.Config{}, sinks...); err != nil {
+					return nil, err
+				}
+				if err := checkerErrs(checks); err != nil {
 					return nil, err
 				}
 				row := ILPRow{Workload: w.Name, Mode: mode, Widths: widths}
@@ -76,7 +83,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 
 // Render formats Figure 9.
 func (r *Fig9Result) Render() string {
-	t := stats.NewTable("Figure 9: IPC vs issue width (64-entry window, gshare, 64K L1s)",
+	t := stats.NewTable("Figure 9: IPC vs issue width (64-entry ROB, 16 RS/class, 32-entry LSQ, gshare, 64K L1s)",
 		"workload", "mode", "w=1", "w=2", "w=4", "w=8", "scaling 1→8")
 	for _, row := range r.Rows {
 		cells := []string{row.Workload, row.Mode.String()}

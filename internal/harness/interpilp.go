@@ -36,17 +36,24 @@ func ablateInterpILPPlan(o Options) (*Plan, *AblateInterpILPResult) {
 			Config: "btb+targetcache-width=1,2,4,8"}
 		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
 			var btbCores, tcCores []*pipeline.Core
+			var checks []*pipeline.Checker
 			var sinks []trace.Sink
 			for _, width := range widths {
 				b := pipeline.New(pipeline.DefaultConfig(width))
 				cfg := pipeline.DefaultConfig(width)
 				cfg.TargetCache = true
 				t := pipeline.New(cfg)
+				if o.CheckPipe {
+					checks = append(checks, b.Check(), t.Check())
+				}
 				btbCores = append(btbCores, b)
 				tcCores = append(tcCores, t)
 				sinks = append(sinks, b, t)
 			}
 			if _, err := RunCtx(ctx, w, scale, ModeInterp, core.Config{}, sinks...); err != nil {
+				return nil, err
+			}
+			if err := checkerErrs(checks); err != nil {
 				return nil, err
 			}
 			row := InterpILPRow{Workload: w.Name, Widths: widths}

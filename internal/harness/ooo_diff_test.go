@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"jrs/internal/core"
+	"jrs/internal/pipeline"
+	"jrs/internal/workloads"
+)
+
+// TestOoOCoreDifferentialEnvelope pins the Tomasulo rewrite against the
+// legacy window model on every workload under every execution mode: the
+// two are timing models of the same width-4 machine, so their IPCs must
+// stay within a fixed envelope — a silent fidelity regression in the
+// scheduler moves the ratio out of band long before it would visibly
+// bend a figure. The invariant checker rides along on the new core, and
+// the architectural bound IPC <= width is asserted on both.
+func TestOoOCoreDifferentialEnvelope(t *testing.T) {
+	// Envelope observed across the suite: the OoO core commits (an
+	// instruction costs commit bandwidth after completion, and squash
+	// recovery discards fetched cycles) so it trails the legacy
+	// model's optimistic completion-only accounting slightly, and the
+	// bounds are asymmetric around 1.0.
+	const loRatio, hiRatio = 0.60, 1.40
+	const width = 4
+
+	all := append([]workloads.Workload{}, workloads.Seven()...)
+	if hello, ok := workloads.ByName("hello"); ok {
+		all = append(all, hello)
+	}
+	for _, w := range all {
+		for _, mode := range []Mode{ModeInterp, ModeJIT, ModeAOT} {
+			w, mode := w, mode
+			t.Run(fmt.Sprintf("%s/%v", w.Name, mode), func(t *testing.T) {
+				ooo := pipeline.New(pipeline.DefaultConfig(width))
+				chk := ooo.Check()
+				old := pipeline.NewLegacy(pipeline.DefaultConfig(width))
+				if _, err := Run(w, w.BenchN, mode, core.Config{}, ooo, old); err != nil {
+					t.Fatal(err)
+				}
+				if err := chk.Err(); err != nil {
+					t.Errorf("invariant checker: %v", err)
+				}
+				if chk.Count() != ooo.Instrs {
+					t.Errorf("checker saw %d instructions, core committed %d", chk.Count(), ooo.Instrs)
+				}
+				if ooo.Instrs == 0 {
+					t.Fatal("no instructions reached the pipeline")
+				}
+				if ipc := ooo.IPC(); ipc > float64(width)+0.01 {
+					t.Errorf("OoO IPC %.3f exceeds issue width %d", ipc, width)
+				}
+				if ipc := old.IPC(); ipc > float64(width)+0.01 {
+					t.Errorf("legacy IPC %.3f exceeds issue width %d", ipc, width)
+				}
+				ratio := ooo.IPC() / old.IPC()
+				if ratio < loRatio || ratio > hiRatio {
+					t.Errorf("OoO IPC %.3f vs legacy %.3f: ratio %.3f outside [%.2f, %.2f]",
+						ooo.IPC(), old.IPC(), ratio, loRatio, hiRatio)
+				}
+			})
+		}
+	}
+}
+
+// TestAblateOoOShapes runs the ablate-ooo experiment (checker attached)
+// at quick scale and validates the structural contract end-to-end: the
+// sweep exists for every workload, every row is monotone, and capacity
+// starvation is visible — an 8-entry ROB must cost IPC against the
+// 256-entry machine somewhere in the suite.
+func TestAblateOoOShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite simulation")
+	}
+	res, err := AblateOoO(Options{Quick: true, CheckPipe: true,
+		Workloads: []workloads.Workload{mustWorkload(t, "compress"), mustWorkload(t, "db")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.MonotoneSweep(); err != nil {
+		t.Error(err)
+	}
+	starved := false
+	for _, cell := range res.Cells {
+		for _, row := range cell.Rows {
+			if row.Axis == "ROB" && row.IPC[len(row.IPC)-1] > row.IPC[0]*1.05 {
+				starved = true
+			}
+		}
+	}
+	if !starved {
+		t.Error("no workload shows ROB-capacity sensitivity; the sweep is not exercising the resource")
+	}
+}
+
+func mustWorkload(t *testing.T, name string) workloads.Workload {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q missing", name)
+	}
+	return w
+}

@@ -18,7 +18,7 @@ import (
 // CacheSchema versions the cell payload encoding. Bump it whenever a
 // simulator or an experiment's cell payload changes meaning, so stale
 // entries in a persistent ResultCache stop matching.
-const CacheSchema = 1
+const CacheSchema = 2
 
 // CellKey identifies one independent simulation cell of the paper grid:
 // which experiment needs it, which workload it runs, at what input

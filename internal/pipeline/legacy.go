@@ -1,0 +1,224 @@
+package pipeline
+
+import (
+	"jrs/internal/branch"
+	"jrs/internal/cache"
+	"jrs/internal/trace"
+)
+
+// Legacy is the pre-Tomasulo timing model: a flat reorder window whose
+// oldest entry gates fetch, a shared per-cycle issue ring, and a flat
+// MispredictPenalty fetch bubble. It produced the original Figure 9/10
+// numbers and is kept as the differential oracle for the speculative
+// core — the harness pins the new model's IPC against it on every
+// workload × mode combination, so a silent fidelity regression in the
+// rewrite shows up as an envelope violation rather than a quietly
+// shifted golden.
+type Legacy struct {
+	cfg  Config
+	ic   *cache.Cache
+	dc   *cache.Cache
+	pred predictor
+
+	// regReady[r] is the cycle register r's value becomes available
+	// (indexable by any register byte incl. RegNone, which is never
+	// written).
+	regReady [256]uint64
+	// window holds completion cycles of in-flight instructions in fetch
+	// order (ring buffer of WindowSize).
+	window []uint64
+	wHead  int // index of oldest
+	wCount int
+
+	// fetchCycle is the cycle the next instruction can be fetched.
+	fetchCycle uint64
+	// fetchedThisCycle counts instructions fetched at fetchCycle.
+	fetchedThisCycle int
+
+	// issued tracks per-cycle issue-slot occupancy in a ring.
+	issued    []uint8
+	issueMask uint64
+	clearedTo uint64
+
+	// memReady records, per 8-byte word, the cycle the last store to it
+	// completes; loads from the word wait for it (store-to-load
+	// forwarding).
+	memReady wordCycleTable
+
+	// Instrs counts retired instructions; LastCycle the final completion.
+	Instrs    uint64
+	LastCycle uint64
+}
+
+// NewLegacy builds the window-approximation core.
+func NewLegacy(cfg Config) *Legacy {
+	const issueRing = 1 << 16
+	var pred predictor = branch.NewUnit(branch.NewGshare(2048, 5), 1024)
+	if cfg.TargetCache {
+		pred = branch.NewIndirectUnit()
+	}
+	c := &Legacy{
+		cfg:       cfg,
+		ic:        cache.New(cfg.ICache),
+		dc:        cache.New(cfg.DCache),
+		pred:      pred,
+		window:    make([]uint64, cfg.WindowSize),
+		issued:    make([]uint8, issueRing),
+		issueMask: issueRing - 1,
+	}
+	c.memReady.init()
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Legacy) Config() Config { return c.cfg }
+
+// IPC returns retired instructions per cycle.
+func (c *Legacy) IPC() float64 {
+	if c.LastCycle == 0 {
+		return 0
+	}
+	return float64(c.Instrs) / float64(c.LastCycle)
+}
+
+// Cycles returns the total simulated cycles.
+func (c *Legacy) Cycles() uint64 { return c.LastCycle }
+
+// advanceIssueRing clears issue-slot bookkeeping for cycles that can no
+// longer be used (anything before the in-order fetch frontier).
+func (c *Legacy) advanceIssueRing(frontier uint64) {
+	for c.clearedTo < frontier {
+		c.issued[c.clearedTo&c.issueMask] = 0
+		c.clearedTo++
+	}
+}
+
+// issueSlot finds the first cycle >= earliest with a free issue slot,
+// claims it, and returns it.
+func (c *Legacy) issueSlot(earliest uint64) uint64 {
+	cy := earliest
+	for {
+		i := cy & c.issueMask
+		if int(c.issued[i]) < c.cfg.IssueWidth {
+			c.issued[i]++
+			return cy
+		}
+		cy++
+	}
+}
+
+// EmitBatch implements trace.BatchSink.
+func (c *Legacy) EmitBatch(batch []trace.Inst) {
+	for i := range batch {
+		c.step(&batch[i])
+	}
+}
+
+// Emit implements trace.Sink, timing one instruction.
+func (c *Legacy) Emit(in trace.Inst) { c.step(&in) }
+
+// step times one instruction.
+func (c *Legacy) step(in *trace.Inst) {
+	cfg := &c.cfg
+
+	// Window: the next instruction cannot enter until the oldest retires.
+	if c.wCount == cfg.WindowSize {
+		oldest := c.window[c.wHead]
+		c.wHead++
+		if c.wHead == cfg.WindowSize {
+			c.wHead = 0
+		}
+		c.wCount--
+		if oldest+1 > c.fetchCycle {
+			c.fetchCycle = oldest + 1
+			c.fetchedThisCycle = 0
+		}
+	}
+
+	// Fetch bandwidth.
+	if c.fetchedThisCycle >= cfg.IssueWidth {
+		c.fetchCycle++
+		c.fetchedThisCycle = 0
+	}
+	// I-cache.
+	if !c.ic.Access(in.PC, false) {
+		c.fetchCycle += cfg.MissPenalty
+		c.fetchedThisCycle = 0
+	}
+	fetchAt := c.fetchCycle
+	c.fetchedThisCycle++
+	c.advanceIssueRing(fetchAt)
+
+	// Source readiness.
+	ready := fetchAt + 1 // decode
+	if in.Src1 != trace.RegNone {
+		ready = maxU64(ready, c.regReady[in.Src1])
+	}
+	if in.Src2 != trace.RegNone {
+		ready = maxU64(ready, c.regReady[in.Src2])
+	}
+
+	issueAt := c.issueSlot(ready)
+
+	// Execution latency.
+	var lat uint64
+	var complete uint64
+	switch in.Class {
+	case trace.FPU:
+		lat = cfg.FPLatency
+		complete = issueAt + lat
+	case trace.Load:
+		lat = cfg.LoadLatency
+		if !c.dc.Access(in.Addr, false) {
+			lat += cfg.MissPenalty
+		}
+		complete = issueAt + lat
+		// Store-to-load dependence: the value isn't available before the
+		// producing store completes (forwarded same-cycle).
+		if sr, ok := c.memReady.get(in.Addr >> 3); ok && sr+cfg.ForwardLatency > complete {
+			complete = sr + cfg.ForwardLatency
+		}
+	case trace.Store:
+		lat = 1
+		// A write-allocate store miss must fetch the line; the era's
+		// shallow write buffers expose that latency to dependants (this
+		// is what makes JIT code installation expensive, §6).
+		if !c.dc.Access(in.Addr, true) {
+			lat += cfg.MissPenalty
+		}
+		complete = issueAt + lat
+		c.memReady.put(in.Addr>>3, complete)
+	default:
+		lat = cfg.IntLatency
+		complete = issueAt + lat
+	}
+
+	if in.Dst != trace.RegNone {
+		c.regReady[in.Dst] = complete
+	}
+
+	// Control transfers: on a misprediction the fetch of younger
+	// instructions resumes only after resolution plus the penalty.
+	if in.Class.IsControl() {
+		if c.pred.Observe(*in) {
+			resume := complete + cfg.MispredictPenalty
+			if resume > c.fetchCycle {
+				c.fetchCycle = resume
+				c.fetchedThisCycle = 0
+			}
+		}
+	}
+
+	// Enter window.
+	tail := c.wHead + c.wCount
+	if tail >= cfg.WindowSize {
+		tail -= cfg.WindowSize
+	}
+	c.window[tail] = complete
+	c.wCount++
+
+	c.Instrs++
+	if complete > c.LastCycle {
+		c.LastCycle = complete
+	}
+}
