@@ -14,6 +14,12 @@
 //	                         lock elision, purity) over every workload
 //	                         (default) or the given MiniJava sources
 //
+// With -races, lint and analyze add the static concurrency analysis
+// (internal/analysis/conc): may-happen-in-parallel race pairs and
+// lock-order deadlock cycles count as findings. With -checkraces,
+// `jrs run` attaches the dynamic vector-clock race detector and fails
+// if it observes a race the static report does not subsume.
+//
 // Flags:
 //
 //	-scale N      override every workload's input size (0 = default)
@@ -34,6 +40,13 @@
 //	-chaos SPEC   deterministic fault injection, e.g.
 //	              seed=1,panic=0.1,hang=0.05,err=0.1,corrupt=0.02
 //	              (also upto=K, cell=SUBSTR); the supervision test rig
+//	-races        add the static race/deadlock analysis to lint and
+//	              analyze reports (findings affect the exit code)
+//	-checkraces   run the workload with the dynamic happens-before race
+//	              detector attached and check every observed race
+//	              against the static report (the subsumption invariant)
+//	-schedseed N  perturb scheduler slice lengths pseudo-randomly for
+//	              `run` (0 = the fixed quantum; deterministic per seed)
 //	-json         emit lint/analyze reports as JSON instead of text
 //	-nobatch      deliver trace instructions one at a time (disable the
 //	              batched transport; for debugging and A/B timing)
@@ -42,6 +55,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -84,6 +98,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit lint/analyze reports as JSON")
 	nobatch := fs.Bool("nobatch", false, "disable the batched trace transport (per-instruction delivery)")
 	checkpipe := fs.Bool("checkpipe", false, "attach the pipeline invariant checker to every superscalar core (debug; slower)")
+	races := fs.Bool("races", false, "add the static race/deadlock analysis to lint and analyze reports")
+	checkraces := fs.Bool("checkraces", false, "attach the dynamic vector-clock race detector to `run` and check its findings against the static report (debug; slower)")
+	schedseed := fs.Uint64("schedseed", 0, "seed pseudo-random scheduler slice lengths for `run` (0 = fixed quantum)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() { usage(fs, stderr) }
@@ -127,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opts := harness.Options{Scale: *scale, Quick: *quick, CheckPipe: *checkpipe}
+	opts := harness.Options{Scale: *scale, Quick: *quick, CheckPipe: *checkpipe, Races: *races}
 	if *wsel != "" {
 		for _, name := range strings.Split(*wsel, ",") {
 			w, ok := workloads.ByName(strings.TrimSpace(name))
@@ -216,7 +233,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "jrs: run requires a workload name")
 			return 1
 		}
-		return runWorkload(fs.Arg(1), *mode, opts, stdout, stderr)
+		return runWorkload(fs.Arg(1), *mode, opts, *checkraces, *schedseed, stdout, stderr)
 
 	case "lint":
 		return lint(fs.Args()[1:], opts, *jsonOut, stdout, stderr)
@@ -261,7 +278,7 @@ func reportExit(runner *harness.Runner, keepgoing bool, stdout io.Writer) int {
 	return 0
 }
 
-func runWorkload(name, modeName string, opts harness.Options, stdout, stderr io.Writer) int {
+func runWorkload(name, modeName string, opts harness.Options, checkraces bool, schedseed uint64, stdout, stderr io.Writer) int {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		fmt.Fprintf(stderr, "jrs: unknown workload %q\n", name)
@@ -272,15 +289,20 @@ func runWorkload(name, modeName string, opts harness.Options, stdout, stderr io.
 		scale = w.BenchN
 	}
 
+	if checkraces {
+		return checkRaces(w, scale, modeName, schedseed, stdout, stderr)
+	}
+
 	var e *core.Engine
 	var err error
+	cfg := core.Config{SchedSeed: schedseed}
 	switch modeName {
 	case "interp":
-		e, err = harness.Run(w, scale, harness.ModeInterp, core.Config{})
+		e, err = harness.Run(w, scale, harness.ModeInterp, cfg)
 	case "jit":
-		e, err = harness.Run(w, scale, harness.ModeJIT, core.Config{})
+		e, err = harness.Run(w, scale, harness.ModeJIT, cfg)
 	case "aot":
-		e, err = harness.Run(w, scale, harness.ModeAOT, core.Config{})
+		e, err = harness.Run(w, scale, harness.ModeAOT, cfg)
 	case "opt":
 		e, _, err = harness.RunOracle(w, scale)
 	default:
@@ -296,6 +318,42 @@ func runWorkload(name, modeName string, opts harness.Options, stdout, stderr io.
 	fmt.Fprintf(stdout, "\n[%s/%s] instructions: total=%d exec=%d translate=%d load=%d translations=%d footprint=%dKB\n",
 		w.Name, modeName, e.TotalInstrs(), exec, translate, load,
 		e.JIT.Translations, e.FootprintBytes()>>10)
+	return 0
+}
+
+// checkRaces executes the workload with the dynamic vector-clock race
+// detector attached (jrs run -checkraces), reports what it observed,
+// and fails when a dynamic race escapes the static report.
+func checkRaces(w workloads.Workload, scale int, modeName string, schedseed uint64, stdout, stderr io.Writer) int {
+	var mode harness.Mode
+	switch modeName {
+	case "interp":
+		mode = harness.ModeInterp
+	case "jit":
+		mode = harness.ModeJIT
+	case "aot":
+		mode = harness.ModeAOT
+	default:
+		fmt.Fprintf(stderr, "jrs: -checkraces supports modes interp, jit, aot (got %q)\n", modeName)
+		return 2 // usage error, like any bad flag combination
+	}
+	rc, err := harness.CheckRacesWorkload(context.Background(), w, scale, mode, schedseed)
+	if err != nil {
+		fmt.Fprintf(stderr, "jrs: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "[%s/%s] checkraces seed=%d: %d static race(s), %d deadlock cycle(s); %d dynamic race(s)\n",
+		rc.Workload, rc.Mode, rc.Seed, len(rc.Static.Races), len(rc.Static.Deadlocks), len(rc.Dynamic))
+	for _, d := range rc.Dynamic {
+		fmt.Fprintf(stdout, "  %s\n", d)
+	}
+	if rc.Deadlocked {
+		fmt.Fprintln(stdout, "  run deadlocked (no runnable threads)")
+	}
+	if err := rc.Err(); err != nil {
+		fmt.Fprintf(stderr, "jrs: %v\n", err)
+		return 1
+	}
 	return 0
 }
 
@@ -331,7 +389,11 @@ func lint(files []string, opts harness.Options, jsonOut bool, stdout, stderr io.
 	if !ok {
 		return 1
 	}
-	report, err := harness.BuildLintReport(progs)
+	build := harness.BuildLintReport
+	if opts.Races {
+		build = harness.BuildRaceLintReport
+	}
+	report, err := build(progs)
 	if err != nil {
 		fmt.Fprintf(stderr, "jrs: %v\n", err)
 		return 1
@@ -364,7 +426,7 @@ func analyze(files []string, opts harness.Options, runner *harness.Runner, jsonO
 		if progs, ok = compilePrograms(files, opts, stderr); !ok {
 			return 1
 		}
-		res, err = harness.AnalyzePrograms(progs)
+		res, err = harness.AnalyzePrograms(progs, opts.Races)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "jrs: %v\n", err)

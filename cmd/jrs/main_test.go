@@ -229,3 +229,83 @@ func TestResumeFlagFlow(t *testing.T) {
 		t.Errorf("resume served nothing from the cache:\n%s", errb2.String())
 	}
 }
+
+// TestLintRacesCommand: the seeded-race fixture is clean under plain
+// lint but fails `jrs lint -races` with the exact race line, and the
+// clean worker pool stays green even with the races pass on.
+func TestLintRacesCommand(t *testing.T) {
+	racy := "../../examples/minijava/racy.mj"
+	var out, errb bytes.Buffer
+	if code := run([]string{"lint", racy}, &out, &errb); code != 0 {
+		t.Fatalf("plain lint of racy.mj exit code = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-races", "lint", racy}, &out, &errb); code != 1 {
+		t.Fatalf("lint -races racy.mj exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "race on Shared.x: Racer.run()V @") {
+		t.Errorf("lint -races output missing the Shared.x race witness:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-races", "lint",
+		"../../examples/minijava/deadlock.mj"}, &out, &errb); code != 1 {
+		t.Fatalf("lint -races deadlock.mj exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "deadlock cycle: alloc:Main.main()V@") {
+		t.Errorf("lint -races output missing the deadlock cycle:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-races", "lint",
+		"../../examples/minijava/workerpool.mj"}, &out, &errb); code != 0 {
+		t.Fatalf("lint -races workerpool.mj exit code = %d, want 0 (stderr: %s)\n%s",
+			code, errb.String(), out.String())
+	}
+}
+
+// TestAnalyzeRacesCommand: -races extends the analyze census with the
+// concurrency block.
+func TestAnalyzeRacesCommand(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-races", "analyze",
+		"../../examples/minijava/racy.mj"}, &out, &errb); code != 0 {
+		t.Fatalf("analyze -races exit code = %d (stderr: %s)", code, errb.String())
+	}
+	for _, want := range []string{
+		"concurrency: 2 spawned thread(s), 2 shared location(s), 1 race(s), 0 deadlock cycle(s)",
+		"thread spawn@Main.main()V@",
+		"race on Shared.x",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("analyze -races output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCheckRacesCommand: the differential runner passes on the
+// multithreaded workload under a seeded schedule, and rejects modes
+// without an execution engine.
+func TestCheckRacesCommand(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-checkraces", "-schedseed", "3",
+		"run", "mtrt"}, &out, &errb); code != 0 {
+		t.Fatalf("checkraces mtrt exit code = %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "checkraces seed=3:") {
+		t.Errorf("checkraces output missing its summary line:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-quick", "-checkraces", "-mode", "opt", "run", "mtrt"}, &out, &errb); code != 2 {
+		t.Fatalf("checkraces -mode opt exit code = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-checkraces supports modes") {
+		t.Errorf("stderr = %q, want the mode restriction", errb.String())
+	}
+}

@@ -1,0 +1,520 @@
+package conc
+
+import (
+	"sort"
+
+	"jrs/internal/analysis"
+	"jrs/internal/bytecode"
+)
+
+// The per-method abstract interpreter, a sibling of ipa's: each stack
+// slot and local holds a small set of symbolic sources plus an unknown
+// bit. Where ipa only needs Null/Param/Alloc, race detection also needs
+// to name heap loads (so receivers loaded from fields can be resolved
+// through a points-to map), call results (resolved through return
+// summaries), and — crucially — thread ids: Sys.spawn returns an int
+// that flows through *int* locals into Sys.join, and the MHP analysis
+// can only kill a pending-spawn bit when the joined id provably names
+// one spawn site. So unlike ipa, ILoad/IStore track locals too.
+
+const (
+	cNull uint8 = iota
+	cParam
+	cAlloc
+	// cTid is the int thread-id produced by Sys.spawn at pc a.
+	cTid
+	// cField/cStatic name a heap load via the pool field index a.
+	cField
+	cStatic
+	// cElem is a reference loaded from some array element.
+	cElem
+	// cCall is the reference returned by the call at pc a.
+	cCall
+)
+
+type member struct {
+	kind uint8
+	a    int32
+}
+
+func memberLess(x, y member) bool {
+	if x.kind != y.kind {
+		return x.kind < y.kind
+	}
+	return x.a < y.a
+}
+
+// absVal is a set of possible sources plus the unknown bit; members is
+// sorted and deduplicated.
+type absVal struct {
+	unknown bool
+	members []member
+}
+
+var top = absVal{unknown: true}
+
+func val(kind uint8, a int32) absVal {
+	return absVal{members: []member{{kind: kind, a: a}}}
+}
+
+// singleTid reports the spawn pc when the value is exactly one thread
+// id and nothing else.
+func (v absVal) singleTid() (int, bool) {
+	if !v.unknown && len(v.members) == 1 && v.members[0].kind == cTid {
+		return int(v.members[0].a), true
+	}
+	return 0, false
+}
+
+func joinVal(a, b absVal) absVal {
+	if equalVal(a, b) {
+		return a
+	}
+	out := absVal{unknown: a.unknown || b.unknown}
+	out.members = append(append([]member(nil), a.members...), b.members...)
+	sort.Slice(out.members, func(i, j int) bool { return memberLess(out.members[i], out.members[j]) })
+	w := 0
+	for i, m := range out.members {
+		if i == 0 || m != out.members[w-1] {
+			out.members[w] = m
+			w++
+		}
+	}
+	out.members = out.members[:w]
+	return out
+}
+
+func equalVal(a, b absVal) bool {
+	if a.unknown != b.unknown || len(a.members) != len(b.members) {
+		return false
+	}
+	for i := range a.members {
+		if a.members[i] != b.members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// callFact records one call site's resolution and abstract arguments
+// (receiver first for instance calls).
+type callFact struct {
+	pc      int
+	callee  *bytecode.Method
+	virtual bool
+	sys     bool
+	args    []absVal
+}
+
+// accessFact is one field/static/array access the census may report.
+type accessFact struct {
+	pc     int
+	op     bytecode.Op
+	write  bool
+	static bool
+	array  bool
+	// elem is the array element kind (KindInt..KindChar) for array
+	// accesses; fieldIdx indexes the class pool for field/static ones.
+	elem     int
+	fieldIdx int32
+	// recv is the receiver value (field/array accesses only).
+	recv absVal
+}
+
+// storeFact records a reference stored into the heap, feeding the
+// points-to maps.
+type storeFact struct {
+	// kind: 0 field, 1 static, 2 array element.
+	kind     uint8
+	fieldIdx int32
+	val      absVal
+}
+
+// methodFacts is everything the conc solvers need from one body.
+type methodFacts struct {
+	m        *bytecode.Method
+	accesses []accessFact
+	accIdx   map[int]int
+	stores   []storeFact
+	calls    []callFact
+	callIdx  map[int]int
+	monOps   map[int]absVal // monitorenter/exit pc -> operand
+	spawnAt  map[int]absVal // Sys.spawn pc -> argument (the Runnable)
+	joinAt   map[int]absVal // Sys.join pc -> argument (the tid)
+	rets     absVal         // joined AReturn operands (ref-returning methods)
+	// noFlow marks bodies the CFG or interpreter could not process;
+	// such methods degrade to "no information" everywhere.
+	noFlow bool
+}
+
+// collectFacts runs the abstract interpreter, builds CFGs and the
+// per-pc loop membership for every analyzable method.
+func (a *analyzer) collectFacts() {
+	for _, m := range a.methods {
+		f := a.interpret(m)
+		a.facts[m.ID] = f
+		g, err := analysis.BuildCFG(m)
+		if err != nil {
+			f.noFlow = true
+			continue
+		}
+		a.graphs[m.ID] = g
+		a.inLoop[m.ID] = loopMembership(g)
+	}
+}
+
+// loopMembership marks each pc whose block lies on a CFG cycle
+// (block reaches itself through at least one edge).
+func loopMembership(g *analysis.Graph) []bool {
+	n := len(g.Blocks)
+	// reach[i][j] via simple transitive closure; method bodies are small.
+	reach := make([][]bool, n)
+	for i, b := range g.Blocks {
+		reach[i] = make([]bool, n)
+		for _, s := range b.Succs {
+			reach[i][s] = true
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	out := make([]bool, len(g.M.Code))
+	for i, b := range g.Blocks {
+		if reach[i][i] {
+			for pc := b.Start; pc < b.End; pc++ {
+				out[pc] = true
+			}
+		}
+	}
+	return out
+}
+
+type absState struct {
+	stack  []absVal
+	locals []absVal
+}
+
+func (s absState) clone() absState {
+	return absState{
+		stack:  append([]absVal(nil), s.stack...),
+		locals: append([]absVal(nil), s.locals...),
+	}
+}
+
+func mergeInto(dst *absState, src absState) bool {
+	changed := false
+	for i := range dst.stack {
+		if j := joinVal(dst.stack[i], src.stack[i]); !equalVal(j, dst.stack[i]) {
+			dst.stack[i] = j
+			changed = true
+		}
+	}
+	for i := range dst.locals {
+		if j := joinVal(dst.locals[i], src.locals[i]); !equalVal(j, dst.locals[i]) {
+			dst.locals[i] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (a *analyzer) interpret(m *bytecode.Method) (f *methodFacts) {
+	f = &methodFacts{
+		m:       m,
+		accIdx:  map[int]int{},
+		callIdx: map[int]int{},
+		monOps:  map[int]absVal{},
+		spawnAt: map[int]absVal{},
+		joinAt:  map[int]absVal{},
+	}
+	// Unverified bodies (lint runs conc over arbitrary input) can
+	// underflow the abstract stack; degrade instead of crashing.
+	defer func() {
+		if recover() != nil {
+			*f = methodFacts{
+				m: m, accIdx: map[int]int{}, callIdx: map[int]int{},
+				monOps: map[int]absVal{}, spawnAt: map[int]absVal{},
+				joinAt: map[int]absVal{}, noFlow: true,
+			}
+		}
+	}()
+
+	entry := absState{locals: make([]absVal, m.MaxLocals)}
+	for i := range entry.locals {
+		entry.locals[i] = top
+	}
+	for i := 0; i < m.NumArgs() && i < len(entry.locals); i++ {
+		entry.locals[i] = val(cParam, int32(i))
+	}
+
+	in := map[int]*absState{0: &entry}
+	work := []int{0}
+	queued := map[int]bool{0: true}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[pc] = false
+		st := in[pc].clone()
+		for _, s := range a.step(m, f, pc, &st) {
+			if s < 0 || s >= len(m.Code) {
+				continue
+			}
+			if prev, ok := in[s]; !ok {
+				cp := st.clone()
+				in[s] = &cp
+			} else if !mergeInto(prev, st) {
+				continue
+			}
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	sort.SliceStable(f.calls, func(i, j int) bool { return f.calls[i].pc < f.calls[j].pc })
+	for i := range f.calls {
+		f.callIdx[f.calls[i].pc] = i
+	}
+	sort.SliceStable(f.accesses, func(i, j int) bool { return f.accesses[i].pc < f.accesses[j].pc })
+	for i := range f.accesses {
+		f.accIdx[f.accesses[i].pc] = i
+	}
+	return f
+}
+
+// access joins an access fact in place on revisits (like call sites),
+// so the recorded receiver covers every path.
+func (f *methodFacts) access(af accessFact) {
+	if i, ok := f.accIdx[af.pc]; ok {
+		f.accesses[i].recv = joinVal(f.accesses[i].recv, af.recv)
+		return
+	}
+	f.accIdx[af.pc] = len(f.accesses)
+	f.accesses = append(f.accesses, af)
+}
+
+// step applies one instruction, records facts, and returns successors.
+func (a *analyzer) step(m *bytecode.Method, f *methodFacts, pc int, st *absState) []int {
+	ins := m.Code[pc]
+	push := func(v absVal) { st.stack = append(st.stack, v) }
+	pop := func() absVal {
+		v := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		return v
+	}
+	popN := func(n int) []absVal {
+		vs := append([]absVal(nil), st.stack[len(st.stack)-n:]...)
+		st.stack = st.stack[:len(st.stack)-n]
+		return vs
+	}
+	next := []int{pc + 1}
+
+	switch op := ins.Op; {
+	case op == bytecode.Nop:
+	case op == bytecode.IInc:
+		st.locals[ins.A] = top
+	case op == bytecode.IConst || op == bytecode.FConst || op == bytecode.SConst:
+		push(top)
+	case op == bytecode.AConstNull:
+		push(val(cNull, 0))
+	case op == bytecode.ILoad || op == bytecode.FLoad || op == bytecode.ALoad:
+		push(st.locals[ins.A])
+	case op == bytecode.IStore || op == bytecode.FStore || op == bytecode.AStore:
+		st.locals[ins.A] = pop()
+	case op == bytecode.Pop:
+		pop()
+	case op == bytecode.Dup:
+		push(st.stack[len(st.stack)-1])
+	case op == bytecode.Swap:
+		n := len(st.stack)
+		st.stack[n-1], st.stack[n-2] = st.stack[n-2], st.stack[n-1]
+	case op >= bytecode.IAdd && op <= bytecode.IUshr && op != bytecode.INeg:
+		popN(2)
+		push(top)
+	case op == bytecode.INeg || op == bytecode.FNeg || op == bytecode.I2F || op == bytecode.F2I:
+		pop()
+		push(top)
+	case op == bytecode.FAdd || op == bytecode.FSub || op == bytecode.FMul ||
+		op == bytecode.FDiv || op == bytecode.FCmp:
+		popN(2)
+		push(top)
+	case op == bytecode.New:
+		push(val(cAlloc, int32(pc)))
+	case op == bytecode.NewArray:
+		pop()
+		push(val(cAlloc, int32(pc)))
+	case op == bytecode.ArrayLength:
+		pop()
+		push(top)
+	case op == bytecode.IALoad || op == bytecode.FALoad || op == bytecode.AALoad ||
+		op == bytecode.CALoad:
+		recv := st.stack[len(st.stack)-2]
+		f.access(accessFact{pc: pc, op: op, array: true, elem: loadKind(op), recv: recv})
+		popN(2)
+		if op == bytecode.AALoad {
+			push(val(cElem, 0))
+		} else {
+			push(top)
+		}
+	case op == bytecode.IAStore || op == bytecode.FAStore || op == bytecode.AAStore ||
+		op == bytecode.CAStore:
+		recv := st.stack[len(st.stack)-3]
+		f.access(accessFact{pc: pc, op: op, write: true, array: true, elem: storeKind(op), recv: recv})
+		if op == bytecode.AAStore {
+			f.stores = append(f.stores, storeFact{kind: 2, val: st.stack[len(st.stack)-1]})
+		}
+		popN(3)
+	case op == bytecode.Goto:
+		return []int{int(ins.A)}
+	case op == bytecode.IfEq || op == bytecode.IfNe || op == bytecode.IfLt ||
+		op == bytecode.IfGe || op == bytecode.IfGt || op == bytecode.IfLe ||
+		op == bytecode.IfNull || op == bytecode.IfNonNull:
+		pop()
+		return []int{pc + 1, int(ins.A)}
+	case op >= bytecode.IfICmpEq && op <= bytecode.IfACmpNe:
+		popN(2)
+		return []int{pc + 1, int(ins.A)}
+	case op == bytecode.GetField:
+		recv := pop()
+		f.access(accessFact{pc: pc, op: op, fieldIdx: ins.A, recv: recv})
+		if fieldType(m, ins.A) == bytecode.TRef {
+			push(val(cField, ins.A))
+		} else {
+			push(top)
+		}
+	case op == bytecode.PutField:
+		recv := st.stack[len(st.stack)-2]
+		f.access(accessFact{pc: pc, op: op, write: true, fieldIdx: ins.A, recv: recv})
+		if fieldType(m, ins.A) == bytecode.TRef {
+			f.stores = append(f.stores, storeFact{kind: 0, fieldIdx: ins.A, val: st.stack[len(st.stack)-1]})
+		}
+		popN(2)
+	case op == bytecode.GetStatic:
+		f.access(accessFact{pc: pc, op: op, static: true, fieldIdx: ins.A})
+		if fieldType(m, ins.A) == bytecode.TRef {
+			push(val(cStatic, ins.A))
+		} else {
+			push(top)
+		}
+	case op == bytecode.PutStatic:
+		f.access(accessFact{pc: pc, op: op, write: true, static: true, fieldIdx: ins.A})
+		v := pop()
+		if fieldType(m, ins.A) == bytecode.TRef {
+			f.stores = append(f.stores, storeFact{kind: 1, fieldIdx: ins.A, val: v})
+		}
+	case op.IsInvoke():
+		callee := m.Class.Pool.Methods[ins.A].Resolved
+		if callee == nil {
+			// Unresolvable call in unverified input: give up on this body.
+			panic("unresolved callee")
+		}
+		args := popN(callee.NumArgs())
+		cf := callFact{
+			pc:      pc,
+			callee:  callee,
+			virtual: op == bytecode.InvokeVirtual,
+			sys:     callee.Class.Name == "Sys",
+			args:    args,
+		}
+		if cf.sys {
+			switch callee.Name {
+			case "spawn":
+				if len(args) > 0 {
+					if prev, ok := f.spawnAt[pc]; ok {
+						f.spawnAt[pc] = joinVal(prev, args[0])
+					} else {
+						f.spawnAt[pc] = args[0]
+					}
+				}
+			case "join":
+				if len(args) > 0 {
+					if prev, ok := f.joinAt[pc]; ok {
+						f.joinAt[pc] = joinVal(prev, args[0])
+					} else {
+						f.joinAt[pc] = args[0]
+					}
+				}
+			}
+		}
+		if i, ok := f.callIdx[pc]; ok {
+			for j := range cf.args {
+				f.calls[i].args[j] = joinVal(f.calls[i].args[j], cf.args[j])
+			}
+		} else {
+			f.callIdx[pc] = len(f.calls)
+			f.calls = append(f.calls, cf)
+		}
+		if callee.Sig.Ret != bytecode.TVoid {
+			switch {
+			case cf.sys && callee.Name == "spawn":
+				push(val(cTid, int32(pc)))
+			case callee.Sig.Ret == bytecode.TRef && !cf.sys:
+				push(val(cCall, int32(pc)))
+			default:
+				push(top)
+			}
+		}
+	case op == bytecode.Return:
+		return nil
+	case op == bytecode.IReturn || op == bytecode.FReturn:
+		pop()
+		return nil
+	case op == bytecode.AReturn:
+		f.rets = joinVal(f.rets, pop())
+		return nil
+	case op == bytecode.MonitorEnter || op == bytecode.MonitorExit:
+		v := pop()
+		if prev, ok := f.monOps[pc]; ok {
+			f.monOps[pc] = joinVal(prev, v)
+		} else {
+			f.monOps[pc] = v
+		}
+	}
+	return next
+}
+
+func loadKind(op bytecode.Op) int {
+	switch op {
+	case bytecode.IALoad:
+		return bytecode.KindInt
+	case bytecode.FALoad:
+		return bytecode.KindFloat
+	case bytecode.AALoad:
+		return bytecode.KindRef
+	default:
+		return bytecode.KindChar
+	}
+}
+
+func storeKind(op bytecode.Op) int {
+	switch op {
+	case bytecode.IAStore:
+		return bytecode.KindInt
+	case bytecode.FAStore:
+		return bytecode.KindFloat
+	case bytecode.AAStore:
+		return bytecode.KindRef
+	default:
+		return bytecode.KindChar
+	}
+}
+
+// fieldType returns the declared type of the field named by pool index
+// idx in m's class pool.
+func fieldType(m *bytecode.Method, idx int32) bytecode.Type {
+	fr := &m.Class.Pool.Fields[idx]
+	if fr.Resolved == nil {
+		return bytecode.TInt
+	}
+	return fr.Resolved.Type
+}

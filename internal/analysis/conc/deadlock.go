@@ -1,0 +1,240 @@
+package conc
+
+import (
+	"sort"
+
+	"jrs/internal/bytecode"
+)
+
+// Lock-order graph. An edge A -> B records that some context acquires
+// unique lock B while provably holding unique lock A (nested
+// MonitorEnter, synchronized-method entry under held locks, or a call
+// into a synchronized method). A strongly connected component with two
+// or more locks whose edges come from at least two distinct contexts
+// (or one multi-instance thread) is a potential deadlock: two threads
+// can each hold one lock of the cycle and want the next.
+
+type lockEdge struct {
+	from, to lockSym
+	ctx      int
+	mid      int
+	pc       int
+}
+
+func (a *analyzer) collectEdges() []lockEdge {
+	var edges []lockEdge
+	emit := func(held lockSet, acq []lockSym, ctx int, m *bytecode.Method, pc int) {
+		for _, h := range held.syms {
+			for _, t := range acq {
+				if h == t {
+					continue // reentrant acquire, not an ordering edge
+				}
+				edges = append(edges, lockEdge{from: h, to: t, ctx: ctx, mid: m.ID, pc: pc})
+			}
+		}
+	}
+	for _, m := range a.methods {
+		f := a.facts[m.ID]
+		for _, ctx := range a.ownersOf(m.ID) {
+			entry := notTop(a.entryLocks[ctxMethod{ctx, m.ID}])
+			sync := a.syncSyms(ctx, m)
+			// Synchronized entry acquires under the caller-held set.
+			emit(entry, sync, ctx, m, 0)
+			base := lockUnion(entry, lockSet{syms: sync})
+			// Nested MonitorEnter.
+			for _, pc := range sortedPCs(f.monOps) {
+				if m.Code[pc].Op != bytecode.MonitorEnter {
+					continue
+				}
+				held := lockUnion(base, a.intraSyms(ctx, m, pc))
+				emit(held, a.resolveLockVal(ctx, m, f.monOps[pc]), ctx, m, pc)
+			}
+			// Calls into synchronized methods.
+			for i := range f.calls {
+				cf := &f.calls[i]
+				if cf.sys {
+					continue
+				}
+				held := lockUnion(base, a.intraSyms(ctx, m, cf.pc))
+				if len(held.syms) == 0 {
+					continue
+				}
+				for _, t := range a.targetsAt(m, cf) {
+					if !t.IsSynchronized() {
+						continue
+					}
+					var acq []lockSym
+					if t.IsStatic() {
+						acq = []lockSym{{kind: 1, class: t.Class.Name}}
+					} else if len(cf.args) > 0 {
+						acq = a.resolveLockVal(ctx, m, cf.args[0])
+					}
+					emit(held, acq, ctx, m, cf.pc)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// deadlocks finds cross-context cycles and fills the report.
+func (a *analyzer) deadlocks(report *Report) {
+	edges := a.collectEdges()
+	if len(edges) == 0 {
+		return
+	}
+
+	// Index the lock symbols.
+	var syms []lockSym
+	idx := map[lockSym]int{}
+	intern := func(s lockSym) int {
+		if i, ok := idx[s]; ok {
+			return i
+		}
+		idx[s] = len(syms)
+		syms = append(syms, s)
+		return len(syms) - 1
+	}
+	adj := map[int][]int{}
+	for _, e := range edges {
+		f, t := intern(e.from), intern(e.to)
+		adj[f] = append(adj[f], t)
+	}
+
+	comp := scc(len(syms), adj)
+	// Group symbols per component.
+	groups := map[int][]int{}
+	for v, c := range comp {
+		groups[c] = append(groups[c], v)
+	}
+	cids := make([]int, 0, len(groups))
+	for c, vs := range groups {
+		if len(vs) >= 2 {
+			cids = append(cids, c)
+		}
+	}
+	sort.Ints(cids)
+
+	for _, c := range cids {
+		var cycleEdges []lockEdge
+		ctxs := map[int]bool{}
+		multi := false
+		for _, e := range edges {
+			if comp[idx[e.from]] == c && comp[idx[e.to]] == c {
+				cycleEdges = append(cycleEdges, e)
+				ctxs[e.ctx] = true
+				if e.ctx > 0 && a.threads[e.ctx-1].multi {
+					multi = true
+				}
+			}
+		}
+		// A cycle needs two parties: distinct contexts, or one thread
+		// context with multiple dynamic instances.
+		if len(ctxs) < 2 && !multi {
+			continue
+		}
+		d := Deadlock{}
+		for _, v := range groups[c] {
+			d.Locks = append(d.Locks, a.lockName(syms[v]))
+		}
+		sort.Strings(d.Locks)
+		seen := map[LockEdge]bool{}
+		for _, e := range cycleEdges {
+			le := LockEdge{
+				From:   a.lockName(e.from),
+				To:     a.lockName(e.to),
+				Method: a.byID[e.mid].FullName(),
+				PC:     e.pc,
+				Thread: a.threadName(e.ctx),
+			}
+			if !seen[le] {
+				seen[le] = true
+				d.Edges = append(d.Edges, le)
+			}
+		}
+		sort.Slice(d.Edges, func(i, j int) bool {
+			x, y := d.Edges[i], d.Edges[j]
+			if x.From != y.From {
+				return x.From < y.From
+			}
+			if x.To != y.To {
+				return x.To < y.To
+			}
+			if x.Method != y.Method {
+				return x.Method < y.Method
+			}
+			if x.PC != y.PC {
+				return x.PC < y.PC
+			}
+			return x.Thread < y.Thread
+		})
+		report.Deadlocks = append(report.Deadlocks, d)
+	}
+}
+
+// scc is Tarjan's algorithm (iterative), returning a component id per
+// vertex; ids are deterministic for a fixed graph.
+func scc(n int, adj map[int][]int) []int {
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next, ncomp := 0, 0
+
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		work := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}

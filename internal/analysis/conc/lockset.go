@@ -1,0 +1,356 @@
+package conc
+
+import (
+	"fmt"
+	"sort"
+
+	"jrs/internal/analysis"
+	"jrs/internal/analysis/ipa"
+	"jrs/internal/bytecode"
+)
+
+// Must-lockset analysis. A lock symbol names a runtime monitor the
+// analysis can prove unique: a class object (always one per class) or
+// an allocation site that executes at most once (allocated by the
+// run-once main outside any loop). The intraprocedural layer is a
+// symbolic monitor-stack dataflow via analysis.Solve, mirroring the
+// monitor-balance pass; the interprocedural layer intersects held
+// locks over all call edges within one context (must-hold), rooted at
+// the thread entries with the empty set.
+
+type lockSym struct {
+	// kind: 0 = unique allocation site, 1 = class object.
+	kind  uint8
+	site  ipa.Site
+	class string
+}
+
+func lockSymLess(x, y lockSym) bool {
+	if x.kind != y.kind {
+		return x.kind < y.kind
+	}
+	if x.kind == 1 {
+		return x.class < y.class
+	}
+	if x.site.Method != y.site.Method {
+		return x.site.Method < y.site.Method
+	}
+	return x.site.PC < y.site.PC
+}
+
+// lockName renders a symbol for reports.
+func (a *analyzer) lockName(s lockSym) string {
+	if s.kind == 1 {
+		return "class:" + s.class
+	}
+	m := a.byID[s.site.Method]
+	name := "?"
+	if m != nil {
+		name = m.FullName()
+	}
+	return fmt.Sprintf("alloc:%s@%d", name, s.site.PC)
+}
+
+// lockSet is a sorted set of lock symbols; top is the must-analysis ⊤
+// (uninitialized: intersecting with anything yields the other side).
+type lockSet struct {
+	top  bool
+	syms []lockSym
+}
+
+var lockTop = lockSet{top: true}
+
+func lockUnion(a, b lockSet) lockSet {
+	// top never participates in unions (callers strip it first).
+	out := lockSet{}
+	out.syms = append(append([]lockSym(nil), a.syms...), b.syms...)
+	sort.Slice(out.syms, func(i, j int) bool { return lockSymLess(out.syms[i], out.syms[j]) })
+	w := 0
+	for i, s := range out.syms {
+		if i == 0 || s != out.syms[w-1] {
+			out.syms[w] = s
+			w++
+		}
+	}
+	out.syms = out.syms[:w]
+	return out
+}
+
+func lockIntersect(a, b lockSet) lockSet {
+	if a.top {
+		return b
+	}
+	if b.top {
+		return a
+	}
+	out := lockSet{}
+	i, j := 0, 0
+	for i < len(a.syms) && j < len(b.syms) {
+		switch {
+		case a.syms[i] == b.syms[j]:
+			out.syms = append(out.syms, a.syms[i])
+			i++
+			j++
+		case lockSymLess(a.syms[i], b.syms[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func lockEqual(a, b lockSet) bool {
+	if a.top != b.top || len(a.syms) != len(b.syms) {
+		return false
+	}
+	for i := range a.syms {
+		if a.syms[i] != b.syms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lockDisjoint(a, b lockSet) bool {
+	got := lockIntersect(notTop(a), notTop(b))
+	return len(got.syms) == 0
+}
+
+// notTop degrades an unresolved entry set to the empty set: claiming
+// no locks is the sound direction for race detection.
+func notTop(s lockSet) lockSet {
+	if s.top {
+		return lockSet{}
+	}
+	return s
+}
+
+// uniqueSite reports whether the allocation site executes at most once
+// per program run: it sits in a run-once main root, outside any loop.
+func (a *analyzer) uniqueSite(s ipa.Site) bool {
+	m := a.byID[s.Method]
+	if m == nil {
+		return false
+	}
+	return a.mainRoots[m.ID] && !a.calledFrom[m.ID] &&
+		a.ownersExactly(m.ID, 0) && !a.siteInLoop(m.ID, s.PC)
+}
+
+// resolveLockVal maps a monitor operand to its unique lock symbol, or
+// none when the operand is not provably one unique object.
+func (a *analyzer) resolveLockVal(ctx int, m *bytecode.Method, v absVal) []lockSym {
+	s := a.globalize(ctx, m, v)
+	if s.unknown || len(s.sites) != 1 {
+		return nil
+	}
+	site := s.sites[0]
+	if !a.uniqueSite(site) {
+		return nil
+	}
+	return []lockSym{{kind: 0, site: site}}
+}
+
+// syncSyms returns the lock a synchronized method holds for its whole
+// body under one context.
+func (a *analyzer) syncSyms(ctx int, m *bytecode.Method) []lockSym {
+	if !m.IsSynchronized() {
+		return nil
+	}
+	if m.IsStatic() {
+		return []lockSym{{kind: 1, class: m.Class.Name}}
+	}
+	return a.resolveLockVal(ctx, m, val(cParam, 0))
+}
+
+// ---------------------------------------------------------------------
+// Intraprocedural monitor-stack flow.
+
+// lockStack is the symbolic monitor stack: the pcs of the MonitorEnter
+// instructions whose locks are currently held (-1 for merged/unknown).
+type lockStack struct {
+	pcs []int
+}
+
+type lockFlow struct{}
+
+func (lockFlow) Entry(*analysis.Graph) lockStack { return lockStack{} }
+
+func (lockFlow) Transfer(g *analysis.Graph, b *analysis.Block, in lockStack) (lockStack, error) {
+	pcs := append([]int(nil), in.pcs...)
+	for pc := b.Start; pc < b.End; pc++ {
+		switch g.M.Code[pc].Op {
+		case bytecode.MonitorEnter:
+			pcs = append(pcs, pc)
+		case bytecode.MonitorExit:
+			if len(pcs) == 0 {
+				return lockStack{}, fmt.Errorf("%s @%d: monitor underflow", g.M.FullName(), pc)
+			}
+			pcs = pcs[:len(pcs)-1]
+		}
+	}
+	return lockStack{pcs: pcs}, nil
+}
+
+func (lockFlow) Join(g *analysis.Graph, b *analysis.Block, have, incoming lockStack) (lockStack, bool, error) {
+	if len(have.pcs) != len(incoming.pcs) {
+		return lockStack{}, false, fmt.Errorf("%s: monitor depth mismatch at block %d", g.M.FullName(), b.Index)
+	}
+	changed := false
+	out := append([]int(nil), have.pcs...)
+	for i := range out {
+		if out[i] != incoming.pcs[i] && out[i] != -1 {
+			out[i] = -1
+			changed = true
+		}
+	}
+	return lockStack{pcs: out}, changed, nil
+}
+
+// solveLocks runs the intraprocedural stacks and the interprocedural
+// entry-lock intersection fixpoint.
+func (a *analyzer) solveLocks() {
+	for _, m := range a.methods {
+		g := a.graphs[m.ID]
+		f := a.facts[m.ID]
+		if g == nil || f.noFlow {
+			continue
+		}
+		entries, err := analysis.Solve[lockStack](g, lockFlow{})
+		if err != nil {
+			continue
+		}
+		per := make([][]int, len(m.Code))
+		bad := false
+		for bi, b := range g.Blocks {
+			if !g.Reachable(bi) {
+				continue
+			}
+			cur := entries[bi].pcs
+			for pc := b.Start; pc < b.End; pc++ {
+				per[pc] = cur
+				switch m.Code[pc].Op {
+				case bytecode.MonitorEnter:
+					cur = append(append([]int(nil), cur...), pc)
+				case bytecode.MonitorExit:
+					if len(cur) == 0 {
+						bad = true
+					} else {
+						cur = cur[:len(cur)-1]
+					}
+				}
+			}
+		}
+		if !bad {
+			a.lockStacks[m.ID] = per
+		}
+	}
+
+	// Entry locks: roots hold nothing; every other (ctx, method)
+	// instance starts at ⊤ and intersects the held sets over all
+	// in-context call edges.
+	for _, m := range a.methods {
+		for _, ctx := range a.ownersOf(m.ID) {
+			key := ctxMethod{ctx, m.ID}
+			if a.isRootInstance(ctx, m) {
+				a.entryLocks[key] = lockSet{}
+			} else {
+				a.entryLocks[key] = lockTop
+			}
+		}
+	}
+	for {
+		changed := false
+		for _, m := range a.methods {
+			f := a.facts[m.ID]
+			for _, ctx := range a.ownersOf(m.ID) {
+				cur := a.entryLocks[ctxMethod{ctx, m.ID}]
+				if cur.top {
+					continue
+				}
+				base := lockUnion(cur, lockSet{syms: a.syncSyms(ctx, m)})
+				for i := range f.calls {
+					cf := &f.calls[i]
+					if cf.sys {
+						continue
+					}
+					held := lockUnion(base, a.intraSyms(ctx, m, cf.pc))
+					for _, t := range a.targetsAt(m, cf) {
+						tk := ctxMethod{ctx, t.ID}
+						if _, ok := a.entryLocks[tk]; !ok {
+							continue
+						}
+						nv := lockIntersect(a.entryLocks[tk], held)
+						if !lockEqual(nv, a.entryLocks[tk]) {
+							a.entryLocks[tk] = nv
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// isRootInstance reports whether (ctx, m) is an entry the scheduler
+// invokes directly: a main root in the main context, or a run() entry
+// of the context's thread.
+func (a *analyzer) isRootInstance(ctx int, m *bytecode.Method) bool {
+	if ctx == 0 {
+		return a.mainRoots[m.ID]
+	}
+	if !a.runMethods[m.ID] {
+		return false
+	}
+	t := a.threads[ctx-1]
+	for c := range t.recvClasses {
+		if rm := runOf(c); rm != nil && rm.ID == m.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// intraSyms resolves the locks held at pc by enclosing MonitorEnters
+// within the same body.
+func (a *analyzer) intraSyms(ctx int, m *bytecode.Method, pc int) lockSet {
+	per := a.lockStacks[m.ID]
+	if per == nil || pc >= len(per) {
+		return lockSet{}
+	}
+	f := a.facts[m.ID]
+	out := lockSet{}
+	for _, epc := range per[pc] {
+		if epc < 0 {
+			continue
+		}
+		if v, ok := f.monOps[epc]; ok {
+			out = lockUnion(out, lockSet{syms: a.resolveLockVal(ctx, m, v)})
+		}
+	}
+	return out
+}
+
+// locksAt is the full must-lockset of an access instance.
+func (a *analyzer) locksAt(ctx int, m *bytecode.Method, pc int) lockSet {
+	base := notTop(a.entryLocks[ctxMethod{ctx, m.ID}])
+	base = lockUnion(base, lockSet{syms: a.syncSyms(ctx, m)})
+	return lockUnion(base, a.intraSyms(ctx, m, pc))
+}
+
+// lockNames renders a lock set for reports. An empty set renders as nil
+// so reports survive a JSON round trip (omitempty drops empty sets).
+func (a *analyzer) lockNames(s lockSet) []string {
+	if len(s.syms) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(s.syms))
+	for _, sym := range s.syms {
+		out = append(out, a.lockName(sym))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,308 @@
+package conc
+
+import (
+	"fmt"
+	"sort"
+
+	"jrs/internal/bytecode"
+)
+
+// Oracle is the dynamic happens-before race detector (vm.RaceHook). It
+// maintains FastTrack-style vector clocks — per thread, per lock, and
+// final clocks of exited threads — with happens-before edges from
+// monitor release→acquire, Sys.spawn, and Sys.join, plus per-address
+// shadow words (last write epoch, last read epoch per thread). A pair
+// of accesses to one address, at least one a write, unordered by
+// happens-before, is a dynamic race. Races are recorded (never fatal)
+// and attributed to the same abstract location keys the static report
+// uses, so the harness can check the subsumption invariant:
+// every dynamic race location must appear in conc.Analyze's report.
+type Oracle struct {
+	cur    int
+	clocks map[int]vclock
+	locks  map[uint64]vclock
+	finals map[int]vclock
+	shadow map[uint64]*shadowWord
+
+	objs    []heapObj
+	statics []staticRange
+
+	races []DynRace
+	seen  map[locKey]bool
+}
+
+// DynRace is one dynamically observed race, keyed like a static Race.
+type DynRace struct {
+	Kind  string `json:"kind"`
+	Class string `json:"class,omitempty"`
+	Field string `json:"field,omitempty"`
+	Elem  string `json:"elem,omitempty"`
+	// Addr is the concrete racing address; First and Second are the
+	// thread ids of the unordered accesses (Second performed the later
+	// one; Write reports whether it was a write).
+	Addr   uint64 `json:"addr"`
+	First  int    `json:"first"`
+	Second int    `json:"second"`
+	Write  bool   `json:"write"`
+}
+
+// Location renders the abstract location, matching Race.Location.
+func (d DynRace) Location() string {
+	if d.Kind == "array" {
+		return d.Elem + "[] elements"
+	}
+	s := d.Class + "." + d.Field
+	if d.Kind == "static" {
+		s += " (static)"
+	}
+	return s
+}
+
+// String renders the dynamic race on one line.
+func (d DynRace) String() string {
+	return fmt.Sprintf("dynamic race on %s @0x%x: threads %d/%d", d.Location(), d.Addr, d.First, d.Second)
+}
+
+type vclock map[int]uint64
+
+func (c vclock) copy() vclock {
+	out := make(vclock, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+func (c vclock) joinFrom(o vclock) {
+	for k, v := range o {
+		if v > c[k] {
+			c[k] = v
+		}
+	}
+}
+
+type shadowWord struct {
+	writeT int
+	writeC uint64
+	reads  map[int]uint64
+}
+
+type heapObj struct {
+	base, body, end uint64
+	cls             *bytecode.Class
+	kind            int
+	intern          bool
+}
+
+type staticRange struct {
+	base, end uint64
+	cls       *bytecode.Class
+}
+
+// NewOracle returns an empty detector.
+func NewOracle() *Oracle {
+	return &Oracle{
+		clocks: map[int]vclock{},
+		locks:  map[uint64]vclock{},
+		finals: map[int]vclock{},
+		shadow: map[uint64]*shadowWord{},
+		seen:   map[locKey]bool{},
+	}
+}
+
+// Races returns the deduplicated dynamic races observed so far.
+func (o *Oracle) Races() []DynRace { return o.races }
+
+func (o *Oracle) clockOf(tid int) vclock {
+	c := o.clocks[tid]
+	if c == nil {
+		c = vclock{tid: 1}
+		o.clocks[tid] = c
+	}
+	return c
+}
+
+// SetThread switches the current thread (called at slice boundaries).
+func (o *Oracle) SetThread(tid int) {
+	o.cur = tid
+	o.clockOf(tid)
+}
+
+// OnClasses records the static field areas for address attribution.
+func (o *Oracle) OnClasses(classes []*bytecode.Class) {
+	for _, c := range classes {
+		if len(c.Statics) == 0 {
+			continue
+		}
+		o.statics = append(o.statics, staticRange{
+			base: c.StaticBase,
+			end:  c.StaticBase + uint64(len(c.Statics))*8,
+			cls:  c,
+		})
+	}
+	sort.Slice(o.statics, func(i, j int) bool { return o.statics[i].base < o.statics[j].base })
+}
+
+// OnAlloc records a heap object; the bump allocator is monotonic so
+// appends keep objs sorted by base.
+func (o *Oracle) OnAlloc(base, body, end uint64, cls *bytecode.Class, kind int) {
+	o.objs = append(o.objs, heapObj{base: base, body: body, end: end, cls: cls, kind: kind})
+}
+
+// OnIntern marks an interned string literal: loader-materialized,
+// logically immutable, excluded from the census (reads via the print
+// intrinsics would otherwise show up as cross-thread accesses).
+func (o *Oracle) OnIntern(base uint64) {
+	for i := len(o.objs) - 1; i >= 0; i-- {
+		if o.objs[i].base == base {
+			o.objs[i].intern = true
+			return
+		}
+	}
+}
+
+// OnAcquire joins the lock's clock into the acquirer (release→acquire
+// happens-before edge).
+func (o *Oracle) OnAcquire(tid int, obj uint64) {
+	if l := o.locks[obj]; l != nil {
+		o.clockOf(tid).joinFrom(l)
+	}
+}
+
+// OnRelease publishes the releaser's clock on the lock and advances it.
+func (o *Oracle) OnRelease(tid int, obj uint64) {
+	c := o.clockOf(tid)
+	o.locks[obj] = c.copy()
+	c[tid]++
+}
+
+// OnSpawn orders the parent's past before the child's start.
+func (o *Oracle) OnSpawn(parent, child int) {
+	p := o.clockOf(parent)
+	c := p.copy()
+	c[child] = c[child] + 1
+	o.clocks[child] = c
+	p[parent]++
+}
+
+// OnThreadExit snapshots the final clock joiners will inherit.
+func (o *Oracle) OnThreadExit(tid int) {
+	o.finals[tid] = o.clockOf(tid).copy()
+}
+
+// OnJoined orders the joined thread's whole execution before the
+// waiter's continuation.
+func (o *Oracle) OnJoined(waiter, done int) {
+	if f := o.finals[done]; f != nil {
+		o.clockOf(waiter).joinFrom(f)
+	}
+}
+
+// OnAccess is wired as mem.Memory.Watch: every functional load/store
+// of the simulated data space lands here.
+func (o *Oracle) OnAccess(addr uint64, write bool) {
+	t := o.cur
+	if t == 0 {
+		return // VM-internal phase (loading, precompile): no thread
+	}
+	key, ok := o.classify(addr)
+	if !ok {
+		return
+	}
+	c := o.clockOf(t)
+	sh := o.shadow[addr]
+	if sh == nil {
+		sh = &shadowWord{reads: map[int]uint64{}}
+		o.shadow[addr] = sh
+	}
+	hb := func(u int, uc uint64) bool { return u == t || uc <= c[u] }
+	if write {
+		if sh.writeT != 0 && !hb(sh.writeT, sh.writeC) {
+			o.record(key, addr, sh.writeT, t, true)
+		}
+		for rt, rc := range sh.reads {
+			if !hb(rt, rc) {
+				o.record(key, addr, rt, t, true)
+			}
+		}
+		sh.writeT, sh.writeC = t, c[t]
+		sh.reads = map[int]uint64{}
+	} else {
+		if sh.writeT != 0 && !hb(sh.writeT, sh.writeC) {
+			o.record(key, addr, sh.writeT, t, false)
+		}
+		sh.reads[t] = c[t]
+	}
+}
+
+func (o *Oracle) record(key locKey, addr uint64, first, second int, write bool) {
+	if o.seen[key] {
+		return
+	}
+	o.seen[key] = true
+	o.races = append(o.races, DynRace{
+		Kind:   key.kind,
+		Class:  key.class,
+		Field:  key.field,
+		Elem:   key.elem,
+		Addr:   addr,
+		First:  first,
+		Second: second,
+		Write:  write,
+	})
+}
+
+// classify attributes an address to an abstract location; headers,
+// interned strings, and non-heap non-static segments are not census
+// material.
+func (o *Oracle) classify(addr uint64) (locKey, bool) {
+	// Heap: binary search for the covering object.
+	if n := len(o.objs); n > 0 && addr >= o.objs[0].base && addr < o.objs[n-1].end {
+		i := sort.Search(n, func(i int) bool { return o.objs[i].base > addr }) - 1
+		if i >= 0 {
+			obj := &o.objs[i]
+			if addr >= obj.body && addr < obj.end && !obj.intern {
+				if obj.cls != nil {
+					slot := int((addr - obj.body) / 8)
+					if slot < len(obj.cls.AllFields) {
+						decl := declaringOf(obj.cls, slot)
+						return locKey{
+							kind:  "field",
+							class: decl.Name,
+							field: obj.cls.AllFields[slot].Name,
+						}, true
+					}
+					return locKey{}, false
+				}
+				return locKey{kind: "array", elem: ElemName(obj.kind)}, true
+			}
+		}
+		return locKey{}, false
+	}
+	// Statics.
+	for i := range o.statics {
+		r := &o.statics[i]
+		if addr >= r.base && addr < r.end {
+			slot := int((addr - r.base) / 8)
+			return locKey{kind: "static", class: r.cls.Name, field: r.cls.Statics[slot].Name}, true
+		}
+	}
+	return locKey{}, false
+}
+
+// Subsumes checks the differential invariant: every dynamic race
+// location appears among the static races. It returns the dynamic
+// races with no static counterpart.
+func Subsumes(static *Report, dynamic []DynRace) []DynRace {
+	keys := map[string]bool{}
+	for i := range static.Races {
+		keys[static.Races[i].Location()] = true
+	}
+	var missing []DynRace
+	for _, d := range dynamic {
+		if !keys[d.Location()] {
+			missing = append(missing, d)
+		}
+	}
+	return missing
+}

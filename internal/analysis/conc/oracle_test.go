@@ -1,0 +1,224 @@
+package conc
+
+import (
+	"testing"
+
+	"jrs/internal/bytecode"
+)
+
+// allocObj registers one heap object of class cls at base (two header
+// words, like vm.AllocObject's layout).
+func allocObj(o *Oracle, base uint64, cls *bytecode.Class) (body uint64) {
+	body = base + 16
+	end := body + uint64(len(cls.AllFields))*8
+	o.OnAlloc(base, body, end, cls, 0)
+	return body
+}
+
+func classC() *bytecode.Class {
+	return &bytecode.Class{Name: "C", AllFields: []bytecode.Field{{Name: "x"}, {Name: "y"}}}
+}
+
+// TestOracleUnorderedAccessesRace: two threads touching one field with
+// no happens-before edge is a race, reported once per abstract location
+// no matter how often it re-fires.
+func TestOracleUnorderedAccessesRace(t *testing.T) {
+	o := NewOracle()
+	body := allocObj(o, 0x1000, classC())
+
+	o.SetThread(1)
+	o.OnAccess(body, true)
+	o.SetThread(2)
+	o.OnAccess(body, false)
+	o.OnAccess(body, true)
+	o.SetThread(1)
+	o.OnAccess(body, true)
+
+	races := o.Races()
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want exactly 1 (deduplicated per location)", races)
+	}
+	d := races[0]
+	if d.Location() != "C.x" || d.Kind != "field" {
+		t.Errorf("race = %+v, want field C.x", d)
+	}
+	if d.Addr != body {
+		t.Errorf("race addr = %#x, want %#x", d.Addr, body)
+	}
+}
+
+// TestOracleLockOrdering: release→acquire edges order critical sections,
+// so lock-protected sharing is race-free; dropping the edge revives the
+// race.
+func TestOracleLockOrdering(t *testing.T) {
+	o := NewOracle()
+	c := classC()
+	body := allocObj(o, 0x1000, c)
+	const lock = 0x9000
+
+	o.SetThread(1)
+	o.OnAcquire(1, lock)
+	o.OnAccess(body, true)
+	o.OnRelease(1, lock)
+
+	o.SetThread(2)
+	o.OnAcquire(2, lock)
+	o.OnAccess(body, true)
+	o.OnRelease(2, lock)
+
+	if races := o.Races(); len(races) != 0 {
+		t.Fatalf("locked accesses raced: %v", races)
+	}
+
+	// A third thread skipping the lock races with thread 2's write.
+	o.SetThread(3)
+	o.OnAccess(body, false)
+	if races := o.Races(); len(races) != 1 || races[0].Location() != "C.x" {
+		t.Fatalf("unlocked read should race: %v", races)
+	}
+}
+
+// TestOracleSpawnJoinEdges: a spawn orders the parent's past before the
+// child; a join (after exit) orders the child's whole execution before
+// the waiter's continuation.
+func TestOracleSpawnJoinEdges(t *testing.T) {
+	o := NewOracle()
+	body := allocObj(o, 0x1000, classC())
+
+	o.SetThread(1)
+	o.OnAccess(body, true) // parent init write
+	o.OnSpawn(1, 2)
+
+	o.SetThread(2)
+	o.OnAccess(body, true) // child sees the init via the spawn edge
+	o.OnThreadExit(2)
+
+	o.SetThread(1)
+	o.OnJoined(1, 2)
+	o.OnAccess(body, false) // waiter sees the child's write via the join
+
+	if races := o.Races(); len(races) != 0 {
+		t.Fatalf("spawn/join ordered accesses raced: %v", races)
+	}
+}
+
+// TestOracleJoinWithoutExitNoEdge: joining a thread whose final clock
+// was never snapshotted (no OnThreadExit) must not invent an ordering.
+func TestOracleJoinWithoutExitNoEdge(t *testing.T) {
+	o := NewOracle()
+	body := allocObj(o, 0x1000, classC())
+
+	o.SetThread(2)
+	o.OnAccess(body, true)
+	o.SetThread(1)
+	o.OnJoined(1, 2) // no final clock recorded
+	o.OnAccess(body, false)
+
+	if races := o.Races(); len(races) != 1 {
+		t.Fatalf("races = %v, want 1 (join without exit is not an edge)", races)
+	}
+}
+
+// TestOracleSkipsHeadersInternsAndThreadZero: header words, interned
+// strings, unknown addresses and accesses outside any announced thread
+// are not census material.
+func TestOracleSkipsHeadersInternsAndThreadZero(t *testing.T) {
+	o := NewOracle()
+	c := classC()
+	body := allocObj(o, 0x1000, c)
+	o.OnAlloc(0x2000, 0x2018, 0x2020, nil, bytecode.KindChar)
+	o.OnIntern(0x2000)
+
+	// Thread 0 = VM-internal: ignored entirely.
+	o.SetThread(0)
+	o.OnAccess(body, true)
+
+	o.SetThread(1)
+	o.OnAccess(0x1000, true) // header word of the object
+	o.OnAccess(0x2018, true) // interned string body
+	o.OnAccess(0x7777, true) // no object at all
+	o.SetThread(2)
+	o.OnAccess(0x1000, true)
+	o.OnAccess(0x2018, false)
+	o.OnAccess(0x7777, false)
+
+	if races := o.Races(); len(races) != 0 {
+		t.Fatalf("non-census addresses raced: %v", races)
+	}
+}
+
+// TestOracleStaticAndArrayAttribution: statics attribute through the
+// class static area (slot-indexed), arrays pool per element kind.
+func TestOracleStaticAndArrayAttribution(t *testing.T) {
+	o := NewOracle()
+	sc := &bytecode.Class{Name: "G", Statics: []bytecode.Field{{Name: "a"}, {Name: "b"}},
+		StaticBase: 0x500}
+	o.OnClasses([]*bytecode.Class{sc})
+	o.OnAlloc(0x1000, 0x1018, 0x1038, nil, bytecode.KindInt)
+
+	o.SetThread(1)
+	o.OnAccess(0x508, true)  // G.b
+	o.OnAccess(0x1020, true) // int[] element 1
+	o.SetThread(2)
+	o.OnAccess(0x508, true)
+	o.OnAccess(0x1020, false)
+	o.OnAccess(0x1020, false) // second read must not re-report
+
+	races := o.Races()
+	if len(races) != 2 {
+		t.Fatalf("races = %v, want static G.b and int[] elements", races)
+	}
+	locs := map[string]bool{}
+	for _, d := range races {
+		locs[d.Location()] = true
+	}
+	if !locs["G.b (static)"] || !locs["int[] elements"] {
+		t.Errorf("race locations = %v, want G.b (static) and int[] elements", locs)
+	}
+}
+
+// TestOracleFieldDeclaringClass: a slot inherited from a superclass is
+// attributed to the declaring class, matching the static report's keys.
+func TestOracleFieldDeclaringClass(t *testing.T) {
+	super := &bytecode.Class{Name: "Base", AllFields: []bytecode.Field{{Name: "x"}}}
+	sub := &bytecode.Class{Name: "Sub", Super: super,
+		AllFields: []bytecode.Field{{Name: "x"}, {Name: "y"}}}
+	o := NewOracle()
+	body := allocObj(o, 0x1000, sub)
+
+	o.SetThread(1)
+	o.OnAccess(body, true) // slot 0: declared in Base
+	o.OnAccess(body+8, true)
+	o.SetThread(2)
+	o.OnAccess(body, true)
+	o.OnAccess(body+8, true)
+
+	locs := map[string]bool{}
+	for _, d := range o.Races() {
+		locs[d.Location()] = true
+	}
+	if !locs["Base.x"] || !locs["Sub.y"] {
+		t.Errorf("race locations = %v, want Base.x and Sub.y", locs)
+	}
+}
+
+// TestSubsumes: the differential returns exactly the dynamic races the
+// static report misses.
+func TestSubsumes(t *testing.T) {
+	static := &Report{Races: []Race{
+		{Kind: "field", Class: "C", Field: "x"},
+		{Kind: "array", Elem: "int"},
+	}}
+	dynamic := []DynRace{
+		{Kind: "field", Class: "C", Field: "x"},
+		{Kind: "array", Elem: "int"},
+		{Kind: "static", Class: "G", Field: "a"},
+	}
+	missing := Subsumes(static, dynamic)
+	if len(missing) != 1 || missing[0].Location() != "G.a (static)" {
+		t.Errorf("missing = %v, want just G.a (static)", missing)
+	}
+	if got := Subsumes(static, nil); len(got) != 0 {
+		t.Errorf("empty dynamic set: missing = %v, want none", got)
+	}
+}

@@ -103,6 +103,13 @@ type Result struct {
 	ElideCalls    map[Site]*bytecode.Method
 	ElideMonitors map[*bytecode.Method]bool
 
+	// ElideRecv maps each ElideCalls site to the receiver allocation
+	// site the proof rests on; ElideMonitorSites lists the allocation
+	// sites backing an ElideMonitors verdict. Downstream safety checks
+	// (the race analysis cross-check) key their vetoes on these sites.
+	ElideRecv         map[Site]Site
+	ElideMonitorSites map[*bytecode.Method][]Site
+
 	classes   []*bytecode.Class
 	byID      map[int]*bytecode.Method
 	byName    map[string]*bytecode.Class
@@ -113,20 +120,22 @@ type Result struct {
 // Analyze runs the whole pipeline over a loaded class set.
 func Analyze(classes []*bytecode.Class) *Result {
 	r := &Result{
-		Reachable:     map[*bytecode.Method]bool{},
-		Instantiated:  map[*bytecode.Class]bool{},
-		Targets:       map[Site][]*bytecode.Method{},
-		Devirt:        map[Site]*bytecode.Method{},
-		AllocClass:    map[Site]*bytecode.Class{},
-		Escaped:       map[Site]bool{},
-		ParamEscapes:  map[*bytecode.Method][]bool{},
-		Effects:       map[*bytecode.Method]Effect{},
-		ElideCalls:    map[Site]*bytecode.Method{},
-		ElideMonitors: map[*bytecode.Method]bool{},
-		classes:       classes,
-		byID:          map[int]*bytecode.Method{},
-		byName:        map[string]*bytecode.Class{},
-		facts:         map[*bytecode.Method]*methodFacts{},
+		Reachable:         map[*bytecode.Method]bool{},
+		Instantiated:      map[*bytecode.Class]bool{},
+		Targets:           map[Site][]*bytecode.Method{},
+		Devirt:            map[Site]*bytecode.Method{},
+		AllocClass:        map[Site]*bytecode.Class{},
+		Escaped:           map[Site]bool{},
+		ParamEscapes:      map[*bytecode.Method][]bool{},
+		Effects:           map[*bytecode.Method]Effect{},
+		ElideCalls:        map[Site]*bytecode.Method{},
+		ElideMonitors:     map[*bytecode.Method]bool{},
+		ElideRecv:         map[Site]Site{},
+		ElideMonitorSites: map[*bytecode.Method][]Site{},
+		classes:           classes,
+		byID:              map[int]*bytecode.Method{},
+		byName:            map[string]*bytecode.Class{},
+		facts:             map[*bytecode.Method]*methodFacts{},
 	}
 	for _, c := range classes {
 		r.byName[c.Name] = c
@@ -347,6 +356,7 @@ func (r *Result) decideElision() {
 				}
 				if t := cls.VTable[cf.callee.VIndex]; t.IsSynchronized() {
 					r.ElideCalls[Site{m.ID, cf.pc}] = t
+					r.ElideRecv[Site{m.ID, cf.pc}] = as
 				}
 			}
 			r.decideMonitorElision(m, f)
@@ -370,6 +380,7 @@ func (r *Result) decideMonitorElision(m *bytecode.Method, f *methodFacts) {
 	if len(f.monitors) != total {
 		return
 	}
+	var sites []Site
 	for _, v := range f.monitors {
 		if v.unknown || len(v.members) == 0 {
 			return
@@ -378,7 +389,9 @@ func (r *Result) decideMonitorElision(m *bytecode.Method, f *methodFacts) {
 			if mr.kind != rAlloc || r.Escaped[Site{m.ID, mr.id}] {
 				return
 			}
+			sites = append(sites, Site{m.ID, mr.id})
 		}
 	}
 	r.ElideMonitors[m] = true
+	r.ElideMonitorSites[m] = sites
 }

@@ -87,6 +87,16 @@ type Config struct {
 	// rewritten away, before internal/monitor sees any of it.
 	// Default off.
 	ElideLocks bool
+	// RaceHook, when non-nil, receives allocation, memory-access and
+	// synchronization events for dynamic race detection (jrs
+	// -checkraces). The engine announces thread switches and the
+	// spawn/join/exit happens-before edges; the VM delivers the rest.
+	RaceHook vm.RaceHook
+	// SchedSeed, when nonzero, perturbs each scheduler slice's quantum
+	// pseudo-randomly (deterministically per seed), exploring different
+	// interleavings of the same program. Zero keeps the fixed Quantum,
+	// so existing goldens are byte-stable.
+	SchedSeed uint64
 	// Cancel, when non-nil, is polled cooperatively on the
 	// instruction-budget path: once per scheduler slice by the engine,
 	// at slice entry by the interpreter and the native CPU, and at
@@ -137,6 +147,8 @@ type Engine struct {
 	elideLocks bool
 	prepared   bool
 	cancel     func() error
+	schedSeed  uint64
+	sliceCount uint64
 
 	ctxs []*threadCtx
 }
@@ -204,6 +216,10 @@ func New(cfg Config) *Engine {
 		devirt:     cfg.Devirt,
 		elideLocks: cfg.ElideLocks,
 		cancel:     cfg.Cancel,
+		schedSeed:  cfg.SchedSeed,
+	}
+	if cfg.RaceHook != nil {
+		v.SetRaceHook(cfg.RaceHook)
 	}
 	e.Interp = interp.New(v)
 	e.JIT = jit.New(v, cfg.JITOptions)
@@ -317,6 +333,9 @@ func (e *Engine) Run(entry *bytecode.Method) (err error) {
 // scheduler, and what keeps synchronized critical sections from being
 // preempted at every call boundary.
 func (e *Engine) runSlice(tc *threadCtx) {
+	if e.VM.Race != nil {
+		e.VM.Race.SetThread(tc.t.ID)
+	}
 	if tc.pending != nil {
 		p := tc.pending
 		tc.pending = nil
@@ -324,6 +343,8 @@ func (e *Engine) runSlice(tc *threadCtx) {
 			return // blocked again
 		}
 	}
+
+	q := e.sliceQuantum(tc.t.ID)
 
 	// The transition budget bounds trampoline work per slice so deep
 	// call chains still share the processor.
@@ -339,15 +360,36 @@ func (e *Engine) runSlice(tc *threadCtx) {
 		*fe.mark() = e.now()
 		var tr rt.Trap
 		if fe.iframe != nil {
-			tr = e.Interp.Run(tc.t, fe.iframe, e.Quantum)
+			tr = e.Interp.Run(tc.t, fe.iframe, q)
 		} else {
-			tr = e.CPU.Run(tc.t, fe.act, e.Quantum*8)
+			tr = e.CPU.Run(tc.t, fe.act, q*8)
 		}
 		e.handleTrap(tc, fe, tr)
 		if tr.Kind == rt.TrapNone || tr.Kind == rt.TrapYield {
 			return // quantum expired or voluntary yield
 		}
 	}
+}
+
+// sliceQuantum returns the bytecode budget of the next slice of thread
+// tid: the fixed Quantum, or (seeded) a deterministic pseudo-random
+// length in [1, Quantum] that varies per thread and slice, perturbing
+// preemption points to explore interleavings.
+func (e *Engine) sliceQuantum(tid int) int {
+	if e.schedSeed == 0 {
+		return e.Quantum
+	}
+	e.sliceCount++
+	h := splitmix64(e.schedSeed ^ uint64(tid)*0x9e3779b97f4a7c15 ^ e.sliceCount*0xd1342543de82ef95)
+	return 1 + int(h%uint64(e.Quantum))
+}
+
+// splitmix64 is the standard 64-bit finalizing mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // suspend charges elapsed self time to fe.
@@ -388,6 +430,9 @@ func (e *Engine) handleTrap(tc *threadCtx, fe *frameEntry, tr rt.Trap) {
 	case rt.TrapSpawn:
 		e.suspend(fe)
 		tid := e.spawn(uint64(tr.Args[0]))
+		if e.VM.Race != nil {
+			e.VM.Race.OnSpawn(tc.t.ID, tid)
+		}
 		e.deliver(fe, bytecode.TInt, int64(tid))
 
 	case rt.TrapJoin:
@@ -400,6 +445,10 @@ func (e *Engine) handleTrap(tc *threadCtx, fe *frameEntry, tr rt.Trap) {
 		if target.State != vm.ThreadDone {
 			tc.t.State = vm.ThreadJoining
 			tc.t.JoinOn = id
+		} else if e.VM.Race != nil {
+			// Joining an already-finished thread still orders its whole
+			// execution before the joiner's continuation.
+			e.VM.Race.OnJoined(tc.t.ID, id)
 		}
 
 	default:
@@ -531,6 +580,10 @@ func (e *Engine) deliver(fe *frameEntry, t bytecode.Type, val int64) {
 // finishThread marks tc done and wakes joiners.
 func (e *Engine) finishThread(tc *threadCtx) {
 	tc.t.State = vm.ThreadDone
+	if e.VM.Race != nil {
+		// Snapshot the final clock before any joiner inherits it.
+		e.VM.Race.OnThreadExit(tc.t.ID)
+	}
 	e.VM.WakeJoiners(tc.t.ID)
 }
 

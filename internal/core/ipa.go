@@ -22,6 +22,7 @@ package core
 // and footprint are unchanged.
 
 import (
+	"jrs/internal/analysis/conc"
 	"jrs/internal/analysis/ipa"
 	"jrs/internal/bytecode"
 )
@@ -57,10 +58,40 @@ func (e *Engine) prepare() {
 	alias := map[int]int{}
 
 	if e.elideLocks {
+		e.vetoRacyElisions(res)
 		e.applyElision(res, alias)
 	}
 	if e.devirt {
 		e.JIT.Opt.Facts = &ipaFacts{res: res, alias: alias}
+	}
+}
+
+// vetoRacyElisions consults the static race analysis before any lock is
+// elided: an elision whose receiver allocation site participates in a
+// reported race pair is withdrawn. Escape analysis already proves the
+// receivers thread-local — so on a correct analysis pair this never
+// fires — but the cross-check means a soundness bug in one analysis
+// cannot silently remove a lock that real races depend on.
+func (e *Engine) vetoRacyElisions(res *ipa.Result) {
+	if len(res.ElideCalls) == 0 && len(res.ElideMonitors) == 0 {
+		return
+	}
+	racy := conc.Analyze(e.VM.ClassList, res).RacySites()
+	if len(racy) == 0 {
+		return
+	}
+	for site, as := range res.ElideRecv {
+		if racy[as] {
+			delete(res.ElideCalls, site)
+		}
+	}
+	for m, sites := range res.ElideMonitorSites {
+		for _, as := range sites {
+			if racy[as] {
+				delete(res.ElideMonitors, m)
+				break
+			}
+		}
 	}
 }
 

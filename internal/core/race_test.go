@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/minijava"
+)
+
+// joinRecorder is a minimal RaceHook that records the spawn/join
+// happens-before edges the engine announces (everything else ignored),
+// so tests can pin TrapJoin and WakeJoiners behavior exactly.
+type joinRecorder struct {
+	events []string
+}
+
+func (r *joinRecorder) SetThread(int)                                    {}
+func (r *joinRecorder) OnClasses([]*bytecode.Class)                      {}
+func (r *joinRecorder) OnAlloc(_, _, _ uint64, _ *bytecode.Class, _ int) {}
+func (r *joinRecorder) OnIntern(uint64)                                  {}
+func (r *joinRecorder) OnAccess(uint64, bool)                            {}
+func (r *joinRecorder) OnAcquire(int, uint64)                            {}
+func (r *joinRecorder) OnRelease(int, uint64)                            {}
+func (r *joinRecorder) OnThreadExit(int)                                 {}
+func (r *joinRecorder) OnSpawn(parent, child int) {
+	r.events = append(r.events, fmt.Sprintf("spawn %d->%d", parent, child))
+}
+func (r *joinRecorder) OnJoined(waiter, done int) {
+	r.events = append(r.events, fmt.Sprintf("join %d<-%d", waiter, done))
+}
+
+// runMJRace compiles and runs src with the recorder attached, returning
+// the recorder, the output and the run error.
+func runMJRace(t *testing.T, src string, cfg Config) (*joinRecorder, string, error) {
+	t.Helper()
+	classes, err := minijava.Compile("t.mj", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rec := &joinRecorder{}
+	cfg.RaceHook = rec
+	e := New(cfg)
+	if err := e.VM.Load(classes); err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.VM.LookupMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := e.Run(m)
+	return rec, e.VM.Out.String(), runErr
+}
+
+// TestJoinFinishedThread: the second join on an already-done thread must
+// not block and must still announce the happens-before edge (the
+// TrapJoin fast path), so a join is an ordering point no matter when the
+// target finished.
+func TestJoinFinishedThread(t *testing.T) {
+	src := `
+class Work {
+	int n;
+	Work(int k) { n = k; }
+	void run() { n = n * 2; }
+}
+class Main {
+	static void main() {
+		Work w = new Work(21);
+		int a = Sys.spawn(w);
+		Sys.join(a);
+		Sys.join(a);
+		Sys.printi(w.n);
+		Sys.printc(10);
+	}
+}`
+	rec, out, err := runMJRace(t, src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "42\n" {
+		t.Errorf("output = %q, want 42", out)
+	}
+	joins := 0
+	for _, ev := range rec.events {
+		if strings.HasPrefix(ev, "join 1<-2") {
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Errorf("join edges = %v, want the edge 1<-2 twice (blocking join, then finished-thread join)", rec.events)
+	}
+}
+
+// TestJoinUnknownThread: joining a never-spawned id is an error, not a
+// hang.
+func TestJoinUnknownThread(t *testing.T) {
+	src := `
+class Main {
+	static void main() { Sys.join(99); }
+}`
+	_, _, err := runMJRace(t, src, Config{})
+	if err == nil || !strings.Contains(err.Error(), "join on unknown thread 99") {
+		t.Errorf("err = %v, want join-on-unknown-thread", err)
+	}
+}
+
+// TestMultipleJoinersWakeOrder: several threads joining one id must all
+// wake when it finishes, in thread-creation order, deterministically
+// (WakeJoiners's contract — the dynamic race oracle depends on the edge
+// order being stable).
+func TestMultipleJoinersWakeOrder(t *testing.T) {
+	src := `
+class Work {
+	int n;
+	int out;
+	Work(int k) { n = k; }
+	void run() {
+		int s = 0;
+		for (int i = 0; i < n; i = i + 1) { s = s ^ (s * 31 + i); }
+		out = s;
+	}
+}
+class Waiter {
+	int target;
+	Waiter(int t) { target = t; }
+	void run() { Sys.join(target); }
+}
+class Main {
+	static void main() {
+		Work w = new Work(50000);
+		int a = Sys.spawn(w);
+		Waiter u = new Waiter(a);
+		Waiter v = new Waiter(a);
+		int b = Sys.spawn(u);
+		int c = Sys.spawn(v);
+		Sys.join(b);
+		Sys.join(c);
+		Sys.printi(w.out);
+		Sys.printc(10);
+	}
+}`
+	want := []string{"join 3<-2", "join 4<-2"}
+	var first []string
+	for round := 0; round < 2; round++ {
+		rec, _, err := runMJRace(t, src, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var onWork []string
+		for _, ev := range rec.events {
+			if strings.HasSuffix(ev, "<-2") {
+				onWork = append(onWork, ev)
+			}
+		}
+		if len(onWork) != 2 || onWork[0] != want[0] || onWork[1] != want[1] {
+			t.Fatalf("round %d: join edges on the worker = %v, want %v (creation order)", round, onWork, want)
+		}
+		if round == 0 {
+			first = rec.events
+		} else if strings.Join(first, ",") != strings.Join(rec.events, ",") {
+			t.Errorf("edge sequence not deterministic:\n%v\nvs\n%v", first, rec.events)
+		}
+	}
+}
+
+// TestRuntimeDeadlockDetected: with a tiny quantum the lock-order
+// inversion interleaves into a real deadlock, which the scheduler
+// reports instead of spinning — the dynamic endpoint of the static
+// lock-order cycle the conc analysis predicts for this shape.
+func TestRuntimeDeadlockDetected(t *testing.T) {
+	src := `
+class Lock { int v; }
+class Left {
+	Lock a; Lock b;
+	Left(Lock x, Lock y) { a = x; b = y; }
+	void run() { sync (a) { sync (b) { a.v = a.v + 1; } } }
+}
+class Right {
+	Lock a; Lock b;
+	Right(Lock x, Lock y) { a = x; b = y; }
+	void run() { sync (b) { sync (a) { a.v = a.v + 1; } } }
+}
+class Main {
+	static void main() {
+		Lock p = new Lock();
+		Lock q = new Lock();
+		Left l = new Left(p, q);
+		Right r = new Right(p, q);
+		int u = Sys.spawn(l);
+		int w = Sys.spawn(r);
+		Sys.join(u);
+		Sys.join(w);
+	}
+}`
+	_, _, err := runMJRace(t, src, Config{Quantum: 1, Policy: InterpretOnly{}})
+	if err == nil || !strings.Contains(err.Error(), "deadlock: no runnable threads") {
+		t.Errorf("err = %v, want the deadlock diagnosis (quantum 1 forces the inversion)", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"jrs/internal/analysis/conc"
 	"jrs/internal/analysis/ipa"
 	"jrs/internal/bytecode"
 	"jrs/internal/vm"
@@ -40,6 +41,9 @@ type AnalyzeRow struct {
 	ElideCalls    []AnalyzeSite   `json:"elideCalls"`
 	ElideMonitors []string        `json:"elideMonitors"`
 	Effects       []AnalyzeEffect `json:"effects"`
+	// Concurrency is the static race/deadlock census, present only when
+	// the races pass is enabled (jrs analyze -races).
+	Concurrency *conc.Report `json:"concurrency,omitempty"`
 }
 
 // AnalyzeResult is the `jrs analyze` report over a set of programs.
@@ -49,7 +53,7 @@ type AnalyzeResult struct {
 
 // analyzeClasses links the program and runs the interprocedural
 // analysis, flattening the fact maps into the deterministic row form.
-func analyzeClasses(name string, classes []*bytecode.Class) (AnalyzeRow, error) {
+func analyzeClasses(name string, classes []*bytecode.Class, races bool) (AnalyzeRow, error) {
 	v := vm.New(nil, nil)
 	if err := v.Load(classes); err != nil {
 		return AnalyzeRow{}, fmt.Errorf("%s: %w", name, err)
@@ -57,6 +61,9 @@ func analyzeClasses(name string, classes []*bytecode.Class) (AnalyzeRow, error) 
 	res := ipa.Analyze(v.ClassList)
 
 	row := AnalyzeRow{Workload: name, Summary: res.Summarize()}
+	if races {
+		row.Concurrency = conc.Analyze(v.ClassList, res)
+	}
 	sites := func(fs []ipa.SiteFact) []AnalyzeSite {
 		out := make([]AnalyzeSite, len(fs))
 		for i, f := range fs {
@@ -87,12 +94,16 @@ func analyzePlan(o Options) (*Plan, *AnalyzeResult) {
 	}
 	res := &AnalyzeResult{Rows: make([]AnalyzeRow, len(list))}
 	p := newPlan("analyze", res)
+	cfg := "ipa"
+	if o.Races {
+		cfg = "ipa+races"
+	}
 	for i, w := range list {
 		i, w := i, w
 		scale := resolveScale(o, w)
-		key := CellKey{Experiment: "analyze", Workload: w.Name, Scale: scale, Mode: "static", Config: "ipa"}
+		key := CellKey{Experiment: "analyze", Workload: w.Name, Scale: scale, Mode: "static", Config: cfg}
 		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
-			return analyzeClasses(w.Name, w.Classes(scale))
+			return analyzeClasses(w.Name, w.Classes(scale), o.Races)
 		})
 	}
 	return p, res
@@ -116,10 +127,10 @@ func AnalyzeWith(o Options, r *Runner) (*AnalyzeResult, error) {
 
 // AnalyzePrograms analyzes explicit compiled programs (the `jrs analyze
 // file.mj ...` path) without going through the plan machinery.
-func AnalyzePrograms(progs []LintProgram) (*AnalyzeResult, error) {
+func AnalyzePrograms(progs []LintProgram, races bool) (*AnalyzeResult, error) {
 	res := &AnalyzeResult{Rows: make([]AnalyzeRow, len(progs))}
 	for i, p := range progs {
-		row, err := analyzeClasses(p.Name, p.Classes)
+		row, err := analyzeClasses(p.Name, p.Classes, races)
 		if err != nil {
 			return nil, err
 		}
@@ -159,6 +170,20 @@ func (r *AnalyzeResult) Render() string {
 		fmt.Fprintf(&b, "effects (R=read W=write A=alloc L=lock I=io T=thread; %d pure):\n", s.PureMethods)
 		for _, me := range row.Effects {
 			fmt.Fprintf(&b, "  %s %s\n", me.Effects, me.Method)
+		}
+		if c := row.Concurrency; c != nil {
+			cs := c.Summarize()
+			fmt.Fprintf(&b, "concurrency: %d spawned thread(s), %d shared location(s), %d race(s), %d deadlock cycle(s)\n",
+				cs.Threads, cs.SharedLocations, cs.Races, cs.Deadlocks)
+			for _, sp := range c.Spawns {
+				fmt.Fprintf(&b, "  thread %s\n", sp)
+			}
+			for j := range c.Races {
+				fmt.Fprintf(&b, "  %s\n", &c.Races[j])
+			}
+			for j := range c.Deadlocks {
+				fmt.Fprintf(&b, "  %s\n", &c.Deadlocks[j])
+			}
 		}
 	}
 	fmt.Fprintf(&b, "\n%d program(s): %d devirtualized site(s), %d elidable lock site(s)\n",

@@ -63,6 +63,11 @@ type Options struct {
 	// aid — it roughly doubles pipeline-simulation cost, so hot runs
 	// leave it off.
 	CheckPipe bool
+	// Races adds the static race and deadlock analysis to lint and
+	// analyze reports (jrs lint -races / jrs analyze -races). Off by
+	// default: race findings are opt-in so multithreaded workloads
+	// don't fail plain lint runs on the analysis's conservatism.
+	Races bool
 }
 
 // scaleFor resolves the effective scale for one workload.

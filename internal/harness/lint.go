@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"jrs/internal/analysis"
+	"jrs/internal/analysis/conc"
+	"jrs/internal/analysis/ipa"
 	"jrs/internal/bytecode"
 	"jrs/internal/vm"
 	"jrs/internal/workloads"
@@ -40,12 +42,16 @@ type LintFinding struct {
 	Message  string `json:"message"`
 }
 
-// LintProgramReport is one program's lint outcome.
+// LintProgramReport is one program's lint outcome. Races and Deadlocks
+// are filled only when the races pass is enabled (jrs lint -races) and
+// count toward the exit-code finding total like any diagnostic.
 type LintProgramReport struct {
-	Name     string        `json:"name"`
-	Classes  int           `json:"classes"`
-	Methods  int           `json:"methods"`
-	Findings []LintFinding `json:"findings"`
+	Name      string          `json:"name"`
+	Classes   int             `json:"classes"`
+	Methods   int             `json:"methods"`
+	Findings  []LintFinding   `json:"findings"`
+	Races     []conc.Race     `json:"races,omitempty"`
+	Deadlocks []conc.Deadlock `json:"deadlocks,omitempty"`
 }
 
 // LintReport is the structured form of the lint run; the text report
@@ -59,7 +65,21 @@ type LintReport struct {
 // BuildLintReport lints every program into the structured report. A
 // program that fails to link at all is an error.
 func BuildLintReport(progs []LintProgram) (*LintReport, error) {
+	return buildLintReport(progs, false)
+}
+
+// BuildRaceLintReport is BuildLintReport with the static race and
+// deadlock analysis added (the jrs lint -races path); every race pair
+// and deadlock cycle counts as a finding.
+func BuildRaceLintReport(progs []LintProgram) (*LintReport, error) {
+	return buildLintReport(progs, true)
+}
+
+func buildLintReport(progs []LintProgram, races bool) (*LintReport, error) {
 	r := &LintReport{Passes: analysis.PassNames()}
+	if races {
+		r.Passes = append(r.Passes, "races")
+	}
 	for _, p := range progs {
 		methods := 0
 		for _, c := range p.Classes {
@@ -75,10 +95,30 @@ func BuildLintReport(progs []LintProgram) (*LintReport, error) {
 				Method: d.Method, PC: d.PC, Pass: d.Pass,
 				Severity: d.Sev.String(), Message: d.Msg})
 		}
+		if races {
+			rep, err := StaticRaces(p.Classes)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", p.Name, err)
+			}
+			pr.Races = rep.Races
+			pr.Deadlocks = rep.Deadlocks
+			r.Findings += len(pr.Races) + len(pr.Deadlocks)
+		}
 		r.Programs = append(r.Programs, pr)
 		r.Findings += len(diags)
 	}
 	return r, nil
+}
+
+// StaticRaces links the program on a fresh VM and runs the static
+// race/deadlock analysis over it (ipa facts first, conc on top).
+func StaticRaces(classes []*bytecode.Class) (*conc.Report, error) {
+	v := vm.New(nil, nil)
+	v.Verify = vm.VerifyStructural
+	if err := v.Load(classes); err != nil {
+		return nil, err
+	}
+	return conc.Analyze(v.ClassList, ipa.Analyze(v.ClassList)), nil
 }
 
 // Render formats the deterministic text report: one status line per
@@ -87,16 +127,24 @@ func BuildLintReport(progs []LintProgram) (*LintReport, error) {
 func (r *LintReport) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "jrs lint — passes: %s\n", strings.Join(r.Passes, ", "))
-	for _, p := range r.Programs {
-		if len(p.Findings) == 0 {
+	for i := range r.Programs {
+		p := &r.Programs[i]
+		total := len(p.Findings) + len(p.Races) + len(p.Deadlocks)
+		if total == 0 {
 			fmt.Fprintf(&b, "%-9s %d classes, %d methods: clean\n",
 				p.Name, p.Classes, p.Methods)
 			continue
 		}
 		fmt.Fprintf(&b, "%-9s %d classes, %d methods: %d finding(s)\n",
-			p.Name, p.Classes, p.Methods, len(p.Findings))
+			p.Name, p.Classes, p.Methods, total)
 		for _, f := range p.Findings {
 			fmt.Fprintf(&b, "  %s @%d: [%s] %s: %s\n", f.Method, f.PC, f.Pass, f.Severity, f.Message)
+		}
+		for j := range p.Races {
+			fmt.Fprintf(&b, "  [races] %s\n", &p.Races[j])
+		}
+		for j := range p.Deadlocks {
+			fmt.Fprintf(&b, "  [races] %s\n", &p.Deadlocks[j])
 		}
 	}
 	fmt.Fprintf(&b, "%d program(s), %d finding(s)\n", len(r.Programs), r.Findings)

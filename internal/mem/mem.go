@@ -87,6 +87,10 @@ type Memory struct {
 	// Footprint counts distinct pages touched, an input to the Table 1
 	// memory-requirement study.
 	touched int
+	// Watch, when set, observes every functional access on either plane
+	// (the race-detection oracle hooks in here). It must not call back
+	// into Memory.
+	Watch func(addr uint64, write bool)
 }
 
 const (
@@ -124,6 +128,9 @@ func (m *Memory) pageFor(addr uint64, create bool) *page {
 // Load returns the 64-bit word at byte address addr (word-aligned access
 // assumed by convention: the VM allocates all slots 8 bytes apart).
 func (m *Memory) Load(addr uint64) int64 {
+	if m.Watch != nil {
+		m.Watch(addr, false)
+	}
 	p := m.pageFor(addr, false)
 	if p == nil {
 		return 0
@@ -133,6 +140,9 @@ func (m *Memory) Load(addr uint64) int64 {
 
 // Store writes the 64-bit word at byte address addr.
 func (m *Memory) Store(addr uint64, v int64) {
+	if m.Watch != nil {
+		m.Watch(addr, true)
+	}
 	p := m.pageFor(addr, true)
 	p.words[(addr>>3)%pageWords] = v
 }
@@ -140,6 +150,9 @@ func (m *Memory) Store(addr uint64, v int64) {
 // LoadByte returns the byte at addr from the byte-granular plane (used
 // for char arrays, whose packed addressing matters to the cache studies).
 func (m *Memory) LoadByte(addr uint64) byte {
+	if m.Watch != nil {
+		m.Watch(addr, false)
+	}
 	p := m.bytePages[addr>>pageShift]
 	if p == nil {
 		return 0
@@ -149,6 +162,9 @@ func (m *Memory) LoadByte(addr uint64) byte {
 
 // StoreByte writes the byte at addr on the byte-granular plane.
 func (m *Memory) StoreByte(addr uint64, v byte) {
+	if m.Watch != nil {
+		m.Watch(addr, true)
+	}
 	pn := addr >> pageShift
 	p := m.bytePages[pn]
 	if p == nil {

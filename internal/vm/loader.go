@@ -163,6 +163,9 @@ func (v *VM) Load(classes []*bytecode.Class) error {
 		}
 		v.emitLoadTrace(c)
 	}
+	if v.Race != nil {
+		v.Race.OnClasses(v.ClassList)
+	}
 	return nil
 }
 

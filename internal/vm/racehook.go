@@ -1,0 +1,55 @@
+package vm
+
+import "jrs/internal/bytecode"
+
+// RaceHook observes the VM events a dynamic happens-before race
+// detector needs: the memory layout (classes, allocations), every
+// functional data access, and the synchronization edges (monitor
+// release→acquire, spawn, join). The engine announces the running
+// thread via SetThread; accesses between announcements belong to it.
+//
+// Hooks must not call back into the VM or Memory.
+type RaceHook interface {
+	// SetThread announces the thread performing subsequent accesses
+	// (0 = VM-internal work such as loading or compilation).
+	SetThread(tid int)
+	// OnClasses delivers the loaded classes once Load finishes (static
+	// field areas are laid out by then).
+	OnClasses(classes []*bytecode.Class)
+	// OnAlloc reports a new heap object: [base, end) is its full
+	// extent, body the first data word past the header. cls is nil for
+	// arrays, whose element kind arrives instead.
+	OnAlloc(base, body, end uint64, cls *bytecode.Class, kind int)
+	// OnIntern marks base as an interned string literal.
+	OnIntern(base uint64)
+	// OnAccess observes one functional load/store (wired as Mem.Watch).
+	OnAccess(addr uint64, write bool)
+	// OnAcquire / OnRelease bracket monitor ownership transfers.
+	OnAcquire(tid int, obj uint64)
+	OnRelease(tid int, obj uint64)
+	// OnSpawn orders the parent before the child's first instruction.
+	OnSpawn(parent, child int)
+	// OnJoined orders a finished thread before its waiter's resumption.
+	OnJoined(waiter, done int)
+	// OnThreadExit snapshots the final clock of a finished thread.
+	OnThreadExit(tid int)
+}
+
+// SetRaceHook installs (or, with nil, removes) the race detector,
+// wiring its access observer into the memory system.
+func (v *VM) SetRaceHook(h RaceHook) {
+	v.Race = h
+	if h == nil {
+		v.Mem.Watch = nil
+	} else {
+		v.Mem.Watch = h.OnAccess
+	}
+}
+
+// quietly suspends access observation for VM-internal stores (header
+// initialization, zeroing) that no bytecode performed.
+func (v *VM) quietly() func() {
+	w := v.Mem.Watch
+	v.Mem.Watch = nil
+	return func() { v.Mem.Watch = w }
+}

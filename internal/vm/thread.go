@@ -105,12 +105,16 @@ func (v *VM) WakeWaiters(obj uint64) {
 	}
 }
 
-// WakeJoiners moves threads joining on id back to runnable.
+// WakeJoiners moves threads joining on id back to runnable. Wakeup
+// order is thread-creation order, deterministically.
 func (v *VM) WakeJoiners(id int) {
 	for _, t := range v.threads {
 		if t.State == ThreadJoining && t.JoinOn == id {
 			t.State = ThreadRunnable
 			t.JoinOn = 0
+			if v.Race != nil {
+				v.Race.OnJoined(t.ID, id)
+			}
 		}
 	}
 }

@@ -1,0 +1,89 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+
+	"jrs/internal/bytecode"
+)
+
+// joinedRecorder records OnJoined edges; every other hook is a no-op.
+type joinedRecorder struct {
+	joined [][2]int // {waiter, done}
+}
+
+func (r *joinedRecorder) SetThread(int)                                    {}
+func (r *joinedRecorder) OnClasses([]*bytecode.Class)                      {}
+func (r *joinedRecorder) OnAlloc(_, _, _ uint64, _ *bytecode.Class, _ int) {}
+func (r *joinedRecorder) OnIntern(uint64)                                  {}
+func (r *joinedRecorder) OnAccess(uint64, bool)                            {}
+func (r *joinedRecorder) OnAcquire(int, uint64)                            {}
+func (r *joinedRecorder) OnRelease(int, uint64)                            {}
+func (r *joinedRecorder) OnSpawn(int, int)                                 {}
+func (r *joinedRecorder) OnThreadExit(int)                                 {}
+func (r *joinedRecorder) OnJoined(waiter, done int) {
+	r.joined = append(r.joined, [2]int{waiter, done})
+}
+
+// TestWakeJoinersOrderAndSelectivity: WakeJoiners wakes exactly the
+// threads joining the finished id, in thread-creation order, announces
+// each happens-before edge in that order, and leaves unrelated waiters
+// untouched.
+func TestWakeJoinersOrderAndSelectivity(t *testing.T) {
+	v := newVM()
+	rec := &joinedRecorder{}
+	v.SetRaceHook(rec)
+
+	var ts []*Thread
+	for i := 0; i < 5; i++ {
+		ts = append(ts, v.NewThread(nil, 0))
+	}
+	// t2, t4, t5 join on t1; t3 joins on t2.
+	for _, id := range []int{2, 4, 5} {
+		th := v.ThreadByID(id)
+		th.State = ThreadJoining
+		th.JoinOn = 1
+	}
+	ts[2].State = ThreadJoining
+	ts[2].JoinOn = 2
+
+	v.WakeJoiners(1)
+	want := [][2]int{{2, 1}, {4, 1}, {5, 1}}
+	if !reflect.DeepEqual(rec.joined, want) {
+		t.Errorf("OnJoined edges = %v, want %v (creation order)", rec.joined, want)
+	}
+	for _, id := range []int{2, 4, 5} {
+		th := v.ThreadByID(id)
+		if th.State != ThreadRunnable || th.JoinOn != 0 {
+			t.Errorf("thread %d = %v joinOn %d, want runnable/0", id, th.State, th.JoinOn)
+		}
+	}
+	if ts[2].State != ThreadJoining || ts[2].JoinOn != 2 {
+		t.Errorf("thread 3 = %v joinOn %d, want still joining on 2", ts[2].State, ts[2].JoinOn)
+	}
+
+	// Waking an id nobody joins is a no-op.
+	rec.joined = nil
+	v.WakeJoiners(1)
+	if len(rec.joined) != 0 {
+		t.Errorf("second wake produced edges %v, want none", rec.joined)
+	}
+}
+
+// TestSetRaceHookWiresWatch: installing a hook routes memory accesses
+// through it; removing it restores silent memory.
+func TestSetRaceHookWiresWatch(t *testing.T) {
+	v := newVM()
+	if v.Mem.Watch != nil {
+		t.Fatal("fresh VM has a Watch installed")
+	}
+	rec := &joinedRecorder{}
+	v.SetRaceHook(rec)
+	if v.Race == nil || v.Mem.Watch == nil {
+		t.Fatal("SetRaceHook did not wire the access observer")
+	}
+	v.SetRaceHook(nil)
+	if v.Race != nil || v.Mem.Watch != nil {
+		t.Fatal("SetRaceHook(nil) did not unwire the access observer")
+	}
+}

@@ -110,6 +110,10 @@ type VM struct {
 	// SyncObjects tracks distinct objects ever locked (the paper's "only
 	// ~8% of objects are accessed in synchronized mode" observation).
 	SyncObjects map[uint64]struct{}
+
+	// Race, when set (SetRaceHook), observes allocation, access, and
+	// synchronization events for dynamic race detection.
+	Race RaceHook
 }
 
 // New builds a VM emitting to sink with the given synchronization
@@ -148,6 +152,7 @@ func (v *VM) AllocObject(c *bytecode.Class) uint64 {
 	v.heapNext += size
 	v.AllocObjects++
 	v.AllocBytes += size
+	restore := v.quietly()
 	v.Mem.Store(ref, int64(c.ID))
 	v.Mem.Store(ref+8, 0)
 
@@ -160,6 +165,10 @@ func (v *VM) AllocObject(c *bytecode.Class) uint64 {
 		s.Store(a)
 	}
 	s.Ret(0)
+	restore()
+	if v.Race != nil {
+		v.Race.OnAlloc(ref, ref+uint64(headerWords)*8, ref+size, c, 0)
+	}
 	return ref
 }
 
@@ -179,6 +188,7 @@ func (v *VM) AllocArray(kind int, length int64) uint64 {
 	v.heapNext += size
 	v.AllocObjects++
 	v.AllocBytes += size
+	restore := v.quietly()
 	v.Mem.Store(ref, int64(-(kind + 1)))
 	v.Mem.Store(ref+8, 0)
 	v.Mem.Store(ref+16, length)
@@ -194,6 +204,10 @@ func (v *VM) AllocArray(kind int, length int64) uint64 {
 		z.Store(ref + uint64(arrayHeaderWords)*8 + off)
 	}
 	z.Ret(0)
+	restore()
+	if v.Race != nil {
+		v.Race.OnAlloc(ref, ref+uint64(arrayHeaderWords)*8, ref+size, nil, kind)
+	}
 	return ref
 }
 
@@ -265,8 +279,13 @@ func (v *VM) ClassObject(c *bytecode.Class) uint64 {
 	v.heapNext += ObjHeaderBytes
 	v.AllocObjects++
 	v.AllocBytes += ObjHeaderBytes
+	restore := v.quietly()
 	v.Mem.Store(ref, int64(c.ID))
 	v.Mem.Store(ref+8, 0)
+	restore()
+	if v.Race != nil {
+		v.Race.OnAlloc(ref, ref+ObjHeaderBytes, ref+ObjHeaderBytes, c, 0)
+	}
 	v.classObjects[c.ID] = ref
 	return ref
 }
@@ -281,8 +300,13 @@ func (v *VM) Intern(s string) uint64 {
 		return ref
 	}
 	ref := v.AllocArray(bytecode.KindChar, int64(len(s)))
+	restore := v.quietly()
 	for i := 0; i < len(s); i++ {
 		v.Mem.StoreByte(ElemAddr(ref, bytecode.KindChar, int64(i)), s[i])
+	}
+	restore()
+	if v.Race != nil {
+		v.Race.OnIntern(ref)
 	}
 	seq := v.RT.At(pcIntern)
 	for i := 0; i < len(s); i += 8 {
@@ -412,12 +436,19 @@ func VTableEntryAddr(classID, vindex int) uint64 {
 func (v *VM) LockObject(tid int, ref uint64) bool {
 	v.CheckNull(ref)
 	v.SyncObjects[ref] = struct{}{}
-	return v.Monitors.Enter(tid, ref)
+	ok := v.Monitors.Enter(tid, ref)
+	if ok && v.Race != nil {
+		v.Race.OnAcquire(tid, ref)
+	}
+	return ok
 }
 
 // UnlockObject forwards a monitorexit.
 func (v *VM) UnlockObject(tid int, ref uint64) {
 	v.CheckNull(ref)
+	if v.Race != nil {
+		v.Race.OnRelease(tid, ref)
+	}
 	v.Monitors.Exit(tid, ref)
 }
 
