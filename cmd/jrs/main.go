@@ -20,6 +20,13 @@
 // `jrs run` attaches the dynamic vector-clock race detector and fails
 // if it observes a race the static report does not subsume.
 //
+// With -checkelide, lint and analyze add the provable runtime-check
+// census (internal/analysis/vrange: value-range and nullness analysis),
+// and `jrs run` executes the workload twice — baseline, then with the
+// proven bounds/null checks elided and a dynamic oracle re-validating
+// every elided site — failing if outputs diverge or any elided check
+// would have fired (the subsumption invariant).
+//
 // Flags:
 //
 //	-scale N      override every workload's input size (0 = default)
@@ -45,6 +52,9 @@
 //	-checkraces   run the workload with the dynamic happens-before race
 //	              detector attached and check every observed race
 //	              against the static report (the subsumption invariant)
+//	-checkelide   lint/analyze: add the provable runtime-check census;
+//	              run: differential base-vs-elided execution with the
+//	              dynamic check oracle attached (no elided check may fire)
 //	-schedseed N  perturb scheduler slice lengths pseudo-randomly for
 //	              `run` (0 = the fixed quantum; deterministic per seed)
 //	-json         emit lint/analyze reports as JSON instead of text
@@ -100,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkpipe := fs.Bool("checkpipe", false, "attach the pipeline invariant checker to every superscalar core (debug; slower)")
 	races := fs.Bool("races", false, "add the static race/deadlock analysis to lint and analyze reports")
 	checkraces := fs.Bool("checkraces", false, "attach the dynamic vector-clock race detector to `run` and check its findings against the static report (debug; slower)")
+	checkelide := fs.Bool("checkelide", false, "lint/analyze: add the provable runtime-check census; run: differential base-vs-elided execution under the dynamic check oracle")
 	schedseed := fs.Uint64("schedseed", 0, "seed pseudo-random scheduler slice lengths for `run` (0 = fixed quantum)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -144,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opts := harness.Options{Scale: *scale, Quick: *quick, CheckPipe: *checkpipe, Races: *races}
+	opts := harness.Options{Scale: *scale, Quick: *quick, CheckPipe: *checkpipe, Races: *races, Checks: *checkelide}
 	if *wsel != "" {
 		for _, name := range strings.Split(*wsel, ",") {
 			w, ok := workloads.ByName(strings.TrimSpace(name))
@@ -233,7 +244,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "jrs: run requires a workload name")
 			return 1
 		}
-		return runWorkload(fs.Arg(1), *mode, opts, *checkraces, *schedseed, stdout, stderr)
+		return runWorkload(fs.Arg(1), *mode, opts, *checkraces, *checkelide, *schedseed, stdout, stderr)
 
 	case "lint":
 		return lint(fs.Args()[1:], opts, *jsonOut, stdout, stderr)
@@ -278,7 +289,7 @@ func reportExit(runner *harness.Runner, keepgoing bool, stdout io.Writer) int {
 	return 0
 }
 
-func runWorkload(name, modeName string, opts harness.Options, checkraces bool, schedseed uint64, stdout, stderr io.Writer) int {
+func runWorkload(name, modeName string, opts harness.Options, checkraces, checkelide bool, schedseed uint64, stdout, stderr io.Writer) int {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		fmt.Fprintf(stderr, "jrs: unknown workload %q\n", name)
@@ -291,6 +302,9 @@ func runWorkload(name, modeName string, opts harness.Options, checkraces bool, s
 
 	if checkraces {
 		return checkRaces(w, scale, modeName, schedseed, stdout, stderr)
+	}
+	if checkelide {
+		return checkElide(w, scale, modeName, stdout, stderr)
 	}
 
 	var e *core.Engine
@@ -357,6 +371,42 @@ func checkRaces(w workloads.Workload, scale int, modeName string, schedseed uint
 	return 0
 }
 
+// checkElide executes the workload twice under the mode — baseline,
+// then with proven checks elided and the dynamic oracle attached (jrs
+// run -checkelide) — and fails when outputs diverge or any elided check
+// would have fired.
+func checkElide(w workloads.Workload, scale int, modeName string, stdout, stderr io.Writer) int {
+	var mode harness.Mode
+	switch modeName {
+	case "interp":
+		mode = harness.ModeInterp
+	case "jit":
+		mode = harness.ModeJIT
+	case "aot":
+		mode = harness.ModeAOT
+	default:
+		fmt.Fprintf(stderr, "jrs: -checkelide supports modes interp, jit, aot (got %q)\n", modeName)
+		return 2 // usage error, like any bad flag combination
+	}
+	ec, err := harness.CheckElideWorkload(context.Background(), w, scale, mode)
+	if err != nil {
+		fmt.Fprintf(stderr, "jrs: %v\n", err)
+		return 1
+	}
+	c := ec.Census
+	fmt.Fprintf(stdout, "[%s/%s] checkelide: %d/%d bounds site(s) proven, %d/%d null site(s) proven; %d check(s) run, %d elided, %d oracle validation(s)\n",
+		ec.Workload, ec.Mode, c.BoundsProven, c.BoundsSites, c.NullProven, c.NullSites,
+		ec.Checked, ec.Elided, ec.Runtime)
+	for _, v := range ec.Violated {
+		fmt.Fprintf(stdout, "  VIOLATION %s\n", v)
+	}
+	if err := ec.Err(); err != nil {
+		fmt.Fprintf(stderr, "jrs: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
 // compilePrograms loads the named MiniJava sources, or every workload
 // when no files are given.
 func compilePrograms(files []string, opts harness.Options, stderr io.Writer) ([]harness.LintProgram, bool) {
@@ -389,11 +439,7 @@ func lint(files []string, opts harness.Options, jsonOut bool, stdout, stderr io.
 	if !ok {
 		return 1
 	}
-	build := harness.BuildLintReport
-	if opts.Races {
-		build = harness.BuildRaceLintReport
-	}
-	report, err := build(progs)
+	report, err := harness.BuildLintReportOpts(progs, opts.Races, opts.Checks)
 	if err != nil {
 		fmt.Fprintf(stderr, "jrs: %v\n", err)
 		return 1
@@ -426,7 +472,7 @@ func analyze(files []string, opts harness.Options, runner *harness.Runner, jsonO
 		if progs, ok = compilePrograms(files, opts, stderr); !ok {
 			return 1
 		}
-		res, err = harness.AnalyzePrograms(progs, opts.Races)
+		res, err = harness.AnalyzePrograms(progs, opts.Races, opts.Checks)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "jrs: %v\n", err)

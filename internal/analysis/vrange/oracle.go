@@ -1,0 +1,82 @@
+package vrange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jrs/internal/bytecode"
+	"jrs/internal/vm"
+)
+
+// Violation is one elided check that would have fired at runtime — a
+// soundness bug in the static analysis (the subsumption invariant is
+// that this never happens).
+type Violation struct {
+	Method string `json:"method"`
+	PC     int    `json:"pc"`
+	Kind   string `json:"kind"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s @%d (%s)", v.Method, v.PC, v.Kind)
+}
+
+// CheckOracle is the dynamic soundness oracle for check elision: a
+// vm.CheckHook that re-validates every elided site as it executes
+// (behind `jrs -checkelide run`). Validations counts dynamic
+// re-checks — a run with zero validations proves nothing, which the
+// non-vacuity tests guard against.
+type CheckOracle struct {
+	Validations uint64
+	seen        map[Violation]bool
+	list        []Violation
+}
+
+// NewOracle builds an empty oracle.
+func NewOracle() *CheckOracle {
+	return &CheckOracle{seen: map[Violation]bool{}}
+}
+
+// OnElidedCheck implements vm.CheckHook.
+func (o *CheckOracle) OnElidedCheck(m *bytecode.Method, pc int, kind vm.CheckKind, ok bool) {
+	o.Validations++
+	if ok {
+		return
+	}
+	v := Violation{Method: m.FullName(), PC: pc, Kind: kind.String()}
+	if !o.seen[v] {
+		o.seen[v] = true
+		o.list = append(o.list, v)
+	}
+}
+
+// Violations lists the distinct violated sites, sorted.
+func (o *CheckOracle) Violations() []Violation {
+	out := append([]Violation(nil), o.list...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// Err folds the invariant into an error (nil when no elided check
+// would have fired).
+func (o *CheckOracle) Err() error {
+	vs := o.Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return fmt.Errorf("elided check(s) would have fired: %s", strings.Join(parts, ", "))
+}

@@ -1,0 +1,812 @@
+package vrange
+
+import (
+	"math"
+	"sort"
+
+	"jrs/internal/analysis/ipa"
+	"jrs/internal/bytecode"
+)
+
+// origin identifies the dynamic value a symbolic fact is about: the
+// most recent value produced by one value-producing instruction (pc
+// origins, >= 0) or one incoming parameter (param origins, <= -2).
+// noOrigin (-1) marks values with no tracked identity. When a pc
+// origin's defining instruction re-executes, every fact mentioning it
+// is killed and every other slot still carrying it is stripped, so an
+// origin always denotes a single dynamic value — which makes the
+// symbolic length facts (len(o) is immutable per value) sound across
+// loop iterations.
+type origin = int32
+
+const noOrigin origin = -1
+
+func paramOrigin(i int) origin { return origin(-2 - i) }
+
+// aval is the abstract value of one stack or local slot. Integer slots
+// use iv plus the symbolic facts (eqLen: value == len(o); lt: value <
+// len(o) for each listed origin). Reference slots use null and orig.
+// from records which local the value was loaded from (and that the
+// local is unchanged since), so branch refinements and post-
+// dereference non-null facts propagate back to the local.
+type aval struct {
+	iv    Interval
+	null  Nullness
+	orig  origin
+	from  int16
+	eqLen origin
+	lt    []origin
+}
+
+func top() aval {
+	return aval{iv: Full(), null: MaybeNull, orig: noOrigin, from: -1, eqLen: noOrigin}
+}
+
+func intVal(iv Interval) aval {
+	v := top()
+	v.iv = iv
+	return v
+}
+
+func hasOrigin(set []origin, o origin) bool {
+	for _, x := range set {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+func addOrigin(set []origin, o origin) []origin {
+	if hasOrigin(set, o) {
+		return set
+	}
+	out := make([]origin, 0, len(set)+1)
+	out = append(out, set...)
+	out = append(out, o)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func removeOrigin(set []origin, o origin) []origin {
+	if !hasOrigin(set, o) {
+		return set
+	}
+	out := make([]origin, 0, len(set)-1)
+	for _, x := range set {
+		if x != o {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func intersectOrigins(a, b []origin) []origin {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	var out []origin
+	for _, x := range a {
+		if hasOrigin(b, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func joinVal(a, b aval) aval {
+	out := aval{iv: a.iv.Join(b.iv), null: JoinNull(a.null, b.null)}
+	out.orig, out.from, out.eqLen = noOrigin, -1, noOrigin
+	if a.orig == b.orig {
+		out.orig = a.orig
+	}
+	if a.from == b.from {
+		out.from = a.from
+	}
+	if a.eqLen == b.eqLen {
+		out.eqLen = a.eqLen
+	}
+	out.lt = intersectOrigins(a.lt, b.lt)
+	return out
+}
+
+func widenVal(prev, next aval) aval {
+	out := joinVal(prev, next)
+	out.iv = prev.iv.Widen(next.iv)
+	return out
+}
+
+func equalVal(a, b aval) bool {
+	if a.iv != b.iv || a.null != b.null || a.orig != b.orig ||
+		a.from != b.from || a.eqLen != b.eqLen || len(a.lt) != len(b.lt) {
+		return false
+	}
+	for i := range a.lt {
+		if a.lt[i] != b.lt[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// state is the abstract machine state flowing into one pc.
+type state struct {
+	stack  []aval
+	locals []aval
+}
+
+func (s *state) clone() *state {
+	c := &state{stack: make([]aval, len(s.stack)), locals: make([]aval, len(s.locals))}
+	copy(c.stack, s.stack)
+	copy(c.locals, s.locals)
+	return c
+}
+
+func (s *state) push(v aval) { s.stack = append(s.stack, v) }
+
+func (s *state) pop() (aval, bool) {
+	if len(s.stack) == 0 {
+		return aval{}, false
+	}
+	v := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	return v, true
+}
+
+// each visits every slot (stack then locals) of the state.
+func (s *state) each(f func(v *aval)) {
+	for i := range s.stack {
+		f(&s.stack[i])
+	}
+	for i := range s.locals {
+		f(&s.locals[i])
+	}
+}
+
+// killOrigin makes o denote only the value about to be produced at its
+// defining pc: strips o as identity from every slot and drops every
+// symbolic fact that mentions it.
+func (s *state) killOrigin(o origin) {
+	s.each(func(v *aval) {
+		if v.orig == o {
+			v.orig = noOrigin
+		}
+		if v.eqLen == o {
+			v.eqLen = noOrigin
+		}
+		v.lt = removeOrigin(v.lt, o)
+	})
+}
+
+// killFrom drops the from-local provenance after local l is
+// overwritten; the slots keep their own (still valid) value facts.
+func (s *state) killFrom(l int) {
+	s.each(func(v *aval) {
+		if v.from == int16(l) {
+			v.from = -1
+		}
+	})
+}
+
+// refineFrom applies a refinement of value v to its backing local (and
+// any other live copy of that local), so facts learned at a branch or
+// a dereference survive the pop.
+func (s *state) refineFrom(v aval, apply func(*aval)) {
+	if v.from < 0 {
+		return
+	}
+	l := v.from
+	if int(l) < len(s.locals) {
+		apply(&s.locals[l])
+	}
+	for i := range s.stack {
+		if s.stack[i].from == l {
+			apply(&s.stack[i])
+		}
+	}
+}
+
+// mergeInto joins src into dst (widening intervals when dst is a loop
+// head) and reports whether dst changed.
+func mergeInto(dst, src *state, widen bool) (bool, bool) {
+	if len(dst.stack) != len(src.stack) || len(dst.locals) != len(src.locals) {
+		return false, false // inconsistent shapes: caller bails
+	}
+	changed := false
+	mix := func(d *aval, s aval) {
+		var n aval
+		if widen {
+			n = widenVal(*d, s)
+		} else {
+			n = joinVal(*d, s)
+		}
+		if !equalVal(*d, n) {
+			*d = n
+			changed = true
+		}
+	}
+	for i := range dst.stack {
+		mix(&dst.stack[i], src.stack[i])
+	}
+	for i := range dst.locals {
+		mix(&dst.locals[i], src.locals[i])
+	}
+	return changed, true
+}
+
+// msum is one method's interprocedural summary: the join of entry
+// values over every modeled call site plus the join of returned
+// values. entered=false means no modeled path calls the method yet
+// (its body is not analyzed this round); returns=false means no return
+// instruction has been reached yet (callers treat the call as not
+// falling through).
+type msum struct {
+	entered  bool
+	params   []aval
+	paramLen []Interval
+	returns  bool
+	ret      aval
+	retLen   Interval
+}
+
+// Result carries the per-site verdicts. Bounds maps every reachable
+// array-access site to whether the full bounds+null check is proven
+// redundant; Null maps every reachable explicit null-check site
+// (getfield/putfield/arraylength/invoke receiver/monitorenter/-exit)
+// to whether the reference is proven non-null.
+type Result struct {
+	Bounds map[ipa.Site]bool
+	Null   map[ipa.Site]bool
+
+	methods map[int]*bytecode.Method
+}
+
+// BoundsProvenID reports whether the access at (method id, pc) is
+// proven in range on a non-null array.
+func (r *Result) BoundsProvenID(id, pc int) bool { return r.Bounds[ipa.Site{Method: id, PC: pc}] }
+
+// NullProvenID reports whether the reference checked at (method id,
+// pc) is proven non-null.
+func (r *Result) NullProvenID(id, pc int) bool { return r.Null[ipa.Site{Method: id, PC: pc}] }
+
+// Census is the provable-checks tally for one program.
+type Census struct {
+	Methods      int `json:"methods"`
+	BoundsSites  int `json:"boundsSites"`
+	BoundsProven int `json:"boundsProven"`
+	NullSites    int `json:"nullSites"`
+	NullProven   int `json:"nullProven"`
+}
+
+// Summarize tallies the verdicts.
+func (r *Result) Summarize() Census {
+	c := Census{Methods: len(r.methods)}
+	for _, ok := range r.Bounds {
+		c.BoundsSites++
+		if ok {
+			c.BoundsProven++
+		}
+	}
+	for _, ok := range r.Null {
+		c.NullSites++
+		if ok {
+			c.NullProven++
+		}
+	}
+	return c
+}
+
+// SiteVerdict is one site's verdict in reportable form.
+type SiteVerdict struct {
+	Method string `json:"method"`
+	PC     int    `json:"pc"`
+	Kind   string `json:"kind"` // "bounds" or "null"
+	Proven bool   `json:"proven"`
+}
+
+// SortedSites lists every analyzed check site (method name, pc, kind
+// order) for the deterministic census reports.
+func (r *Result) SortedSites() []SiteVerdict {
+	var out []SiteVerdict
+	add := func(m map[ipa.Site]bool, kind string) {
+		for site, ok := range m {
+			meth := r.methods[site.Method]
+			if meth == nil {
+				continue
+			}
+			out = append(out, SiteVerdict{Method: meth.FullName(), PC: site.PC, Kind: kind, Proven: ok})
+		}
+	}
+	add(r.Bounds, "bounds")
+	add(r.Null, "null")
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// analyzer drives the interprocedural fixpoint over the reachable
+// methods of the ipa call graph.
+type analyzer struct {
+	res     *ipa.Result
+	order   []*bytecode.Method
+	sums    map[*bytecode.Method]*msum
+	bailedM map[*bytecode.Method]bool
+	changed bool
+	widen   bool
+	result  *Result
+}
+
+// Analyze runs the whole-program value-range and nullness analysis.
+// res must be the ipa result over the same (already loaded) class set:
+// it supplies reachability, roots, and RTA-narrowed virtual-call
+// target sets.
+func Analyze(classes []*bytecode.Class, res *ipa.Result) *Result {
+	a := &analyzer{
+		res:     res,
+		sums:    map[*bytecode.Method]*msum{},
+		bailedM: map[*bytecode.Method]bool{},
+		result: &Result{
+			Bounds:  map[ipa.Site]bool{},
+			Null:    map[ipa.Site]bool{},
+			methods: map[int]*bytecode.Method{},
+		},
+	}
+	instantiated := map[*bytecode.Class]bool{}
+	for c, ok := range res.Instantiated {
+		if ok {
+			instantiated[c] = true
+		}
+	}
+	for _, c := range classes {
+		if c.Name == "Sys" {
+			continue
+		}
+		for _, m := range c.Methods {
+			if !res.Reachable[m] || len(m.Code) == 0 {
+				continue
+			}
+			a.order = append(a.order, m)
+			a.sums[m] = newSum(m)
+			a.result.methods[m.ID] = m
+		}
+	}
+	sort.Slice(a.order, func(i, j int) bool { return a.order[i].ID < a.order[j].ID })
+
+	// Roots enter with top parameters; the receiver of any instance
+	// method is non-null by the engines' invoke-side checks (the
+	// interpreter's explicit receiver CheckNull, the JIT's vtable
+	// class-id load that traps at address 0, and spawn's CheckNull for
+	// run() roots).
+	for _, m := range res.Roots {
+		a.topEntry(m)
+	}
+	for _, c := range classes {
+		if !instantiated[c] {
+			continue
+		}
+		for _, m := range c.VTable {
+			if m != nil && m.Name == "run" && len(m.Sig.Params) == 0 &&
+				m.Sig.Ret == bytecode.TVoid && res.Reachable[m] {
+				a.topEntry(m)
+			}
+		}
+	}
+
+	const maxRounds = 40
+	round := 0
+	for ; round < maxRounds; round++ {
+		a.changed = false
+		a.widen = round >= 6
+		for _, m := range a.order {
+			if a.sums[m].entered && !a.bailedM[m] {
+				a.solve(m, false)
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+	if round == maxRounds {
+		// No convergence (should not happen with widening): drop to the
+		// sound top summaries and take whatever intra-method facts remain.
+		for _, m := range a.order {
+			a.topEntry(m)
+			s := a.sums[m]
+			s.returns, s.ret, s.retLen = true, top(), Range(0, math.MaxInt64)
+		}
+	}
+	for _, m := range a.order {
+		if a.sums[m].entered && !a.bailedM[m] {
+			a.solve(m, true)
+		}
+	}
+	if debugSums != nil {
+		debugSums(a)
+	}
+	return a.result
+}
+
+// debugSums, when set (tests only), observes the final analyzer state.
+var debugSums func(a *analyzer)
+
+func newSum(m *bytecode.Method) *msum {
+	n := m.NumArgs()
+	s := &msum{params: make([]aval, n), paramLen: make([]Interval, n)}
+	for i := range s.params {
+		s.params[i] = bottomParam()
+	}
+	return s
+}
+
+// bottomParam is the identity of the call-site join: an empty interval
+// plus facts that any join immediately collapses to the argument's.
+func bottomParam() aval {
+	return aval{iv: Interval{Lo: math.MaxInt64, Hi: math.MinInt64}, null: MaybeNull,
+		orig: noOrigin, from: -1, eqLen: noOrigin}
+}
+
+// topEntry forces m's entry summary to top (receiver still non-null).
+func (a *analyzer) topEntry(m *bytecode.Method) {
+	s := a.sums[m]
+	if s == nil {
+		return
+	}
+	full := Range(0, math.MaxInt64)
+	for i := range s.params {
+		v := top()
+		if i == 0 && !m.IsStatic() {
+			v.null = NonNull
+		}
+		if !s.entered || !equalVal(s.params[i], v) || s.paramLen[i] != full {
+			a.changed = true
+		}
+		s.params[i], s.paramLen[i] = v, full
+	}
+	if !s.entered {
+		a.changed = true
+	}
+	s.entered = true
+}
+
+// enter marks t's body as called this round. mergeArg also sets the
+// flag, but only fires per argument — a zero-argument callee is
+// entered through here alone.
+func (a *analyzer) enter(t *bytecode.Method) {
+	s := a.sums[t]
+	if s != nil && !s.entered {
+		s.entered = true
+		a.changed = true
+	}
+}
+
+// mergeArg joins one modeled call-site argument into the callee's
+// entry summary.
+func (a *analyzer) mergeArg(t *bytecode.Method, i int, v aval, lenIv Interval) {
+	s := a.sums[t]
+	if s == nil || i >= len(s.params) {
+		return
+	}
+	arg := aval{iv: v.iv, null: v.null, orig: noOrigin, from: -1, eqLen: noOrigin}
+	if i == 0 && !t.IsStatic() {
+		arg.null = NonNull
+	}
+	cur := s.params[i]
+	var next aval
+	var nextLen Interval
+	if cur.iv.Lo > cur.iv.Hi { // bottom: first observed call
+		next, nextLen = arg, lenIv
+	} else if a.widen {
+		next, nextLen = widenVal(cur, arg), s.paramLen[i].Widen(lenIv)
+	} else {
+		next, nextLen = joinVal(cur, arg), s.paramLen[i].Join(lenIv)
+	}
+	if !s.entered || !equalVal(cur, next) || s.paramLen[i] != nextLen {
+		a.changed = true
+	}
+	s.entered = true
+	s.params[i], s.paramLen[i] = next, nextLen
+}
+
+// mergeRet joins one return value into m's summary.
+func (a *analyzer) mergeRet(m *bytecode.Method, v aval, lenIv Interval) {
+	s := a.sums[m]
+	ret := aval{iv: v.iv, null: v.null, orig: noOrigin, from: -1, eqLen: noOrigin}
+	var next aval
+	var nextLen Interval
+	if !s.returns {
+		next, nextLen = ret, lenIv
+	} else if a.widen {
+		next, nextLen = widenVal(s.ret, ret), s.retLen.Widen(lenIv)
+	} else {
+		next, nextLen = joinVal(s.ret, ret), s.retLen.Join(lenIv)
+	}
+	if !s.returns || !equalVal(s.ret, next) || s.retLen != nextLen {
+		a.changed = true
+	}
+	s.returns, s.ret, s.retLen = true, next, nextLen
+}
+
+func (a *analyzer) markReturnsVoid(m *bytecode.Method) {
+	s := a.sums[m]
+	if !s.returns {
+		s.returns = true
+		a.changed = true
+	}
+}
+
+// bail abandons analysis of m: it contributes no proofs, and every
+// call target inside it is conservatively entered with top arguments
+// (the method may call them in ways the model no longer tracks).
+func (a *analyzer) bail(m *bytecode.Method) {
+	if a.bailedM[m] {
+		return
+	}
+	a.bailedM[m] = true
+	a.changed = true
+	s := a.sums[m]
+	s.returns, s.ret, s.retLen = true, top(), Range(0, math.MaxInt64)
+	for pc, ins := range m.Code {
+		switch ins.Op {
+		case bytecode.InvokeStatic, bytecode.InvokeSpecial:
+			if callee := m.Class.Pool.Methods[ins.A].Resolved; callee != nil && callee.Class.Name != "Sys" {
+				a.topEntry(callee)
+			}
+		case bytecode.InvokeVirtual:
+			for _, t := range a.res.Targets[ipa.Site{Method: m.ID, PC: pc}] {
+				a.topEntry(t)
+			}
+		}
+	}
+}
+
+// lenBound returns the known length interval of the value (for arrays
+// with a tracked origin), defaulting to the full non-negative range.
+func lenBound(lenOf map[origin]Interval, v aval) Interval {
+	if v.orig != noOrigin {
+		if iv, ok := lenOf[v.orig]; ok {
+			return iv
+		}
+	}
+	return Range(0, math.MaxInt64)
+}
+
+// msolver runs the flow-sensitive dataflow over one method body.
+type msolver struct {
+	a      *analyzer
+	m      *bytecode.Method
+	record bool
+
+	in       map[int]*state
+	loopHead map[int]bool
+	lenOf    map[origin]Interval
+	lenDirty map[origin]bool
+	bailed   bool
+	bailPC   int
+}
+
+// debugBail, when set (tests only), observes every method the solver
+// abandons with the pc it gave up at.
+var debugBail func(m *bytecode.Method, pc int)
+
+type edge struct {
+	to int
+	st *state
+}
+
+func (a *analyzer) solve(m *bytecode.Method, record bool) {
+	s := &msolver{a: a, m: m, record: record, loopHead: map[int]bool{}}
+	for pc, ins := range m.Code {
+		if ins.Op.IsBranch() && int(ins.A) <= pc {
+			s.loopHead[int(ins.A)] = true
+		}
+	}
+	sum := a.sums[m]
+	entry := &state{locals: make([]aval, m.MaxLocals)}
+	for i := range entry.locals {
+		entry.locals[i] = top()
+	}
+	baseLen := map[origin]Interval{}
+	for i := 0; i < m.NumArgs() && i < len(entry.locals); i++ {
+		p := sum.params[i]
+		if p.iv.Lo > p.iv.Hi { // bottom param on an entered method: treat as top
+			p = top()
+		}
+		v := aval{iv: p.iv, null: p.null, orig: paramOrigin(i), from: -1, eqLen: noOrigin}
+		if i == 0 && !m.IsStatic() {
+			v.null = NonNull
+		}
+		entry.locals[i] = v
+		baseLen[paramOrigin(i)] = sum.paramLen[i]
+	}
+
+	// The symbolic length table is monotone within the solve but feeds
+	// transfer functions, so re-run the worklist until it stabilizes
+	// (widening surviving dirty entries before the final pass).
+	s.lenOf = map[origin]Interval{}
+	for k, v := range baseLen {
+		s.lenOf[k] = v
+	}
+	for round := 0; round < 4; round++ {
+		s.lenDirty = map[origin]bool{}
+		s.run(entry)
+		if s.bailed {
+			if debugBail != nil {
+				debugBail(m, s.bailPC)
+			}
+			a.bail(m)
+			return
+		}
+		if len(s.lenDirty) == 0 {
+			break
+		}
+		if round == 2 {
+			for k := range s.lenDirty {
+				s.lenOf[k] = Range(0, math.MaxInt64)
+			}
+		}
+	}
+	if record {
+		s.collect()
+	}
+}
+
+func (s *msolver) run(entry *state) {
+	s.in = map[int]*state{0: entry.clone()}
+	work := []int{0}
+	queued := map[int]bool{0: true}
+	steps := 0
+	for len(work) > 0 {
+		steps++
+		if steps > 200000 {
+			s.bailed = true
+			return
+		}
+		pc := work[0]
+		work = work[1:]
+		queued[pc] = false
+		if pc < 0 || pc >= len(s.m.Code) {
+			s.bailed = true
+			return
+		}
+		st := s.in[pc].clone()
+		edges := s.step(pc, st)
+		if s.bailed {
+			s.bailPC = pc
+			return
+		}
+		for _, e := range edges {
+			if e.to < 0 || e.to >= len(s.m.Code) {
+				s.bailed, s.bailPC = true, pc
+				return
+			}
+			cur, ok := s.in[e.to]
+			if !ok {
+				s.in[e.to] = e.st.clone()
+			} else {
+				changed, shapeOK := mergeInto(cur, e.st, s.loopHead[e.to])
+				if !shapeOK {
+					s.bailed, s.bailPC = true, pc
+					return
+				}
+				if !changed {
+					continue
+				}
+			}
+			if !queued[e.to] {
+				queued[e.to] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+}
+
+// noteLen joins a symbolic length observation for origin o.
+func (s *msolver) noteLen(o origin, iv Interval) {
+	cur, ok := s.lenOf[o]
+	if !ok {
+		s.lenOf[o] = iv
+		s.lenDirty[o] = true
+		return
+	}
+	next := cur.Join(iv)
+	if next != cur {
+		s.lenOf[o] = next
+		s.lenDirty[o] = true
+	}
+}
+
+// defRef prepares the state for a reference produced at pc: kills the
+// previous incarnation of the origin and returns it.
+func (s *msolver) defRef(st *state, pc int) origin {
+	o := origin(pc)
+	st.killOrigin(o)
+	return o
+}
+
+func (s *msolver) pop(st *state) aval {
+	v, ok := st.pop()
+	if !ok {
+		s.bailed = true
+		return top()
+	}
+	return v
+}
+
+// derefNonNull records the post-dereference fact: the VM throws (and
+// the method never continues) on a null dereference, so on the
+// fall-through path the reference — and the local it came from — is
+// non-null.
+func derefNonNull(st *state, ref aval) {
+	st.refineFrom(ref, func(v *aval) { v.null = NonNull })
+}
+
+// boundsProven decides the tentpole question for one array access.
+func (s *msolver) boundsProven(arr, idx aval) bool {
+	if arr.null != NonNull || idx.iv.Lo < 0 {
+		return false
+	}
+	if arr.orig != noOrigin && hasOrigin(idx.lt, arr.orig) {
+		return true
+	}
+	lb := lenBound(s.lenOf, arr)
+	return idx.iv.Hi < lb.Lo
+}
+
+func (s *msolver) site(pc int) ipa.Site { return ipa.Site{Method: s.m.ID, PC: pc} }
+
+// collect records the per-site verdicts from the fixpoint in-states.
+func (s *msolver) collect() {
+	for pc, st := range s.in {
+		ins := s.m.Code[pc]
+		n := len(st.stack)
+		at := func(depth int) (aval, bool) {
+			if n < depth {
+				return aval{}, false
+			}
+			return st.stack[n-depth], true
+		}
+		switch ins.Op {
+		case bytecode.IALoad, bytecode.FALoad, bytecode.AALoad, bytecode.CALoad:
+			arr, ok1 := at(2)
+			idx, ok2 := at(1)
+			if ok1 && ok2 {
+				s.a.result.Bounds[s.site(pc)] = s.boundsProven(arr, idx)
+			}
+		case bytecode.IAStore, bytecode.FAStore, bytecode.AAStore, bytecode.CAStore:
+			arr, ok1 := at(3)
+			idx, ok2 := at(2)
+			if ok1 && ok2 {
+				s.a.result.Bounds[s.site(pc)] = s.boundsProven(arr, idx)
+			}
+		case bytecode.ArrayLength, bytecode.MonitorEnter, bytecode.MonitorExit:
+			if ref, ok := at(1); ok {
+				s.a.result.Null[s.site(pc)] = ref.null == NonNull
+			}
+		case bytecode.GetField:
+			if ref, ok := at(1); ok {
+				s.a.result.Null[s.site(pc)] = ref.null == NonNull
+			}
+		case bytecode.PutField:
+			if ref, ok := at(2); ok {
+				s.a.result.Null[s.site(pc)] = ref.null == NonNull
+			}
+		case bytecode.InvokeVirtual, bytecode.InvokeSpecial:
+			callee := s.m.Class.Pool.Methods[ins.A].Resolved
+			if callee == nil || callee.IsStatic() {
+				continue
+			}
+			nargs := len(callee.Sig.Params) + 1
+			if recv, ok := at(nargs); ok {
+				s.a.result.Null[s.site(pc)] = recv.null == NonNull
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package vrange_test
+
+import (
+	"math"
+	"testing"
+
+	"jrs/internal/analysis/ipa"
+	"jrs/internal/analysis/vrange"
+	"jrs/internal/bytecode"
+	"jrs/internal/minijava"
+	"jrs/internal/vm"
+)
+
+func TestIntervalJoinMeetExtremes(t *testing.T) {
+	full := vrange.Full()
+	if !full.Contains(math.MinInt64) || !full.Contains(math.MaxInt64) {
+		t.Error("Full must contain both int64 extremes")
+	}
+	lo := vrange.Point(math.MinInt64)
+	hi := vrange.Point(math.MaxInt64)
+	if j := lo.Join(hi); j != full {
+		t.Errorf("Join of extremes = %+v, want Full", j)
+	}
+	if _, ok := lo.Meet(hi); ok {
+		t.Error("Meet of disjoint extremes must be empty")
+	}
+	if m, ok := full.Meet(vrange.Range(-3, 7)); !ok || m != vrange.Range(-3, 7) {
+		t.Errorf("Full meet [-3,7] = %+v ok=%v", m, ok)
+	}
+	// Join is a hull, never wraps.
+	if j := vrange.Range(-10, -5).Join(vrange.Range(5, 10)); j != vrange.Range(-10, 10) {
+		t.Errorf("hull join = %+v", j)
+	}
+}
+
+// TestWideningTermination: any monotone chain of Widen steps changes
+// the interval only a bounded number of times (Lo can step to 0 then
+// MinInt64, Hi to MaxInt64), so loop-head iteration always terminates.
+func TestWideningTermination(t *testing.T) {
+	iv := vrange.Point(5)
+	changes := 0
+	for k := int64(0); k < 100; k++ {
+		next := vrange.Range(5-k, 5+k*3)
+		w := iv.Widen(next)
+		if hull := iv.Join(next); !w.Contains(hull.Lo) || !w.Contains(hull.Hi) {
+			t.Fatalf("Widen lost values: %+v widen %+v = %+v", iv, next, w)
+		}
+		if w != iv {
+			changes++
+		}
+		iv = w
+	}
+	if changes > 4 {
+		t.Errorf("widening chain changed %d times, want <= 4", changes)
+	}
+	if iv != vrange.Full() {
+		t.Errorf("chain with sinking Lo and rising Hi must reach Full, got %+v", iv)
+	}
+	// The 0-threshold: a non-negative sinking bound pauses at 0 so index
+	// lower bounds survive one widening step.
+	if w := vrange.Point(8).Widen(vrange.Range(3, 8)); w != vrange.Range(0, 8) {
+		t.Errorf("non-negative sink = %+v, want [0,8]", w)
+	}
+	if w := vrange.Range(0, 8).Widen(vrange.Range(-1, 8)); w != vrange.Range(math.MinInt64, 8) {
+		t.Errorf("negative sink = %+v, want [MinInt64,8]", w)
+	}
+}
+
+// TestIntervalOverflowSafety: arithmetic whose concrete counterpart
+// wraps must widen to Full instead of keeping a wrapped (unsound) bound.
+func TestIntervalOverflowSafety(t *testing.T) {
+	max, min := vrange.Point(math.MaxInt64), vrange.Point(math.MinInt64)
+	if r := max.Add(vrange.Point(1)); r != vrange.Full() {
+		t.Errorf("MaxInt64+1 = %+v, want Full", r)
+	}
+	if r := min.Sub(vrange.Point(1)); r != vrange.Full() {
+		t.Errorf("MinInt64-1 = %+v, want Full", r)
+	}
+	if r := max.Mul(vrange.Point(2)); r != vrange.Full() {
+		t.Errorf("MaxInt64*2 = %+v, want Full", r)
+	}
+	if r := min.Neg(); r != vrange.Full() {
+		t.Errorf("-MinInt64 = %+v, want Full", r)
+	}
+	// In-range arithmetic stays tight.
+	if r := vrange.Range(-2, 3).Add(vrange.Range(10, 20)); r != vrange.Range(8, 23) {
+		t.Errorf("[-2,3]+[10,20] = %+v", r)
+	}
+	if r := vrange.Range(-2, 3).Mul(vrange.Range(4, 5)); r != vrange.Range(-10, 15) {
+		t.Errorf("[-2,3]*[4,5] = %+v", r)
+	}
+	if r := vrange.Range(1, 4).Sub(vrange.Range(0, 2)); r != vrange.Range(-1, 4) {
+		t.Errorf("[1,4]-[0,2] = %+v", r)
+	}
+}
+
+func TestNullnessJoin(t *testing.T) {
+	cases := []struct{ a, b, want vrange.Nullness }{
+		{vrange.NonNull, vrange.NonNull, vrange.NonNull},
+		{vrange.IsNull, vrange.IsNull, vrange.IsNull},
+		{vrange.NonNull, vrange.IsNull, vrange.MaybeNull},
+		{vrange.NonNull, vrange.MaybeNull, vrange.MaybeNull},
+		{vrange.MaybeNull, vrange.MaybeNull, vrange.MaybeNull},
+	}
+	for _, c := range cases {
+		if got := vrange.JoinNull(c.a, c.b); got != c.want {
+			t.Errorf("JoinNull(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// analyzeSrc compiles a MiniJava source and runs the whole-program
+// analysis over it, returning the result plus the loaded classes.
+func analyzeSrc(t *testing.T, src string) (*vrange.Result, []*bytecode.Class) {
+	t.Helper()
+	classes, err := minijava.Compile("test.mj", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(nil, nil)
+	v.Verify = vm.VerifyStructural
+	if err := v.Load(classes); err != nil {
+		t.Fatal(err)
+	}
+	return vrange.Analyze(v.ClassList, ipa.Analyze(v.ClassList)), v.ClassList
+}
+
+// findMethod locates class.method in the loaded set.
+func findMethod(t *testing.T, classes []*bytecode.Class, class, method string) *bytecode.Method {
+	t.Helper()
+	for _, c := range classes {
+		if c.Name != class {
+			continue
+		}
+		for _, m := range c.Methods {
+			if m.Name == method {
+				return m
+			}
+		}
+	}
+	t.Fatalf("method %s.%s not found", class, method)
+	return nil
+}
+
+// TestNullnessThroughSyncBlock: monitorenter dereferences its operand,
+// so inside a sync block the locked reference is non-null — field
+// accesses there are proven while the monitorenter itself (on a
+// maybe-null reference) is not.
+func TestNullnessThroughSyncBlock(t *testing.T) {
+	r, classes := analyzeSrc(t, `
+class Box { int v; }
+class Main {
+	static Box pick(int n) {
+		if (n > 0) { return new Box(); }
+		return null;
+	}
+	static void main() {
+		// Two call sites widen pick's argument summary to [0,1], so its
+		// return joins both branches and b is genuinely maybe-null.
+		Box drop = Main.pick(0);
+		Box b = Main.pick(1);
+		sync (b) {
+			Sys.printi(b.v);
+		}
+	}
+}`)
+	m := findMethod(t, classes, "Main", "main")
+	var enterPC, getPC = -1, -1
+	for pc, ins := range m.Code {
+		switch ins.Op {
+		case bytecode.MonitorEnter:
+			enterPC = pc
+		case bytecode.GetField:
+			getPC = pc
+		}
+	}
+	if enterPC < 0 || getPC < 0 {
+		t.Fatalf("fixture shape: monitorenter=%d getfield=%d", enterPC, getPC)
+	}
+	if r.NullProvenID(m.ID, enterPC) {
+		t.Error("monitorenter on a maybe-null reference must keep its check")
+	}
+	if !r.NullProvenID(m.ID, getPC) {
+		t.Error("getfield inside the sync block must be proven non-null (monitorenter dominates it)")
+	}
+}
+
+// TestNullnessSpawnedRunRoot: a spawned run() is an analysis root whose
+// receiver is non-null (spawn checks it), so `this` dereferences inside
+// the thread body are proven even though no analyzed caller invokes it.
+func TestNullnessSpawnedRunRoot(t *testing.T) {
+	r, classes := analyzeSrc(t, `
+class W {
+	int[] data;
+	W(int n) { data = new int[n]; }
+	void run() {
+		int s = 0;
+		for (int i = 0; i < data.length; i = i + 1) {
+			s = s + data[i];
+		}
+		Sys.printi(s);
+	}
+}
+class Main {
+	static void main() {
+		int t = Sys.spawn(new W(8));
+		Sys.join(t);
+	}
+}`)
+	m := findMethod(t, classes, "W", "run")
+	checked, proven := 0, 0
+	for pc, ins := range m.Code {
+		if ins.Op == bytecode.GetField {
+			checked++
+			if r.NullProvenID(m.ID, pc) {
+				proven++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("fixture shape: no getfield in W.run")
+	}
+	if proven != checked {
+		t.Errorf("spawned-root this-dereferences proven %d/%d, want all", proven, checked)
+	}
+}
+
+// TestBoundsProofInterprocedural: an index bounded by a callee's
+// argument-length summary is proven across the call.
+func TestBoundsProofInterprocedural(t *testing.T) {
+	r, classes := analyzeSrc(t, `
+class Main {
+	static int sum(int[] a) {
+		int s = 0;
+		for (int i = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+		return s;
+	}
+	static void main() {
+		int[] xs = new int[12];
+		Sys.printi(Main.sum(xs));
+	}
+}`)
+	m := findMethod(t, classes, "Main", "sum")
+	for pc, ins := range m.Code {
+		if ins.Op == bytecode.IALoad && !r.BoundsProvenID(m.ID, pc) {
+			t.Errorf("a[i] under i < a.length not proven at pc %d", pc)
+		}
+	}
+	c := r.Summarize()
+	if c.BoundsProven == 0 {
+		t.Fatalf("census proved nothing: %+v", c)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"jrs/internal/analysis/ipa"
+	"jrs/internal/analysis/vrange"
 	"jrs/internal/bytecode"
 	"jrs/internal/emit"
 	"jrs/internal/interp"
@@ -87,6 +88,21 @@ type Config struct {
 	// rewritten away, before internal/monitor sees any of it.
 	// Default off.
 	ElideLocks bool
+	// ElideBounds enables sound bounds-check elimination: before the
+	// first run, internal/analysis/vrange proves per-site index ranges
+	// and the engines skip the bounds check at proven sites only —
+	// interpreter template and JIT code generation both shrink.
+	// Default off so baseline metrics stay untouched.
+	ElideBounds bool
+	// ElideNull enables sound null-check elimination at getfield/
+	// putfield/arraylength/invoke-receiver/monitorenter/-exit sites the
+	// vrange analysis proves non-null. Default off.
+	ElideNull bool
+	// CheckHook, when non-nil, observes every elided check as it
+	// executes with a re-validated verdict (jrs -checkelide attaches
+	// the vrange.CheckOracle here to pin the subsumption invariant:
+	// no elided check may ever fire).
+	CheckHook vm.CheckHook
 	// RaceHook, when non-nil, receives allocation, memory-access and
 	// synchronization events for dynamic race detection (jrs
 	// -checkraces). The engine announces thread switches and the
@@ -142,10 +158,15 @@ type Engine struct {
 	IPA              *ipa.Result
 	ElidedSyncSites  int
 	ElidedMonitorOps int
+	// VRange holds the value-range/nullness analysis result once prepare
+	// has run with ElideBounds or ElideNull set (nil otherwise).
+	VRange *vrange.Result
 
-	devirt     bool
-	elideLocks bool
-	prepared   bool
+	devirt      bool
+	elideLocks  bool
+	elideBounds bool
+	elideNull   bool
+	prepared    bool
 	cancel     func() error
 	schedSeed  uint64
 	sliceCount uint64
@@ -213,14 +234,21 @@ func New(cfg Config) *Engine {
 		Clock:      clock,
 		Batch:      batch,
 		Quantum:    cfg.Quantum,
-		devirt:     cfg.Devirt,
-		elideLocks: cfg.ElideLocks,
-		cancel:     cfg.Cancel,
-		schedSeed:  cfg.SchedSeed,
+		devirt:      cfg.Devirt,
+		elideLocks:  cfg.ElideLocks,
+		elideBounds: cfg.ElideBounds,
+		elideNull:   cfg.ElideNull,
+		cancel:      cfg.Cancel,
+		schedSeed:   cfg.SchedSeed,
 	}
 	if cfg.RaceHook != nil {
 		v.SetRaceHook(cfg.RaceHook)
 	}
+	// Elision knobs and the oracle hook land on the VM now; the proofs
+	// themselves (v.Checks) arrive when prepare runs the analysis.
+	v.ElideBounds = cfg.ElideBounds
+	v.ElideNull = cfg.ElideNull
+	v.CheckWatch = cfg.CheckHook
 	e.Interp = interp.New(v)
 	e.JIT = jit.New(v, cfg.JITOptions)
 	e.CPU = native.New(v)

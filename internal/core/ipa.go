@@ -24,23 +24,43 @@ package core
 import (
 	"jrs/internal/analysis/conc"
 	"jrs/internal/analysis/ipa"
+	"jrs/internal/analysis/vrange"
 	"jrs/internal/bytecode"
 )
 
-// ipaFacts adapts an ipa.Result to jit.Facts, mapping unsynchronized
-// clones back to the original method ids whose Code they share so
-// facts recorded against the original apply inside the clone too.
+// ipaFacts adapts the whole-program analysis results to jit.Facts and
+// vm.CheckFacts, mapping unsynchronized clones back to the original
+// method ids whose Code they share so facts recorded against the
+// original apply inside the clone too. devirt gates DevirtTarget so a
+// run with only check elision enabled does not silently devirtualize.
 type ipaFacts struct {
-	res   *ipa.Result
-	alias map[int]int
+	res    *ipa.Result
+	vr     *vrange.Result
+	alias  map[int]int
+	devirt bool
 }
 
-func (f *ipaFacts) DevirtTarget(m *bytecode.Method, pc int) *bytecode.Method {
+func (f *ipaFacts) origID(m *bytecode.Method) int {
 	id := m.ID
 	if orig, ok := f.alias[id]; ok {
 		id = orig
 	}
-	return f.res.DevirtTargetID(id, pc)
+	return id
+}
+
+func (f *ipaFacts) DevirtTarget(m *bytecode.Method, pc int) *bytecode.Method {
+	if !f.devirt {
+		return nil
+	}
+	return f.res.DevirtTargetID(f.origID(m), pc)
+}
+
+func (f *ipaFacts) BoundsProven(m *bytecode.Method, pc int) bool {
+	return f.vr != nil && f.vr.BoundsProvenID(f.origID(m), pc)
+}
+
+func (f *ipaFacts) NullProven(m *bytecode.Method, pc int) bool {
+	return f.vr != nil && f.vr.NullProvenID(f.origID(m), pc)
 }
 
 // prepare runs the analysis and applies the enabled optimizations.
@@ -50,7 +70,7 @@ func (e *Engine) prepare() {
 		return
 	}
 	e.prepared = true
-	if !e.devirt && !e.elideLocks {
+	if !e.devirt && !e.elideLocks && !e.elideBounds && !e.elideNull {
 		return
 	}
 	res := ipa.Analyze(e.VM.ClassList)
@@ -61,8 +81,18 @@ func (e *Engine) prepare() {
 		e.vetoRacyElisions(res)
 		e.applyElision(res, alias)
 	}
-	if e.devirt {
-		e.JIT.Opt.Facts = &ipaFacts{res: res, alias: alias}
+	facts := &ipaFacts{res: res, alias: alias, devirt: e.devirt}
+	if e.elideBounds || e.elideNull {
+		// The value-range analysis runs after lock elision's bytecode
+		// rewrites so it sees the code that will actually execute.
+		e.VRange = vrange.Analyze(e.VM.ClassList, res)
+		facts.vr = e.VRange
+		e.VM.Checks = facts
+		e.JIT.Opt.ElideBounds = e.elideBounds
+		e.JIT.Opt.ElideNull = e.elideNull
+	}
+	if e.devirt || facts.vr != nil {
+		e.JIT.Opt.Facts = facts
 	}
 }
 

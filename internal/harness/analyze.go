@@ -8,6 +8,7 @@ import (
 
 	"jrs/internal/analysis/conc"
 	"jrs/internal/analysis/ipa"
+	"jrs/internal/analysis/vrange"
 	"jrs/internal/bytecode"
 	"jrs/internal/vm"
 	"jrs/internal/workloads"
@@ -44,6 +45,9 @@ type AnalyzeRow struct {
 	// Concurrency is the static race/deadlock census, present only when
 	// the races pass is enabled (jrs analyze -races).
 	Concurrency *conc.Report `json:"concurrency,omitempty"`
+	// Checks is the provable runtime-check census, present only when the
+	// check-elision pass is enabled (jrs analyze -checkelide).
+	Checks *CheckCensus `json:"checks,omitempty"`
 }
 
 // AnalyzeResult is the `jrs analyze` report over a set of programs.
@@ -53,7 +57,7 @@ type AnalyzeResult struct {
 
 // analyzeClasses links the program and runs the interprocedural
 // analysis, flattening the fact maps into the deterministic row form.
-func analyzeClasses(name string, classes []*bytecode.Class, races bool) (AnalyzeRow, error) {
+func analyzeClasses(name string, classes []*bytecode.Class, races, checks bool) (AnalyzeRow, error) {
 	v := vm.New(nil, nil)
 	if err := v.Load(classes); err != nil {
 		return AnalyzeRow{}, fmt.Errorf("%s: %w", name, err)
@@ -63,6 +67,16 @@ func analyzeClasses(name string, classes []*bytecode.Class, races bool) (Analyze
 	row := AnalyzeRow{Workload: name, Summary: res.Summarize()}
 	if races {
 		row.Concurrency = conc.Analyze(v.ClassList, res)
+	}
+	if checks {
+		vr := vrange.Analyze(v.ClassList, res)
+		cc := &CheckCensus{Census: vr.Summarize()}
+		for _, s := range vr.SortedSites() {
+			if s.Proven {
+				cc.Proven = append(cc.Proven, s)
+			}
+		}
+		row.Checks = cc
 	}
 	sites := func(fs []ipa.SiteFact) []AnalyzeSite {
 		out := make([]AnalyzeSite, len(fs))
@@ -96,14 +110,17 @@ func analyzePlan(o Options) (*Plan, *AnalyzeResult) {
 	p := newPlan("analyze", res)
 	cfg := "ipa"
 	if o.Races {
-		cfg = "ipa+races"
+		cfg += "+races"
+	}
+	if o.Checks {
+		cfg += "+checks"
 	}
 	for i, w := range list {
 		i, w := i, w
 		scale := resolveScale(o, w)
 		key := CellKey{Experiment: "analyze", Workload: w.Name, Scale: scale, Mode: "static", Config: cfg}
 		p.add(key, &res.Rows[i], func(ctx context.Context) (any, error) {
-			return analyzeClasses(w.Name, w.Classes(scale), o.Races)
+			return analyzeClasses(w.Name, w.Classes(scale), o.Races, o.Checks)
 		})
 	}
 	return p, res
@@ -127,10 +144,10 @@ func AnalyzeWith(o Options, r *Runner) (*AnalyzeResult, error) {
 
 // AnalyzePrograms analyzes explicit compiled programs (the `jrs analyze
 // file.mj ...` path) without going through the plan machinery.
-func AnalyzePrograms(progs []LintProgram, races bool) (*AnalyzeResult, error) {
+func AnalyzePrograms(progs []LintProgram, races, checks bool) (*AnalyzeResult, error) {
 	res := &AnalyzeResult{Rows: make([]AnalyzeRow, len(progs))}
 	for i, p := range progs {
-		row, err := analyzeClasses(p.Name, p.Classes, races)
+		row, err := analyzeClasses(p.Name, p.Classes, races, checks)
 		if err != nil {
 			return nil, err
 		}
@@ -170,6 +187,14 @@ func (r *AnalyzeResult) Render() string {
 		fmt.Fprintf(&b, "effects (R=read W=write A=alloc L=lock I=io T=thread; %d pure):\n", s.PureMethods)
 		for _, me := range row.Effects {
 			fmt.Fprintf(&b, "  %s %s\n", me.Effects, me.Method)
+		}
+		if cc := row.Checks; cc != nil {
+			c := cc.Census
+			fmt.Fprintf(&b, "checks: %d bounds site(s) (%d proven), %d null site(s) (%d proven) over %d method(s)\n",
+				c.BoundsSites, c.BoundsProven, c.NullSites, c.NullProven, c.Methods)
+			for _, s := range cc.Proven {
+				fmt.Fprintf(&b, "  %s %s @%d\n", s.Kind, s.Method, s.PC)
+			}
 		}
 		if c := row.Concurrency; c != nil {
 			cs := c.Summarize()

@@ -12,6 +12,8 @@ func goldenOpts(name string) Options {
 	switch name {
 	case "ablate-devirt", "ablate-elide":
 		return helloOpts("hello", "db", "jess")
+	case "ablate-checks":
+		return helloOpts("hello", "compress", "db", "jess")
 	}
 	return helloOpts()
 }

@@ -68,6 +68,11 @@ type Options struct {
 	// default: race findings are opt-in so multithreaded workloads
 	// don't fail plain lint runs on the analysis's conservatism.
 	Races bool
+	// Checks adds the provable runtime-check census (value-range and
+	// nullness analysis) to lint and analyze reports (jrs lint
+	// -checkelide / jrs analyze -checkelide). Off by default so the
+	// plain report text stays byte-stable.
+	Checks bool
 }
 
 // scaleFor resolves the effective scale for one workload.

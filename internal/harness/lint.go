@@ -8,6 +8,7 @@ import (
 	"jrs/internal/analysis"
 	"jrs/internal/analysis/conc"
 	"jrs/internal/analysis/ipa"
+	"jrs/internal/analysis/vrange"
 	"jrs/internal/bytecode"
 	"jrs/internal/vm"
 	"jrs/internal/workloads"
@@ -52,6 +53,11 @@ type LintProgramReport struct {
 	Findings  []LintFinding   `json:"findings"`
 	Races     []conc.Race     `json:"races,omitempty"`
 	Deadlocks []conc.Deadlock `json:"deadlocks,omitempty"`
+	// Checks is the provable runtime-check census, filled only when the
+	// check-elision pass is enabled (jrs lint -checkelide). Provable
+	// checks are opportunities, not defects, so they never count toward
+	// the finding total.
+	Checks *vrange.Census `json:"checks,omitempty"`
 }
 
 // LintReport is the structured form of the lint run; the text report
@@ -65,20 +71,29 @@ type LintReport struct {
 // BuildLintReport lints every program into the structured report. A
 // program that fails to link at all is an error.
 func BuildLintReport(progs []LintProgram) (*LintReport, error) {
-	return buildLintReport(progs, false)
+	return buildLintReport(progs, false, false)
 }
 
 // BuildRaceLintReport is BuildLintReport with the static race and
 // deadlock analysis added (the jrs lint -races path); every race pair
 // and deadlock cycle counts as a finding.
 func BuildRaceLintReport(progs []LintProgram) (*LintReport, error) {
-	return buildLintReport(progs, true)
+	return buildLintReport(progs, true, false)
 }
 
-func buildLintReport(progs []LintProgram, races bool) (*LintReport, error) {
+// BuildLintReportOpts is BuildLintReport with the optional passes
+// selected individually (the cmd/jrs flag path).
+func BuildLintReportOpts(progs []LintProgram, races, checks bool) (*LintReport, error) {
+	return buildLintReport(progs, races, checks)
+}
+
+func buildLintReport(progs []LintProgram, races, checks bool) (*LintReport, error) {
 	r := &LintReport{Passes: analysis.PassNames()}
 	if races {
 		r.Passes = append(r.Passes, "races")
+	}
+	if checks {
+		r.Passes = append(r.Passes, "checks")
 	}
 	for _, p := range progs {
 		methods := 0
@@ -103,6 +118,13 @@ func buildLintReport(progs []LintProgram, races bool) (*LintReport, error) {
 			pr.Races = rep.Races
 			pr.Deadlocks = rep.Deadlocks
 			r.Findings += len(pr.Races) + len(pr.Deadlocks)
+		}
+		if checks {
+			cc, err := StaticChecks(p.Classes)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", p.Name, err)
+			}
+			pr.Checks = &cc.Census
 		}
 		r.Programs = append(r.Programs, pr)
 		r.Findings += len(diags)
@@ -133,10 +155,18 @@ func (r *LintReport) Render() string {
 		if total == 0 {
 			fmt.Fprintf(&b, "%-9s %d classes, %d methods: clean\n",
 				p.Name, p.Classes, p.Methods)
+			if c := p.Checks; c != nil {
+				fmt.Fprintf(&b, "  [checks] bounds %d/%d proven, null %d/%d proven\n",
+					c.BoundsProven, c.BoundsSites, c.NullProven, c.NullSites)
+			}
 			continue
 		}
 		fmt.Fprintf(&b, "%-9s %d classes, %d methods: %d finding(s)\n",
 			p.Name, p.Classes, p.Methods, total)
+		if c := p.Checks; c != nil {
+			fmt.Fprintf(&b, "  [checks] bounds %d/%d proven, null %d/%d proven\n",
+				c.BoundsProven, c.BoundsSites, c.NullProven, c.NullSites)
+		}
 		for _, f := range p.Findings {
 			fmt.Fprintf(&b, "  %s @%d: [%s] %s: %s\n", f.Method, f.PC, f.Pass, f.Severity, f.Message)
 		}

@@ -211,7 +211,7 @@ func TestRaceLintGolden(t *testing.T) {
 // over the same programs. Refresh with -update.
 func TestRaceAnalyzeGolden(t *testing.T) {
 	progs := append(fixturePrograms(t), WorkloadPrograms(quickOpts("mtrt"))...)
-	res, err := AnalyzePrograms(progs, true)
+	res, err := AnalyzePrograms(progs, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,6 +90,8 @@ func Experiments() []Experiment {
 			planOf(ablateDevirtPlan)},
 		{"ablate-elide", "extension: escape-based lock elision vs baseline synchronization",
 			planOf(ablateElidePlan)},
+		{"ablate-checks", "extension: sound bounds/null check elision vs full runtime checking",
+			planOf(ablateChecksPlan)},
 		{"ablate-ooo", "extension: OoO resource sweep (ROB size / RS count / LSQ depth)",
 			planOf(ablateOoOPlan)},
 	}

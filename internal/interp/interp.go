@@ -279,14 +279,23 @@ func (in *Interp) Step(t *vm.Thread, f *Frame) rt.Trap {
 			Store(f.slotAddr(f.SP - 1))
 	case bytecode.ArrayLength:
 		ref := uint64(f.pop())
-		v.CheckNull(ref)
+		if v.NullElidable(f.M, f.PC) {
+			v.NoteElidedNull(f.M, f.PC, ref)
+		} else {
+			v.CheckNull(ref)
+		}
 		f.push(v.ArrayLen(ref))
 		h.Load(f.slotAddr(f.SP - 1)).Load(ref + 16).Store(f.slotAddr(f.SP - 1))
 
 	case bytecode.IALoad, bytecode.FALoad, bytecode.AALoad, bytecode.CALoad:
 		idx := f.pop()
 		ref := uint64(f.pop())
-		v.CheckBounds(ref, idx)
+		elide := v.BoundsElidable(f.M, f.PC)
+		if elide {
+			v.NoteElidedBounds(f.M, f.PC, ref, idx)
+		} else {
+			v.CheckBounds(ref, idx)
+		}
 		kind := arrayKindOf(op)
 		ea := vm.ElemAddr(ref, kind, idx)
 		var val int64
@@ -296,14 +305,22 @@ func (in *Interp) Step(t *vm.Thread, f *Frame) rt.Trap {
 			val = v.Mem.Load(ea)
 		}
 		f.push(val)
-		h.Load(f.slotAddr(f.SP+1)).Load(f.slotAddr(f.SP)).
-			Load(ref+16).Branch(false, HandlerPC(op)+0xE0). // bounds check
-			ALU(2).Load(ea).Store(f.slotAddr(f.SP - 1))
+		hs := h.Load(f.slotAddr(f.SP + 1)).Load(f.slotAddr(f.SP))
+		if !elide {
+			// bounds check: length load plus trap branch
+			hs = hs.Load(ref + 16).Branch(false, HandlerPC(op)+0xE0)
+		}
+		hs.ALU(2).Load(ea).Store(f.slotAddr(f.SP - 1))
 	case bytecode.IAStore, bytecode.FAStore, bytecode.AAStore, bytecode.CAStore:
 		val := f.pop()
 		idx := f.pop()
 		ref := uint64(f.pop())
-		v.CheckBounds(ref, idx)
+		elide := v.BoundsElidable(f.M, f.PC)
+		if elide {
+			v.NoteElidedBounds(f.M, f.PC, ref, idx)
+		} else {
+			v.CheckBounds(ref, idx)
+		}
 		kind := arrayKindOf(op)
 		ea := vm.ElemAddr(ref, kind, idx)
 		if kind == bytecode.KindChar {
@@ -311,9 +328,12 @@ func (in *Interp) Step(t *vm.Thread, f *Frame) rt.Trap {
 		} else {
 			v.Mem.Store(ea, val)
 		}
-		h.Load(f.slotAddr(f.SP+2)).Load(f.slotAddr(f.SP+1)).
-			Load(f.slotAddr(f.SP)).Load(ref+16).
-			Branch(false, HandlerPC(op)+0xE0).ALU(2).Store(ea)
+		hs := h.Load(f.slotAddr(f.SP + 2)).Load(f.slotAddr(f.SP + 1)).
+			Load(f.slotAddr(f.SP))
+		if !elide {
+			hs = hs.Load(ref + 16).Branch(false, HandlerPC(op)+0xE0)
+		}
+		hs.ALU(2).Store(ea)
 
 	case bytecode.Goto:
 		next = int(ins.A)
@@ -348,7 +368,11 @@ func (in *Interp) Step(t *vm.Thread, f *Frame) rt.Trap {
 	case bytecode.GetField:
 		fr := &f.M.Class.Pool.Fields[ins.A]
 		ref := uint64(f.pop())
-		v.CheckNull(ref)
+		if v.NullElidable(f.M, f.PC) {
+			v.NoteElidedNull(f.M, f.PC, ref)
+		} else {
+			v.CheckNull(ref)
+		}
 		ea := vm.FieldAddr(ref, fr.Resolved.Slot)
 		f.push(v.Mem.Load(ea))
 		h.Load(f.slotAddr(f.SP)).ALU(1).Load(ea).Store(f.slotAddr(f.SP - 1))
@@ -356,7 +380,11 @@ func (in *Interp) Step(t *vm.Thread, f *Frame) rt.Trap {
 		fr := &f.M.Class.Pool.Fields[ins.A]
 		val := f.pop()
 		ref := uint64(f.pop())
-		v.CheckNull(ref)
+		if v.NullElidable(f.M, f.PC) {
+			v.NoteElidedNull(f.M, f.PC, ref)
+		} else {
+			v.CheckNull(ref)
+		}
 		ea := vm.FieldAddr(ref, fr.Resolved.Slot)
 		v.Mem.Store(ea, val)
 		h.Load(f.slotAddr(f.SP + 1)).Load(f.slotAddr(f.SP)).ALU(1).Store(ea)
@@ -373,7 +401,13 @@ func (in *Interp) Step(t *vm.Thread, f *Frame) rt.Trap {
 
 	case bytecode.MonitorEnter:
 		ref := uint64(f.Stack[f.SP-1])
-		v.CheckNull(ref)
+		// A blocked monitorenter re-executes after wake, re-noting the
+		// elided check — symmetric with CheckNull re-running unelided.
+		if v.NullElidable(f.M, f.PC) {
+			v.NoteElidedNull(f.M, f.PC, ref)
+		} else {
+			v.CheckNull(ref)
+		}
 		if !v.LockObject(t.ID, ref) {
 			// Re-execute on wake: leave the ref on the stack, don't
 			// advance.
@@ -452,7 +486,11 @@ func (in *Interp) invoke(f *Frame, ins bytecode.Instr, h *emit.Seq, next int) rt
 	target := m
 	if isVirtual {
 		recv := uint64(args[0])
-		v.CheckNull(recv)
+		if v.NullElidable(f.M, f.PC) {
+			v.NoteElidedNull(f.M, f.PC, recv)
+		} else {
+			v.CheckNull(recv)
+		}
 		cls := v.ClassOf(recv)
 		if cls == nil {
 			vm.Throwf("InternalError", "virtual call on array receiver")
@@ -467,7 +505,11 @@ func (in *Interp) invoke(f *Frame, ins bytecode.Instr, h *emit.Seq, next int) rt
 			ICall(target.Addr)
 	} else {
 		if !m.IsStatic() {
-			v.CheckNull(uint64(args[0]))
+			if v.NullElidable(f.M, f.PC) {
+				v.NoteElidedNull(f.M, f.PC, uint64(args[0]))
+			} else {
+				v.CheckNull(uint64(args[0]))
+			}
 		}
 		h.ALU(1).Call(target.Addr)
 	}

@@ -51,14 +51,44 @@ type Options struct {
 	// operations", §4.1). Off, the generator emits tight register code
 	// only (a modern baseline JIT).
 	BaselineCodegen bool
+	// ElideBounds lets the generator skip the bounds-check sequence at
+	// array accesses Facts proves safe (length load plus two trap
+	// branches). The elided site is recorded in Compiled.Elided so the
+	// CPU can re-validate it under the -checkelide oracle.
+	ElideBounds bool
+	// ElideNull is accepted for symmetry with the interpreter but is a
+	// no-op here: native code has no explicit null-check instructions —
+	// null dereferences trap implicitly via the low-page effective-
+	// address check, which elision must not remove.
+	ElideNull bool
 }
 
-// Facts answers devirtualization queries for compiled call sites.
+// Facts answers whole-program-analysis queries for compiled sites.
 type Facts interface {
 	// DevirtTarget returns the proven unique runtime target of the
 	// invokevirtual at instruction index pc of m, or nil when the site
 	// stays polymorphic.
 	DevirtTarget(m *bytecode.Method, pc int) *bytecode.Method
+	// BoundsProven reports that the array access at instruction index pc
+	// of m has a provably in-range index on a non-null array (see
+	// internal/analysis/vrange).
+	BoundsProven(m *bytecode.Method, pc int) bool
+	// NullProven reports that the reference checked at instruction index
+	// pc of m is provably non-null.
+	NullProven(m *bytecode.Method, pc int) bool
+}
+
+// ElidedCheck describes one runtime check the generator skipped, keyed
+// in Compiled.Elided by the native code index of the anchor instruction
+// (the first instruction of the unchecked access sequence). Arr and Idx
+// name the registers still holding the array reference and index there,
+// so the oracle can re-validate from live state.
+type ElidedCheck struct {
+	// PC is the bytecode instruction index of the elided site.
+	PC   int
+	Kind vm.CheckKind
+	Arr  uint8
+	Idx  uint8
 }
 
 // DefaultOptions returns the standard (paper-era) configuration.
@@ -77,6 +107,9 @@ type Compiled struct {
 	// Tier is 1 for baseline code and 2 for an optimizing recompilation
 	// (the tiered-compilation extension of the paper's §7 proposal).
 	Tier int
+	// Elided maps native code index -> the check skipped there (nil when
+	// no checks were elided in this method).
+	Elided map[int]ElidedCheck
 }
 
 // AddrOf returns the address of instruction index i.
@@ -234,6 +267,8 @@ type gen struct {
 	// stack models the operand stack register assignment during
 	// generation (depth -> type comes from typeflow).
 	depth int
+	// elided collects check-elision records during the emit pass.
+	elided map[int]ElidedCheck
 }
 
 // Stack register assignment: integer/reference slot d lives in
@@ -310,6 +345,7 @@ func (g *gen) run() (*Compiled, error) {
 		Base:       g.base,
 		Code:       g.code,
 		FrameBytes: uint64(g.m.MaxLocals+maxDepth)*8 + 64,
+		Elided:     g.elided,
 	}, nil
 }
 
@@ -619,15 +655,41 @@ func (g *gen) instr(i int, ins bytecode.Instr, ts *emit.Seq) error {
 	return nil
 }
 
+// elideBounds decides whether the bounds check at bytecode i may be
+// skipped. It is a pure function of (opt, m, i) so the sizing and emit
+// passes agree on instruction counts.
+func (g *gen) elideBounds(i int) bool {
+	return g.opt.ElideBounds && g.opt.Facts != nil && g.opt.Facts.BoundsProven(g.m, i)
+}
+
+// noteElided records an elided check anchored at the next native
+// instruction to be emitted (emit pass only).
+func (g *gen) noteElided(ec ElidedCheck) {
+	if g.sizing {
+		return
+	}
+	if g.elided == nil {
+		g.elided = make(map[int]ElidedCheck)
+	}
+	g.elided[len(g.code)] = ec
+}
+
 // arrayLoad generates the bounds-checked element load.
 func (g *gen) arrayLoad(i int, op bytecode.Op, ts *emit.Seq) {
 	depth := len(g.types[i])
 	arr, idx := intReg(depth-2), intReg(depth-1)
 	e := func(in isa.Inst) { g.emit(in, ts) }
-	// Bounds: idx < 0 or idx >= len traps.
-	e(isa.Inst{Op: isa.OpLd, Rd: isa.RTmp0, Rs1: arr, Imm: 16})
-	e(isa.Inst{Op: isa.OpBlt, Rs1: idx, Rs2: isa.RZero, Target: vm.TrapPC})
-	e(isa.Inst{Op: isa.OpBge, Rs1: idx, Rs2: isa.RTmp0, Target: vm.TrapPC})
+	if g.elideBounds(i) {
+		// Proven in-range on a non-null array: skip the length load and
+		// both trap branches. The anchor (address-computation) instruction
+		// below still has arr/idx live for oracle re-validation.
+		g.noteElided(ElidedCheck{PC: i, Kind: vm.BoundsCheck, Arr: arr, Idx: idx})
+	} else {
+		// Bounds: idx < 0 or idx >= len traps.
+		e(isa.Inst{Op: isa.OpLd, Rd: isa.RTmp0, Rs1: arr, Imm: 16})
+		e(isa.Inst{Op: isa.OpBlt, Rs1: idx, Rs2: isa.RZero, Target: vm.TrapPC})
+		e(isa.Inst{Op: isa.OpBge, Rs1: idx, Rs2: isa.RTmp0, Target: vm.TrapPC})
+	}
 	if op == bytecode.CALoad {
 		e(isa.Inst{Op: isa.OpAdd, Rd: isa.RTmp0 + 1, Rs1: arr, Rs2: idx})
 		e(isa.Inst{Op: isa.OpLdb, Rd: intReg(depth - 2), Rs1: isa.RTmp0 + 1, Imm: int64(vm.ArrHeaderBytes)})
@@ -647,9 +709,13 @@ func (g *gen) arrayStore(i int, op bytecode.Op, ts *emit.Seq) {
 	depth := len(g.types[i])
 	arr, idx := intReg(depth-3), intReg(depth-2)
 	e := func(in isa.Inst) { g.emit(in, ts) }
-	e(isa.Inst{Op: isa.OpLd, Rd: isa.RTmp0, Rs1: arr, Imm: 16})
-	e(isa.Inst{Op: isa.OpBlt, Rs1: idx, Rs2: isa.RZero, Target: vm.TrapPC})
-	e(isa.Inst{Op: isa.OpBge, Rs1: idx, Rs2: isa.RTmp0, Target: vm.TrapPC})
+	if g.elideBounds(i) {
+		g.noteElided(ElidedCheck{PC: i, Kind: vm.BoundsCheck, Arr: arr, Idx: idx})
+	} else {
+		e(isa.Inst{Op: isa.OpLd, Rd: isa.RTmp0, Rs1: arr, Imm: 16})
+		e(isa.Inst{Op: isa.OpBlt, Rs1: idx, Rs2: isa.RZero, Target: vm.TrapPC})
+		e(isa.Inst{Op: isa.OpBge, Rs1: idx, Rs2: isa.RTmp0, Target: vm.TrapPC})
+	}
 	if op == bytecode.CAStore {
 		e(isa.Inst{Op: isa.OpAdd, Rd: isa.RTmp0 + 1, Rs1: arr, Rs2: idx})
 		e(isa.Inst{Op: isa.OpStb, Rs1: isa.RTmp0 + 1, Rs2: intReg(depth - 1), Imm: int64(vm.ArrHeaderBytes)})

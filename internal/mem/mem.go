@@ -138,6 +138,17 @@ func (m *Memory) Load(addr uint64) int64 {
 	return p.words[(addr>>3)%pageWords]
 }
 
+// Peek reads the word at addr without notifying Watch and without
+// touching pages — oracle-style inspection (the -checkelide
+// re-validation) that must not perturb race detection or footprint.
+func (m *Memory) Peek(addr uint64) int64 {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p.words[(addr>>3)%pageWords]
+}
+
 // Store writes the 64-bit word at byte address addr.
 func (m *Memory) Store(addr uint64, v int64) {
 	if m.Watch != nil {

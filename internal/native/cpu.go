@@ -105,6 +105,11 @@ func (c *CPU) Run(t *vm.Thread, a *Activation, quantum int) rt.Trap {
 			vm.Throwf("InternalError", "%s: native PC %d out of range", a.C.M.FullName(), a.PC)
 		}
 		in := code[a.PC]
+		if a.C.Elided != nil {
+			if ec, ok := a.C.Elided[a.PC]; ok {
+				c.validateElided(a, ec)
+			}
+		}
 		pc := a.C.AddrOf(a.PC)
 		c.Executed++
 		next := a.PC + 1
@@ -239,12 +244,18 @@ func (c *CPU) Run(t *vm.Thread, a *Activation, quantum int) rt.Trap {
 
 		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBle, isa.OpBgt:
 			taken := evalBranch(in.Op, R[in.Rs1], R[in.Rs2])
+			if in.Target == vm.TrapPC {
+				v.ChecksRun++
+			}
 			c.put(trace.Inst{PC: pc, Class: trace.Branch, Target: in.Target,
 				Taken: taken, Phase: trace.PhaseExec, Src1: in.Rs1, Src2: in.Rs2,
 				Dst: trace.RegNone})
 			if taken {
 				if in.Target == vm.TrapPC {
-					vm.Throwf("ArrayIndexOutOfBounds", "%s: runtime check failed", a.C.M.FullName())
+					// The bounds-check convention keeps the index in Rs1 and
+					// the loaded length in RTmp0, so the exception text is
+					// identical to the interpreter's vm.CheckBounds.
+					vm.Throwf("ArrayIndexOutOfBounds", "index %d length %d", R[in.Rs1], R[isa.RTmp0])
 				}
 				next = c.codeIndex(a, in.Target)
 			}
@@ -310,9 +321,33 @@ func (c *CPU) Run(t *vm.Thread, a *Activation, quantum int) rt.Trap {
 func (c *CPU) effAddr(base, imm int64) uint64 {
 	ea := uint64(base + imm)
 	if ea < 0x1000 {
-		vm.Throwf("NullPointer", "native access at 0x%x", ea)
+		// Same exception text as the interpreter's vm.CheckNull: the
+		// low-page trap is the native code's implicit null check.
+		vm.Throwf("NullPointer", "null dereference")
 	}
 	return ea
+}
+
+// validateElided accounts an elided runtime check reached in native
+// code and — when the -checkelide oracle is attached — re-validates it
+// from the registers still live at the anchor instruction. Peek avoids
+// the memory watch so the re-check cannot perturb race detection.
+func (c *CPU) validateElided(a *Activation, ec jit.ElidedCheck) {
+	v := c.VM
+	v.ChecksElided++
+	if v.CheckWatch == nil {
+		return
+	}
+	ok := true
+	switch ec.Kind {
+	case vm.BoundsCheck:
+		arr := uint64(a.Regs[ec.Arr])
+		idx := a.Regs[ec.Idx]
+		ok = arr != 0 && idx >= 0 && idx < v.Mem.Peek(arr+16)
+	case vm.NullCheck:
+		ok = a.Regs[ec.Arr] != 0
+	}
+	v.CheckWatch.OnElidedCheck(a.C.M, ec.PC, ec.Kind, ok)
 }
 
 // codeIndex converts an intra-method target address to a code index.

@@ -114,6 +114,19 @@ type VM struct {
 	// Race, when set (SetRaceHook), observes allocation, access, and
 	// synchronization events for dynamic race detection.
 	Race RaceHook
+
+	// Checks supplies per-site provability facts and ElideBounds /
+	// ElideNull arm them: the engines then skip check work at proven
+	// sites (core wires all three from its Config knobs). CheckWatch,
+	// when set, re-validates every elided site (the -checkelide
+	// oracle). ChecksRun counts dynamic checks actually executed;
+	// ChecksElided counts checks skipped on proof.
+	Checks       CheckFacts
+	ElideBounds  bool
+	ElideNull    bool
+	CheckWatch   CheckHook
+	ChecksRun    uint64
+	ChecksElided uint64
 }
 
 // New builds a VM emitting to sink with the given synchronization
@@ -249,8 +262,9 @@ func ElemAddr(arr uint64, kind int, idx int64) uint64 {
 
 // CheckBounds throws on an out-of-range index.
 func (v *VM) CheckBounds(arr uint64, idx int64) {
+	v.ChecksRun++
 	if arr == 0 {
-		Throwf("NullPointer", "array access on null")
+		Throwf("NullPointer", "null dereference")
 	}
 	n := v.ArrayLen(arr)
 	if idx < 0 || idx >= n {
@@ -260,6 +274,7 @@ func (v *VM) CheckBounds(arr uint64, idx int64) {
 
 // CheckNull throws on a null reference.
 func (v *VM) CheckNull(ref uint64) {
+	v.ChecksRun++
 	if ref == 0 {
 		Throwf("NullPointer", "null dereference")
 	}
