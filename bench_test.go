@@ -17,6 +17,7 @@ import (
 
 	"jrs/internal/core"
 	"jrs/internal/harness"
+	"jrs/internal/jit/codecache"
 	"jrs/internal/trace"
 	"jrs/internal/workloads"
 )
@@ -50,6 +51,24 @@ func benchGrid(b *testing.B, workers int) {
 		b.ReportMetric(float64(r.Simulated()), "cells-simulated/op")
 		b.ReportMetric(float64(r.CacheHits()), "cache-hits/op")
 	}
+	b.StopTimer()
+	b.ReportMetric(translateProbe(b, nil), "db-translate-instrs")
+}
+
+// translateProbe runs the db workload under the JIT against cc (nil =
+// no shared cache) and returns its translate-phase instruction count —
+// the per-op number the BENCH log tracks for the off-vs-warm comparison.
+func translateProbe(b *testing.B, cc *codecache.Cache) float64 {
+	w, ok := workloads.ByName("db")
+	if !ok {
+		b.Fatal("unknown workload db")
+	}
+	e, err := harness.Run(w, w.BenchN, harness.ModeJIT, core.Config{CodeCache: cc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, tr, _ := e.PhaseInstrs()
+	return float64(tr)
 }
 
 // BenchmarkGridSerial regenerates every figure and table on one worker.
@@ -58,6 +77,41 @@ func BenchmarkGridSerial(b *testing.B) { benchGrid(b, 1) }
 // BenchmarkGridParallel regenerates every figure and table on -parallel
 // workers (default GOMAXPROCS).
 func BenchmarkGridParallel(b *testing.B) { benchGrid(b, *benchParallel) }
+
+// benchGridCodeCache regenerates the grid with a process-wide shared
+// translation cache: one untimed pass warms it, then every timed pass
+// serves all translations from it (the persistent-cache steady state).
+// Compare against BenchmarkGridSerial/Parallel for the wall-clock the
+// translate phase was costing.
+func benchGridCodeCache(b *testing.B, workers int) {
+	cc := codecache.NewMemory()
+	harness.SetCodeCache(cc)
+	defer harness.SetCodeCache(nil)
+	if _, err := harness.RunAllWith(benchOpts(), &harness.Runner{Workers: workers}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &harness.Runner{Workers: workers, CodeCache: cc}
+		if _, err := harness.RunAllWith(benchOpts(), r, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Simulated()), "cells-simulated/op")
+	}
+	b.StopTimer()
+	s := cc.Stats()
+	b.ReportMetric(float64(s.Hits)/float64(b.N), "cc-hits/op")
+	b.ReportMetric(float64(s.CodeBytes)/float64(b.N), "cc-code-bytes/op")
+	b.ReportMetric(translateProbe(b, cc), "db-translate-instrs")
+}
+
+// BenchmarkGridSerialCodeCache is BenchmarkGridSerial over a warm shared
+// translation cache.
+func BenchmarkGridSerialCodeCache(b *testing.B) { benchGridCodeCache(b, 1) }
+
+// BenchmarkGridParallelCodeCache is BenchmarkGridParallel over a warm
+// shared translation cache: all engines of all concurrent cells share it.
+func BenchmarkGridParallelCodeCache(b *testing.B) { benchGridCodeCache(b, *benchParallel) }
 
 // BenchmarkFig1 regenerates the translate/execute breakdown and oracle.
 func BenchmarkFig1(b *testing.B) {

@@ -35,6 +35,13 @@
 //	-w names      comma-separated workload subset for experiments
 //	-parallel N   simulation workers (0 = GOMAXPROCS, 1 = serial)
 //	-cachedir D   persist per-cell results under D and reuse them on re-runs
+//	-codecache    share one in-process JIT translation cache across every
+//	              engine the command builds (experiments and `run`); with
+//	              -parallel, which cell pays each translation is
+//	              scheduling-dependent (aggregate stats stay fixed)
+//	-codecachedir D  back the shared translation cache with a persistent
+//	              on-disk store under D (implies -codecache; corrupt or
+//	              stale entries degrade to misses)
 //	-celltimeout D watchdog deadline per cell attempt (0 = none); hung
 //	              cells become retryable timeout failures
 //	-retries N    re-attempts per cell after a retryable failure
@@ -79,6 +86,7 @@ import (
 	"jrs/internal/core"
 	"jrs/internal/harness"
 	"jrs/internal/harness/chaos"
+	"jrs/internal/jit/codecache"
 	"jrs/internal/minijava"
 	"jrs/internal/trace"
 	"jrs/internal/workloads"
@@ -100,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wsel := fs.String("w", "", "comma-separated workload subset")
 	parallel := fs.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	cachedir := fs.String("cachedir", "", "directory for the persistent result cache (empty = no cache)")
+	codecacheOn := fs.Bool("codecache", false, "share one in-process JIT translation cache across all engines")
+	codecachedir := fs.String("codecachedir", "", "persistent on-disk store for the shared translation cache (implies -codecache)")
 	celltimeout := fs.Duration("celltimeout", 0, "watchdog deadline per cell attempt (0 = none)")
 	retries := fs.Int("retries", 0, "re-attempts per cell after a retryable failure")
 	keepgoing := fs.Bool("keepgoing", false, "drain all cells despite failures; report and exit 3")
@@ -167,12 +177,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var cc *codecache.Cache
+	if *codecacheOn || *codecachedir != "" {
+		if *codecachedir != "" {
+			var err error
+			if cc, err = codecache.Open(*codecachedir); err != nil {
+				fmt.Fprintf(stderr, "jrs: %v\n", err)
+				return 1
+			}
+		} else {
+			cc = codecache.NewMemory()
+		}
+		if *cachedir != "" {
+			// Cached cell payloads bake in the phase split the cell saw
+			// when it simulated; a warm translation cache changes that
+			// split, so mixing the two caches can replay stale numbers.
+			fmt.Fprintln(stderr, "jrs: warning: -codecache with -cachedir: cached cell results keep the translate/execute split of the run that produced them")
+		}
+		harness.SetCodeCache(cc)
+		defer harness.SetCodeCache(nil)
+		defer func() { fmt.Fprintf(stderr, "codecache: %s\n", cc.Stats()) }()
+	}
+
 	runner := &harness.Runner{
 		Workers:     *parallel,
 		CellTimeout: *celltimeout,
 		Retries:     *retries,
 		KeepGoing:   *keepgoing,
 		BackoffBase: 100 * time.Millisecond,
+		CodeCache:   cc,
 	}
 	if *chaosSpec != "" {
 		spec, err := chaos.ParseSpec(*chaosSpec)

@@ -10,6 +10,7 @@ import (
 	"jrs/internal/emit"
 	"jrs/internal/interp"
 	"jrs/internal/jit"
+	"jrs/internal/jit/codecache"
 	"jrs/internal/mem"
 	"jrs/internal/monitor"
 	"jrs/internal/native"
@@ -67,6 +68,16 @@ type Config struct {
 	Policy Policy
 	// JITOptions tunes the compiler.
 	JITOptions jit.Options
+	// CodeCache, when non-nil, attaches the shared translation cache:
+	// the JIT content-addresses each method (bytecode, options, Facts
+	// fingerprint, pool-resolution environment) and installs an already-
+	// translated body on a hit instead of running the generator, so
+	// engines sharing one cache — cells of a parallel grid, or runs
+	// sharing a disk-backed cache — translate each distinct method once.
+	// Program output is unaffected; translate-phase instruction counts
+	// shrink to the constant probe-and-relink cost on hits. Default nil:
+	// every engine translates privately, all baseline metrics untouched.
+	CodeCache *codecache.Cache
 	// Monitors builds the synchronization manager (default thin locks).
 	Monitors func(*emit.Emitter) monitor.Manager
 	// Quantum is the scheduler slice in bytecodes (interpreter) and
@@ -251,6 +262,7 @@ func New(cfg Config) *Engine {
 	v.CheckWatch = cfg.CheckHook
 	e.Interp = interp.New(v)
 	e.JIT = jit.New(v, cfg.JITOptions)
+	e.JIT.Cache = cfg.CodeCache
 	e.CPU = native.New(v)
 	// The sub-engines share the cancellation hook so a pending cancel
 	// ends a slice before its budget is spent, not after.
@@ -700,8 +712,10 @@ func (e *Engine) FootprintBytes() uint64 {
 	base := classBytes + v.AllocBytes + stacks + 16<<10 // VM fixed structures
 	// Interpreter image: handlers + dispatch table.
 	base += uint64(bytecode.NumOps)*0x100 + uint64(bytecode.NumOps)*8
-	if e.JIT.Translations > 0 {
-		// Translator code, per-method bookkeeping and the code cache.
+	if e.JIT.Translations > 0 || e.JIT.CacheHits > 0 {
+		// Translator code, per-method bookkeeping and the code cache
+		// (cache-hit installs occupy code-cache space like fresh
+		// translations — sharing saves translate time, not address space).
 		base += 48<<10 + uint64(len(e.JIT.ByID))*64 + e.JIT.CodeBytes
 	}
 	return base

@@ -12,7 +12,7 @@ func goldenOpts(name string) Options {
 	switch name {
 	case "ablate-devirt", "ablate-elide":
 		return helloOpts("hello", "db", "jess")
-	case "ablate-checks":
+	case "ablate-checks", "ablate-codecache":
 		return helloOpts("hello", "compress", "db", "jess")
 	}
 	return helloOpts()

@@ -9,14 +9,33 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"jrs/internal/core"
 	"jrs/internal/emit"
 	"jrs/internal/jit"
+	"jrs/internal/jit/codecache"
 	"jrs/internal/monitor"
 	"jrs/internal/trace"
 	"jrs/internal/workloads"
 )
+
+// defaultCodeCache, when set, is attached to every engine RunCtx builds
+// whose Config does not name its own cache — the process-wide shared
+// translation cache behind `jrs -codecache` and the code-cache grid
+// benchmarks (the same process-default idiom as trace.BatchSize). Cells
+// that need isolation (ablate-codecache) set Config.CodeCache explicitly
+// and are unaffected.
+var defaultCodeCache atomic.Pointer[codecache.Cache]
+
+// SetCodeCache installs c as the process-default shared translation
+// cache (nil removes it). Callers set it before starting a run; engines
+// already built keep whatever they were built with.
+func SetCodeCache(c *codecache.Cache) { defaultCodeCache.Store(c) }
+
+// DefaultCodeCache returns the process-default shared translation cache,
+// or nil.
+func DefaultCodeCache() *codecache.Cache { return defaultCodeCache.Load() }
 
 // Mode selects the execution style of a measured run.
 type Mode int
@@ -105,6 +124,9 @@ func Run(w workloads.Workload, scale int, mode Mode, cfg core.Config, sinks ...t
 func RunCtx(ctx context.Context, w workloads.Workload, scale int, mode Mode, cfg core.Config, sinks ...trace.Sink) (*core.Engine, error) {
 	if ctx != nil && ctx.Done() != nil && cfg.Cancel == nil {
 		cfg.Cancel = ctx.Err
+	}
+	if cfg.CodeCache == nil {
+		cfg.CodeCache = defaultCodeCache.Load()
 	}
 	sw := &trace.Switchable{}
 	measured := trace.Tee(sinks...)

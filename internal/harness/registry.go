@@ -94,6 +94,8 @@ func Experiments() []Experiment {
 			planOf(ablateChecksPlan)},
 		{"ablate-ooo", "extension: OoO resource sweep (ROB size / RS count / LSQ depth)",
 			planOf(ablateOoOPlan)},
+		{"ablate-codecache", "extension: shared translation cache (cold vs warm, in-process vs disk, parallel sharing)",
+			planOf(ablateCodeCachePlan)},
 	}
 }
 

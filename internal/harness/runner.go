@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"jrs/internal/harness/chaos"
+	"jrs/internal/jit/codecache"
 	"jrs/internal/workloads"
 )
 
@@ -125,6 +126,11 @@ type Runner struct {
 	// Cache, when non-nil, short-circuits cells whose key hash has a
 	// stored payload and persists fresh payloads for the next run.
 	Cache *ResultCache
+	// CodeCache, when non-nil, is the shared translation cache this run's
+	// engines were configured with (via harness.SetCodeCache or explicit
+	// core.Config wiring); the runner only surfaces its statistics in
+	// Report() — attachment to engines happens in RunCtx.
+	CodeCache *codecache.Cache
 	// Progress, when non-nil, is called (serialized) as each unique cell
 	// completes; cached reports whether the result came from the cache.
 	Progress func(key CellKey, cached bool)

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"jrs/internal/jit/codecache"
 )
 
 // Failure causes, as classified by supervision. They are stable labels:
@@ -153,6 +155,9 @@ type RunReport struct {
 	CacheHits int64         `json:"cacheHits"`
 	Retries   int64         `json:"retries"`
 	Failures  []CellFailure `json:"failures,omitempty"`
+	// CodeCache snapshots the shared translation cache when the runner
+	// had one attached (nil otherwise — existing reports are unchanged).
+	CodeCache *codecache.Stats `json:"codeCache,omitempty"`
 }
 
 // Report snapshots the runner's supervision outcome. Failures appear in
@@ -168,6 +173,10 @@ func (r *Runner) Report() *RunReport {
 		CacheHits: r.cacheHits.Load(),
 		Retries:   r.retried.Load(),
 		Failures:  append([]CellFailure(nil), r.failures...),
+	}
+	if r.CodeCache != nil {
+		s := r.CodeCache.Stats()
+		rep.CodeCache = &s
 	}
 	sort.Slice(rep.Failures, func(i, j int) bool { return rep.Failures[i].order < rep.Failures[j].order })
 	cellFailures := 0
@@ -188,6 +197,9 @@ func (r *RunReport) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "run report: %d cells: %d ok (%d simulated, %d cached), %d failed, %d skipped, %d retries\n",
 		r.Cells, r.Completed, r.Simulated, r.CacheHits, r.Failed, r.Skipped, r.Retries)
+	if r.CodeCache != nil {
+		fmt.Fprintf(&b, "code cache: %s\n", r.CodeCache)
+	}
 	if len(r.Failures) == 0 {
 		b.WriteString("all cells completed\n")
 		return b.String()

@@ -23,6 +23,7 @@ import (
 	"jrs/internal/bytecode"
 	"jrs/internal/emit"
 	"jrs/internal/isa"
+	"jrs/internal/jit/codecache"
 	"jrs/internal/mem"
 	"jrs/internal/trace"
 	"jrs/internal/vm"
@@ -121,13 +122,27 @@ type Compiler struct {
 	EM  *emit.Emitter
 	Opt Options
 
+	// Cache, when non-nil, shares translations with other engines (and,
+	// disk-backed, with other runs) through the two-level content-
+	// addressed store: Compile and Optimize look up the method's
+	// translation key before running the generator, and install the
+	// shared position-independent entry on a hit (see cache.go).
+	Cache *codecache.Cache
+	// CacheHits / CacheMisses count this engine's shared-cache outcomes;
+	// Keys records the translation key computed per method id (tests and
+	// tools; nil until the first cached compile).
+	CacheHits   int
+	CacheMisses int
+	Keys        map[int]string
+
 	codeNext uint64
 	// ByID maps method id to its translation.
 	ByID map[int]*Compiled
 	// Failed records methods the compiler rejected.
 	Failed map[int]error
 	// CodeBytes is the total installed code size; Translations counts
-	// successful compiles; Reoptimizations counts tier-2 recompiles.
+	// successful compiles (cache hits excluded — nothing was translated);
+	// Reoptimizations counts tier-2 recompiles.
 	CodeBytes       uint64
 	Translations    int
 	Reoptimizations int
@@ -171,8 +186,7 @@ func (c *Compiler) Compile(m *bytecode.Method) (*Compiled, error) {
 			return nil, err
 		}
 	}
-	g := &gen{c: c, m: m, cls: m.Class, opt: c.Opt}
-	cm, err := g.run()
+	cm, hit, err := c.compile(m, c.Opt, 1)
 	if err != nil {
 		c.Failed[m.ID] = err
 		return nil, err
@@ -180,8 +194,22 @@ func (c *Compiler) Compile(m *bytecode.Method) (*Compiled, error) {
 	cm.Tier = 1
 	c.ByID[m.ID] = cm
 	c.CodeBytes += uint64(len(cm.Code)) * isa.WordSize
-	c.Translations++
+	if hit {
+		c.CacheHits++
+	} else {
+		c.Translations++
+		if c.Cache != nil {
+			c.CacheMisses++
+		}
+	}
 	return cm, nil
+}
+
+// translate runs the code generator for m under opt (the uncached
+// translate path; Compile/Optimize wrap it with cache bookkeeping).
+func (c *Compiler) translate(m *bytecode.Method, opt Options) (*Compiled, error) {
+	g := &gen{c: c, m: m, cls: m.Class, opt: opt}
+	return g.run()
 }
 
 // Optimize recompiles an already-translated method at tier 2: the
@@ -193,8 +221,7 @@ func (c *Compiler) Compile(m *bytecode.Method) (*Compiled, error) {
 func (c *Compiler) Optimize(m *bytecode.Method) (*Compiled, error) {
 	opt := c.Opt
 	opt.BaselineCodegen = false
-	g := &gen{c: c, m: m, cls: m.Class, opt: opt}
-	cm, err := g.run()
+	cm, hit, err := c.compile(m, opt, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +229,11 @@ func (c *Compiler) Optimize(m *bytecode.Method) (*Compiled, error) {
 	c.ByID[m.ID] = cm
 	c.CodeBytes += uint64(len(cm.Code)) * isa.WordSize
 	c.Reoptimizations++
+	if hit {
+		c.CacheHits++
+	} else if c.Cache != nil {
+		c.CacheMisses++
+	}
 	return cm, nil
 }
 
@@ -769,7 +801,7 @@ func (g *gen) invoke(i int, ins bytecode.Instr, ts *emit.Seq) error {
 			virtual = false
 		}
 	}
-	if virtual && g.opt.Devirtualize && g.monomorphic(callee) {
+	if virtual && g.opt.Devirtualize && g.c.monomorphic(callee) {
 		virtual = false
 	}
 	if virtual {
@@ -797,20 +829,22 @@ func (g *gen) invoke(i int, ins bytecode.Instr, ts *emit.Seq) error {
 }
 
 // monomorphic reports whether CHA proves callee is the only reachable
-// implementation at its vtable slot among loaded classes.
-func (g *gen) monomorphic(callee *bytecode.Method) bool {
+// implementation at its vtable slot among loaded classes. A Compiler
+// method (not gen) so translationKey can replay the same verdict when
+// content-addressing the translation.
+func (c *Compiler) monomorphic(callee *bytecode.Method) bool {
 	if callee.VIndex < 0 {
 		return true
 	}
 	decl := callee.Class
-	for _, c := range g.c.VM.ClassList {
-		if callee.VIndex >= len(c.VTable) {
+	for _, cl := range c.VM.ClassList {
+		if callee.VIndex >= len(cl.VTable) {
 			continue
 		}
-		if !descendsFrom(c, decl) {
+		if !descendsFrom(cl, decl) {
 			continue
 		}
-		if c.VTable[callee.VIndex] != callee {
+		if cl.VTable[callee.VIndex] != callee {
 			return false
 		}
 	}
