@@ -11,12 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
+	"net"
 	"os"
+	"runtime"
+	"sync"
 	"testing"
 
 	"jrs/internal/core"
 	"jrs/internal/harness"
+	"jrs/internal/harness/dist"
 	"jrs/internal/jit/codecache"
 	"jrs/internal/trace"
 	"jrs/internal/workloads"
@@ -103,6 +109,47 @@ func benchGridCodeCache(b *testing.B, workers int) {
 	b.ReportMetric(float64(s.Hits)/float64(b.N), "cc-hits/op")
 	b.ReportMetric(float64(s.CodeBytes)/float64(b.N), "cc-code-bytes/op")
 	b.ReportMetric(translateProbe(b, cc), "db-translate-instrs")
+}
+
+// BenchmarkGridDist regenerates every figure and table through the
+// distributed runner: a loopback jrsd coordinator plus -parallel
+// in-process workers, results merged over the wire. Compare against
+// BenchmarkGridParallel (same worker count, shared memory) for the
+// framing/lease/commit overhead of distribution on one machine.
+func BenchmarkGridDist(b *testing.B) {
+	workers := *benchParallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	grid := dist.GridSpec{Experiments: []string{"all"}, Opts: dist.SpecOf(benchOpts())}
+	for i := 0; i < b.N; i++ {
+		c := dist.NewCoordinator(dist.Config{})
+		addr, err := c.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for n := 0; n < workers; n++ {
+			w := &dist.Worker{
+				Name: fmt.Sprintf("bench-w%d", n),
+				Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			}
+			wg.Add(1)
+			go func() { defer wg.Done(); w.Run(ctx) }()
+		}
+		out, err := dist.Submit(addr, grid, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.ExitCode != 0 {
+			b.Fatalf("dist grid: exit %d, err %q", out.ExitCode, out.ErrMsg)
+		}
+		b.ReportMetric(float64(c.Committed()), "cells-committed/op")
+		cancel()
+		c.Stop()
+		wg.Wait()
+	}
 }
 
 // BenchmarkGridSerialCodeCache is BenchmarkGridSerial over a warm shared

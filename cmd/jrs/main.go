@@ -64,6 +64,10 @@
 //	              dynamic check oracle attached (no elided check may fire)
 //	-schedseed N  perturb scheduler slice lengths pseudo-randomly for
 //	              `run` (0 = the fixed quantum; deterministic per seed)
+//	-remote ADDR  submit the experiment grid to a jrsd coordinator at
+//	              ADDR instead of running locally; the relayed output is
+//	              byte-identical to the local run and the remote exit
+//	              code (0/1/2/3) is propagated
 //	-json         emit lint/analyze reports as JSON instead of text
 //	-nobatch      deliver trace instructions one at a time (disable the
 //	              batched transport; for debugging and A/B timing)
@@ -86,6 +90,7 @@ import (
 	"jrs/internal/core"
 	"jrs/internal/harness"
 	"jrs/internal/harness/chaos"
+	"jrs/internal/harness/dist"
 	"jrs/internal/jit/codecache"
 	"jrs/internal/minijava"
 	"jrs/internal/trace"
@@ -122,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkraces := fs.Bool("checkraces", false, "attach the dynamic vector-clock race detector to `run` and check its findings against the static report (debug; slower)")
 	checkelide := fs.Bool("checkelide", false, "lint/analyze: add the provable runtime-check census; run: differential base-vs-elided execution under the dynamic check oracle")
 	schedseed := fs.Uint64("schedseed", 0, "seed pseudo-random scheduler slice lengths for `run` (0 = fixed quantum)")
+	remote := fs.String("remote", "", "submit the experiment grid to a jrsd coordinator at this address instead of running locally")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() { usage(fs, stderr) }
@@ -175,6 +181,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			opts.Workloads = append(opts.Workloads, w)
 		}
+	}
+
+	if *remote != "" {
+		return runRemote(*remote, fs.Arg(0), opts, stdout, stderr)
 	}
 
 	var cc *codecache.Cache
@@ -304,6 +314,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return reportExit(runner, *keepgoing, stdout)
 	}
 	return 0
+}
+
+// runRemote submits an experiment grid to a jrsd coordinator and
+// relays its merged output — byte-identical to running the same grid
+// locally — propagating the remote exit code (0 healthy, 1 failed,
+// 2 usage, 3 degraded keep-going run).
+func runRemote(addr, cmd string, opts harness.Options, stdout, stderr io.Writer) int {
+	switch cmd {
+	case "", "list", "run", "lint", "analyze":
+		fmt.Fprintln(stderr, "jrs: -remote runs experiment grids only (an experiment name, or \"all\")")
+		return 2
+	}
+	grid := dist.GridSpec{Experiments: []string{cmd}, Opts: dist.SpecOf(opts)}
+	out, err := dist.Submit(addr, grid, 0)
+	if err != nil {
+		fmt.Fprintf(stderr, "jrs: %v\n", err)
+		return 1
+	}
+	if out.ErrMsg != "" {
+		fmt.Fprintf(stderr, "jrs: %s\n", out.ErrMsg)
+	}
+	fmt.Fprint(stdout, out.Output)
+	fmt.Fprint(stdout, out.Report)
+	return out.ExitCode
 }
 
 // reportExit finishes a supervised experiment command: in -keepgoing

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Kind is the fault injected at one (cell, attempt).
@@ -233,4 +234,152 @@ type PanicValue struct {
 // String renders the panic value.
 func (p PanicValue) String() string {
 	return fmt.Sprintf("chaos: injected panic (attempt %d)", p.Attempt)
+}
+
+// NetSpec describes a deterministic network-fault campaign against the
+// distributed harness: per-frame connection drops, delivery delays and
+// frame duplication, plus per-lease worker kills. Like Spec, every
+// decision is a pure SHA-256 function of the seed and the event's
+// identity — no math/rand, no clocks — so a campaign replays the same
+// way on any machine.
+type NetSpec struct {
+	// Seed keys every decision.
+	Seed int64
+	// DropRate is the probability a frame send tears the connection
+	// down instead (the peer sees a reset; leases recover by expiry).
+	DropRate float64
+	// DelayRate is the probability a frame is delivered late.
+	DelayRate float64
+	// DupRate is the probability a frame is sent twice (the at-most-
+	// once commit test: duplicate results must not double-count).
+	DupRate float64
+	// KillRate is the probability a worker dies mid-lease: it abandons
+	// the cell without a result and respawns with a fresh connection.
+	KillRate float64
+	// MaxDelay bounds an injected delivery delay (default 20ms).
+	MaxDelay time.Duration
+}
+
+// ParseNetSpec parses the -netchaos flag syntax:
+// seed=N,drop=P,delay=P,dup=P,kill=P,maxdelay=D.
+// Example: "seed=1,drop=0.1,delay=0.2,dup=0.1,kill=0.05".
+func ParseNetSpec(s string) (NetSpec, error) {
+	spec := NetSpec{Seed: 1, MaxDelay: 20 * time.Millisecond}
+	if strings.TrimSpace(s) == "" {
+		return spec, fmt.Errorf("netchaos: empty spec")
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return spec, fmt.Errorf("netchaos: malformed field %q (want key=value)", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "drop":
+			spec.DropRate, err = parseRate(v)
+		case "delay":
+			spec.DelayRate, err = parseRate(v)
+		case "dup":
+			spec.DupRate, err = parseRate(v)
+		case "kill":
+			spec.KillRate, err = parseRate(v)
+		case "maxdelay":
+			spec.MaxDelay, err = time.ParseDuration(v)
+		default:
+			return spec, fmt.Errorf("netchaos: unknown field %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("netchaos: field %q: %w", field, err)
+		}
+	}
+	if spec.MaxDelay < 0 {
+		return spec, fmt.Errorf("netchaos: negative maxdelay")
+	}
+	// Drop and dup are mutually exclusive per frame (one roll decides);
+	// delay composes with either. Only the exclusive pair must fit in 1.
+	if total := spec.DropRate + spec.DupRate; total > 1 {
+		return spec, fmt.Errorf("netchaos: drop+dup rates sum to %.3f > 1", total)
+	}
+	return spec, nil
+}
+
+// String renders the spec in parseable form.
+func (s NetSpec) String() string {
+	out := fmt.Sprintf("seed=%d", s.Seed)
+	add := func(k string, v float64) {
+		if v > 0 {
+			out += fmt.Sprintf(",%s=%g", k, v)
+		}
+	}
+	add("drop", s.DropRate)
+	add("delay", s.DelayRate)
+	add("dup", s.DupRate)
+	add("kill", s.KillRate)
+	if s.MaxDelay != 20*time.Millisecond && s.MaxDelay > 0 {
+		out += ",maxdelay=" + s.MaxDelay.String()
+	}
+	return out
+}
+
+// NetFault is the decision for one frame event.
+type NetFault struct {
+	// Drop tears down the connection instead of delivering the frame.
+	Drop bool
+	// Dup delivers the frame twice.
+	Dup bool
+	// Delay postpones delivery (0 = on time). Composes with Dup.
+	Delay time.Duration
+}
+
+// NetInjector makes deterministic network-fault decisions for a
+// NetSpec.
+type NetInjector struct{ spec NetSpec }
+
+// NewNet builds a network-fault injector. A zero MaxDelay is
+// normalized to 20ms.
+func NewNet(spec NetSpec) *NetInjector {
+	if spec.MaxDelay <= 0 {
+		spec.MaxDelay = 20 * time.Millisecond
+	}
+	return &NetInjector{spec: spec}
+}
+
+// Spec returns the injector's campaign description.
+func (n *NetInjector) Spec() NetSpec { return n.spec }
+
+// Frame decides the fate of one frame event. eventID should identify
+// the frame uniquely enough to decorrelate decisions — e.g.
+// "worker/send/seq" — and the decision is a pure function of
+// (seed, eventID).
+func (n *NetInjector) Frame(eventID string) NetFault {
+	s := n.spec
+	var f NetFault
+	u := roll(s.Seed, "net:"+eventID, 0)
+	switch {
+	case u < s.DropRate:
+		f.Drop = true
+		return f
+	case u < s.DropRate+s.DupRate:
+		f.Dup = true
+	}
+	if roll(s.Seed, "delay:"+eventID, 0) < s.DelayRate {
+		// A second roll picks the duration in (0, MaxDelay], quantized
+		// to 1ms steps so renders of the decision stay readable.
+		frac := roll(s.Seed, "delaydur:"+eventID, 0)
+		d := time.Duration(float64(s.MaxDelay) * frac)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		f.Delay = d
+	}
+	return f
+}
+
+// Kill decides whether the worker abandons this lease mid-cell — the
+// process-crash fault. A killed worker sends no result; the
+// coordinator recovers by lease expiry.
+func (n *NetInjector) Kill(worker string, leaseID uint64) bool {
+	return roll(n.spec.Seed, fmt.Sprintf("kill:%s:%d", worker, leaseID), 0) < n.spec.KillRate
 }

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestParseSpec(t *testing.T) {
@@ -115,4 +116,97 @@ func TestRatePartition(t *testing.T) {
 			t.Errorf("kind %v never chosen in 400 rolls at rate 0.25", k)
 		}
 	}
+}
+
+// TestParseNetSpec: the -netchaos syntax round-trips, rejects junk, and
+// normalizes defaults.
+func TestParseNetSpec(t *testing.T) {
+	spec, err := ParseNetSpec("seed=7,drop=0.1,delay=0.2,dup=0.05,kill=0.02,maxdelay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 || spec.DropRate != 0.1 || spec.DelayRate != 0.2 ||
+		spec.DupRate != 0.05 || spec.KillRate != 0.02 || spec.MaxDelay != 5*time.Millisecond {
+		t.Errorf("parsed spec = %+v", spec)
+	}
+	if _, err := ParseNetSpec(""); err == nil {
+		t.Error("empty spec accepted")
+	}
+	for _, bad := range []string{"drop=2", "nope=1", "drop", "drop=0.6,dup=0.6", "maxdelay=xyz"} {
+		if _, err := ParseNetSpec(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+	if rt, err := ParseNetSpec(spec.String()); err != nil || rt != spec {
+		t.Errorf("String round-trip: %v / %+v != %+v", err, rt, spec)
+	}
+}
+
+// TestNetInjectorDeterminism: frame and kill decisions are pure
+// functions of (seed, event id) — two injectors with one spec agree on
+// everything, and a different seed decorrelates.
+func TestNetInjectorDeterminism(t *testing.T) {
+	spec := NetSpec{Seed: 1, DropRate: 0.2, DelayRate: 0.3, DupRate: 0.2, KillRate: 0.3}
+	a, b := NewNet(spec), NewNet(spec)
+	other := NewNet(NetSpec{Seed: 2, DropRate: 0.2, DelayRate: 0.3, DupRate: 0.2, KillRate: 0.3})
+	differs := false
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("w%d/send/%d", i%3, i)
+		fa, fb := a.Frame(id), b.Frame(id)
+		if fa != fb {
+			t.Fatalf("frame %s: %+v != %+v", id, fa, fb)
+		}
+		if a.Kill("w1", uint64(i)) != b.Kill("w1", uint64(i)) {
+			t.Fatalf("kill %d disagrees", i)
+		}
+		if fa != other.Frame(id) {
+			differs = true
+		}
+		if fa.Drop && fa.Dup {
+			t.Fatalf("frame %s both dropped and duplicated", id)
+		}
+		if fa.Delay < 0 || fa.Delay > 20*time.Millisecond {
+			t.Fatalf("frame %s delay %v outside (0, maxdelay]", id, fa.Delay)
+		}
+	}
+	if !differs {
+		t.Error("seed does not influence decisions")
+	}
+}
+
+// TestNetInjectorRates: empirical fault frequencies over many events
+// approach the spec's probabilities (coarse bounds; the injector is
+// hash-uniform, not a statistical test subject).
+func TestNetInjectorRates(t *testing.T) {
+	spec := NetSpec{Seed: 3, DropRate: 0.2, DelayRate: 0.4, DupRate: 0.1, KillRate: 0.25}
+	n := NewNet(spec)
+	const total = 4000
+	var drops, delays, dups, kills int
+	for i := 0; i < total; i++ {
+		f := n.Frame(fmt.Sprintf("ev%d", i))
+		if f.Drop {
+			drops++
+		}
+		if f.Dup {
+			dups++
+		}
+		if f.Delay > 0 {
+			delays++
+		}
+		if n.Kill("w", uint64(i)) {
+			kills++
+		}
+	}
+	check := func(name string, got int, rate float64) {
+		f := float64(got) / total
+		if f < rate*0.7 || f > rate*1.3 {
+			t.Errorf("%s frequency %.3f far from rate %.3f", name, f, rate)
+		}
+	}
+	check("drop", drops, spec.DropRate)
+	check("dup", dups, spec.DupRate)
+	check("kill", kills, spec.KillRate)
+	// Delay is decided independently of drop, but a dropped frame never
+	// delivers, so only count the rate roll itself.
+	check("delay", delays, spec.DelayRate)
 }

@@ -1,0 +1,841 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"jrs/internal/harness"
+)
+
+// Config parameterizes a Coordinator. The retry policy fields mirror
+// harness.Runner's: the coordinator is the distributed runner, applying
+// the same classification and deterministic backoff to cells that run
+// on the far side of a socket.
+type Config struct {
+	// LeaseTTL bounds how long a worker may sit on a cell without
+	// delivering a result or a heartbeat before the coordinator revokes
+	// the lease and re-queues the cell. 0 = 10s.
+	LeaseTTL time.Duration
+	// EvictAfter closes the connections of a worker that has been
+	// silent (no frames at all) this long — the missed-beat eviction
+	// policy. 0 = 3×LeaseTTL.
+	EvictAfter time.Duration
+	// Retries bounds re-attempts per cell after a retryable failure,
+	// exactly like Runner.Retries. Lease expiry and worker eviction
+	// classify as timeouts, which are retryable.
+	Retries int
+	// BackoffBase/BackoffMax give the deterministic exponential delay
+	// before a cell's k-th re-lease (no jitter; see harness.BackoffDelay).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// KeepGoing drains every cell despite failures and reports them,
+	// instead of stopping the grid at the first failed cell.
+	KeepGoing bool
+	// WaitMillis is the backoff the coordinator hands a worker when
+	// nothing is grantable. 0 = 10ms.
+	WaitMillis int64
+	// Cache, when non-nil, serves already-computed cells without
+	// leasing them and persists every committed payload.
+	Cache *harness.ResultCache
+	// Journal, when non-nil, records each committed cell (fsynced)
+	// so a crashed coordinator can be restarted with Resume. The
+	// coordinator owns the journal once passed: Stop closes it.
+	Journal *harness.Journal
+	// Resume trusts only journaled cells: a cache entry whose hash the
+	// journal does not record is ignored and the cell is re-leased.
+	Resume bool
+	// CrashAfterCommits, when positive, stops the coordinator cold
+	// (listener and every connection closed, journal released) after
+	// that many result commits — the crash-restart test hook.
+	CrashAfterCommits int64
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// groupState is one cell group's position in the lease state machine.
+type groupState uint8
+
+const (
+	gsPending groupState = iota // waiting for a lease (or for backoff)
+	gsLeased                    // granted to a worker, lease live
+	gsDone                      // payload committed (at most once, ever)
+	gsFailed                    // retry budget exhausted or deterministic error
+)
+
+// job is one submitted grid: the enumerated plans, every group's state,
+// and the accounting that becomes the run report. The coordinator runs
+// jobs FIFO; only the head of the queue grants leases.
+type job struct {
+	grid       GridSpec
+	exps       []harness.Experiment
+	headerMode bool // render with "## name — desc" section headers
+	plans      []*harness.Plan
+	groups     []*harness.CellGroup
+	index      map[string]int // Key.Hash() → group index
+
+	state     []groupState
+	attempts  []int
+	notBefore []time.Time
+	leaseOf   []uint64 // current lease id per group (0 = none)
+	attempted []bool   // ever leased or cache-served (Skipped = never attempted)
+
+	leased    int // live leases outstanding
+	remaining int // groups not yet done/failed
+	failed    bool
+	failures  []harness.CellFailure
+	order     []int // failure sort order (CellFailure.order is package-private)
+
+	simulated int64
+	cacheHits int64
+	retries   int64
+
+	workers []harness.WorkerStat // snapshot taken at completion
+	doneCh  chan Output
+}
+
+// connState is one accepted connection. Responses are written by the
+// connection's own read goroutine (the protocol is lockstep per
+// connection), so wmu only guards against future cross-goroutine use.
+type connState struct {
+	c      net.Conn
+	wmu    sync.Mutex
+	worker string
+}
+
+func (cs *connState) send(t MsgType, msg any) error {
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	return WriteFrame(cs.c, t, msg)
+}
+
+// Coordinator owns the grid: it enumerates submitted experiments into
+// cell groups, leases them to workers, and merges results back in
+// enumeration order — so the rendered output is byte-identical to a
+// serial local run no matter how many workers raced, died, or
+// re-delivered along the way.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[*connState]bool
+	table   *leaseTable
+	jobs    []*job // jobs[0] is active
+	commits int64
+	crashed bool
+	closed  bool
+	done    chan struct{} // closed by Stop; wakes the sweeper and parked submitters
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator with defaults applied.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.EvictAfter <= 0 {
+		cfg.EvictAfter = 3 * cfg.LeaseTTL
+	}
+	if cfg.WaitMillis <= 0 {
+		cfg.WaitMillis = 10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Coordinator{
+		cfg:   cfg,
+		conns: make(map[*connState]bool),
+		table: newLeaseTable(),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port), serves
+// connections and runs the lease sweeper until Stop. It returns the
+// bound address.
+func (c *Coordinator) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dist: listen: %w", err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return "", errors.New("dist: coordinator stopped")
+	}
+	c.ln = ln
+	c.mu.Unlock()
+	c.wg.Add(2)
+	go c.acceptLoop(ln)
+	go c.sweep()
+	return ln.Addr().String(), nil
+}
+
+// Stop kills the coordinator: listener and every connection closed,
+// journal closed (releasing its writer lock). In-flight jobs get no
+// answer — their clients see a connection reset, exactly as if the
+// process died. A journaled run restarted with Resume continues from
+// the committed cells. Concurrent and repeated Stops are safe: every
+// caller returns only once teardown has fully finished (sync.Once
+// blocks late callers until the first finishes).
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		close(c.done)
+		ln := c.ln
+		var conns []*connState
+		for cs := range c.conns {
+			conns = append(conns, cs)
+		}
+		c.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+		for _, cs := range conns {
+			cs.c.Close()
+		}
+		c.wg.Wait()
+		if c.cfg.Journal != nil {
+			c.cfg.Journal.Close()
+		}
+	})
+}
+
+// Committed returns how many results the coordinator has committed —
+// the crash hook's progress meter, exposed for tests.
+func (c *Coordinator) Committed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commits
+}
+
+func (c *Coordinator) acceptLoop(ln net.Listener) {
+	defer c.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		cs := &connState{c: conn}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[cs] = true
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.handleConn(cs)
+	}
+}
+
+// sweep periodically expires overdue leases and evicts silent workers.
+func (c *Coordinator) sweep() {
+	defer c.wg.Done()
+	every := c.cfg.LeaseTTL / 4
+	if every < time.Millisecond {
+		every = time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		for _, l := range c.table.expired(now) {
+			if w, ok := c.table.workers[l.worker]; ok {
+				w.stat.HeartbeatGaps++
+			}
+			c.loseLease(l, now, fmt.Sprintf("lease %d expired on worker %s (missed heartbeats)", l.id, l.worker))
+		}
+		var evict []*connState
+		for _, w := range c.table.workers {
+			if now.Sub(w.lastSeen) > c.cfg.EvictAfter && len(w.conns) > 0 {
+				for cs := range w.conns {
+					evict = append(evict, cs)
+				}
+			}
+		}
+		c.mu.Unlock()
+		for _, cs := range evict {
+			c.cfg.Logf("dist: evicting silent worker connection %s", cs.worker)
+			cs.c.Close() // handleConn's exit path reclaims its leases
+		}
+	}
+}
+
+// loseLease re-queues (or fails) the group of a lease whose worker is
+// gone. Called with c.mu held. A lease that is no longer the group's
+// current one — the group already committed, failed, or was re-leased —
+// is just dropped.
+func (c *Coordinator) loseLease(l *lease, now time.Time, msg string) {
+	j := c.active()
+	if j == nil || l.group >= len(j.groups) {
+		return
+	}
+	j.leased--
+	if j.state[l.group] != gsLeased || j.leaseOf[l.group] != l.id {
+		c.checkComplete()
+		return
+	}
+	c.cfg.Logf("dist: %s: %s", j.groups[l.group].Key, msg)
+	c.retryOrFail(j, l.group, harness.CauseTimeout, msg, l.worker, now)
+	c.checkComplete()
+}
+
+// retryOrFail applies the shared retry policy to a failed attempt of
+// group idx: re-queue with deterministic backoff while the cause is
+// retryable and budget remains, otherwise fail the group. Called with
+// c.mu held; the group must be in gsLeased.
+func (c *Coordinator) retryOrFail(j *job, idx int, cause, errMsg, worker string, now time.Time) (retried bool) {
+	j.leaseOf[idx] = 0
+	if harness.RetryableCause(cause) && j.attempts[idx] < c.cfg.Retries+1 {
+		j.state[idx] = gsPending
+		j.notBefore[idx] = now.Add(harness.BackoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, j.attempts[idx]))
+		j.retries++
+		if w, ok := c.table.workers[worker]; ok {
+			w.stat.Retries++
+		}
+		return true
+	}
+	j.state[idx] = gsFailed
+	j.remaining--
+	j.failed = true
+	g := j.groups[idx]
+	j.failures = append(j.failures, harness.CellFailure{
+		Key:      g.Key,
+		Attempts: j.attempts[idx],
+		Cause:    cause,
+		Err:      errMsg,
+		Worker:   worker,
+	})
+	j.order = append(j.order, g.Order())
+	return false
+}
+
+// handleConn is one connection's read loop. The per-connection protocol
+// is lockstep (request, response) with fire-and-forget heartbeats
+// interleaved; any frame error resets the connection.
+func (c *Coordinator) handleConn(cs *connState) {
+	defer c.wg.Done()
+	defer func() {
+		cs.c.Close()
+		c.mu.Lock()
+		delete(c.conns, cs)
+		c.evictConnLocked(cs)
+		c.mu.Unlock()
+	}()
+	br := bufio.NewReader(cs.c)
+	for {
+		t, payload, err := ReadFrame(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				c.cfg.Logf("dist: conn %s: %v", cs.worker, err)
+			}
+			return
+		}
+		switch t {
+		case MsgHello:
+			var h Hello
+			if DecodeInto(payload, &h) != nil {
+				return
+			}
+			c.registerWorker(cs, h.Worker)
+		case MsgHeartbeat:
+			var hb Heartbeat
+			if DecodeInto(payload, &hb) != nil {
+				return
+			}
+			c.mu.Lock()
+			c.table.renew(hb.Worker, time.Now(), c.cfg.LeaseTTL)
+			c.mu.Unlock()
+		case MsgLeaseReq:
+			var req LeaseReq
+			if DecodeInto(payload, &req) != nil {
+				return
+			}
+			c.registerWorker(cs, req.Worker)
+			if err := c.answerLeaseReq(cs, req); err != nil {
+				return
+			}
+		case MsgResult:
+			var res Result
+			if DecodeInto(payload, &res) != nil {
+				return
+			}
+			status := c.commitResult(res)
+			if err := cs.send(MsgAck, Ack{Seq: res.Seq, Status: status}); err != nil {
+				return
+			}
+		case MsgSubmit:
+			var sub SubmitReq
+			if DecodeInto(payload, &sub) != nil {
+				return
+			}
+			out, ok := c.runJob(sub.Grid)
+			if !ok {
+				// Coordinator died mid-job: the client must observe a
+				// connection reset, never a reply.
+				return
+			}
+			out.Seq = sub.Seq
+			if err := cs.send(MsgOutput, out); err != nil {
+				return
+			}
+		default:
+			c.cfg.Logf("dist: conn %s: unexpected %s frame", cs.worker, t)
+			return
+		}
+	}
+}
+
+// registerWorker binds a connection to a worker identity.
+func (c *Coordinator) registerWorker(cs *connState, name string) {
+	if name == "" {
+		return
+	}
+	c.mu.Lock()
+	cs.worker = name
+	c.table.worker(name, time.Now()).conns[cs] = true
+	c.mu.Unlock()
+}
+
+// evictConnLocked reclaims every lease granted on a dead connection:
+// the worker was evicted (or died), so its cells go back in the queue.
+// Called with c.mu held.
+func (c *Coordinator) evictConnLocked(cs *connState) {
+	if w, ok := c.table.workers[cs.worker]; ok {
+		delete(w.conns, cs)
+	}
+	lost := c.table.byConn(cs)
+	if len(lost) == 0 {
+		return
+	}
+	if w, ok := c.table.workers[cs.worker]; ok {
+		w.stat.Evictions++
+	}
+	now := time.Now()
+	for _, l := range lost {
+		c.loseLease(l, now, fmt.Sprintf("worker %s evicted (connection lost)", l.worker))
+	}
+}
+
+// active returns the job currently granting leases (nil when idle).
+// Called with c.mu held.
+func (c *Coordinator) active() *job {
+	if len(c.jobs) == 0 {
+		return nil
+	}
+	return c.jobs[0]
+}
+
+// answerLeaseReq grants the earliest eligible pending group, or tells
+// the worker to wait.
+func (c *Coordinator) answerLeaseReq(cs *connState, req LeaseReq) error {
+	c.mu.Lock()
+	j := c.active()
+	now := time.Now()
+	grant := -1
+	if j != nil && !(j.failed && !c.cfg.KeepGoing) {
+		for i := range j.groups {
+			if j.state[i] == gsPending && !now.Before(j.notBefore[i]) {
+				grant = i
+				break
+			}
+		}
+	}
+	if grant < 0 {
+		c.mu.Unlock()
+		return cs.send(MsgWait, Wait{Seq: req.Seq, Millis: c.cfg.WaitMillis})
+	}
+	j.state[grant] = gsLeased
+	j.attempts[grant]++
+	j.attempted[grant] = true
+	j.leased++
+	l := c.table.grant(grant, req.Worker, cs, now, c.cfg.LeaseTTL)
+	j.leaseOf[grant] = l.id
+	lease := Lease{
+		Seq:       req.Seq,
+		LeaseID:   l.id,
+		Key:       j.groups[grant].Key,
+		Attempt:   j.attempts[grant],
+		TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+		Grid:      j.grid,
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("dist: lease %d: %s → %s (attempt %d)", l.id, lease.Key, req.Worker, lease.Attempt)
+	return cs.send(MsgLease, lease)
+}
+
+// commitResult merges one delivered result. Commit is at-most-once per
+// cell: the first successful delivery — whoever's lease it rode in on,
+// however late or duplicated — transitions the group to done, lands in
+// the cache and the journal, and every later delivery of the same cell
+// is acked as a duplicate without touching the merged state.
+func (c *Coordinator) commitResult(res Result) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return AckStale
+	}
+	now := time.Now()
+	j := c.active()
+	l := c.table.release(res.LeaseID)
+	idx := -1
+	if l != nil && j != nil {
+		j.leased--
+		idx = l.group
+	} else if j != nil {
+		// Unknown lease: expired, evicted, or granted by a coordinator
+		// that has since restarted. The payload can still be useful —
+		// resolve it by cell key against the live grid.
+		if i, ok := j.index[res.Key.Hash()]; ok {
+			idx = i
+		}
+	}
+	if j == nil || idx < 0 {
+		return AckStale
+	}
+	defer c.checkComplete()
+	switch j.state[idx] {
+	case gsDone:
+		return AckDuplicate
+	case gsFailed:
+		return AckStale
+	}
+
+	worker := res.Worker
+	if worker == "" && l != nil {
+		worker = l.worker
+	}
+	// A failure only counts against the group's retry budget when it
+	// belongs to the group's *current* lease; a late failure from a
+	// lease the queue already moved past must not double-requeue.
+	wasLeased := l != nil && j.state[idx] == gsLeased && j.leaseOf[idx] == l.id
+
+	if res.ErrMsg == "" {
+		// Success path: deliver into every destination slot, persist,
+		// journal, then mark done — the order matters, a cell is only
+		// "done" once its completion would survive a crash.
+		if err := c.commitGroup(j, idx, res.Payload); err != nil {
+			cause, _ := harness.Classify(err)
+			c.cfg.Logf("dist: %s: commit: %v", res.Key, err)
+			if j.state[idx] == gsLeased {
+				if c.retryOrFail(j, idx, cause, err.Error(), worker, now) {
+					return AckRetry
+				}
+				return AckFailed
+			}
+			return AckStale
+		}
+		if j.state[idx] == gsLeased {
+			j.leaseOf[idx] = 0
+		}
+		j.state[idx] = gsDone
+		j.remaining--
+		j.simulated++
+		c.commits++
+		if w, ok := c.table.workers[worker]; ok {
+			w.stat.Completed++
+		}
+		c.cfg.Logf("dist: commit %s (worker %s, %d remaining)", res.Key, worker, j.remaining)
+		if c.cfg.CrashAfterCommits > 0 && c.commits >= c.cfg.CrashAfterCommits && !c.crashed {
+			c.crashed = true
+			c.cfg.Logf("dist: crash hook: stopping after %d commits", c.commits)
+			go c.Stop()
+		}
+		return AckCommitted
+	}
+
+	// Failure path: the worker already classified the error; apply the
+	// shared retry policy. A result for a lease we no longer consider
+	// current still counts as that attempt's outcome only if the group
+	// is still leased under it; otherwise the queue already moved on.
+	c.cfg.Logf("dist: %s failed on %s (%s): %s", res.Key, worker, res.Cause, res.ErrMsg)
+	if !wasLeased {
+		return AckStale
+	}
+	if c.retryOrFail(j, idx, res.Cause, res.ErrMsg, worker, now) {
+		return AckRetry
+	}
+	return AckFailed
+}
+
+// commitGroup makes one cell's completion durable: fan-out decode,
+// cache persist, journal record. Called with c.mu held.
+func (c *Coordinator) commitGroup(j *job, idx int, raw json.RawMessage) error {
+	g := j.groups[idx]
+	if err := g.Deliver(raw); err != nil {
+		return err
+	}
+	if c.cfg.Cache != nil {
+		if err := c.cfg.Cache.Put(g.Key, raw); err != nil {
+			return fmt.Errorf("persist cell payload: %w", err)
+		}
+	}
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.Record(g.Key.Hash(), g.Key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runJob enumerates, queues and waits out one submitted grid. It runs
+// on the submitting connection's goroutine; the answer arrives when the
+// grid drains (or degrades). ok is false when the coordinator stopped
+// before the job finished — the handler must drop the connection
+// unanswered (and unparking here keeps Stop's wg.Wait from deadlocking
+// on a submitter that would otherwise never wake).
+func (c *Coordinator) runJob(grid GridSpec) (out Output, ok bool) {
+	j, err := c.newJob(grid)
+	if err != nil {
+		return Output{ExitCode: 2, ErrMsg: err.Error()}, true
+	}
+	c.mu.Lock()
+	c.jobs = append(c.jobs, j)
+	c.checkComplete() // a fully cache-served grid completes immediately
+	c.mu.Unlock()
+	select {
+	case out := <-j.doneCh:
+		return out, true
+	case <-c.done:
+		return Output{}, false
+	}
+}
+
+// newJob enumerates a grid spec into a job: plans built from the shared
+// registry, deduplicated groups, and a cache/journal pre-pass that
+// commits already-computed cells without leasing them (Resume trusts
+// only journaled hashes, exactly like the local runner).
+func (c *Coordinator) newJob(grid GridSpec) (*job, error) {
+	exps, headerMode, err := resolveExperiments(grid)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := grid.Opts.Options()
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		grid:       grid,
+		exps:       exps,
+		headerMode: headerMode,
+		index:      make(map[string]int),
+		doneCh:     make(chan Output, 1),
+	}
+	for _, e := range exps {
+		j.plans = append(j.plans, e.Plan(opts))
+	}
+	j.groups = harness.GroupPlans(j.plans...)
+	n := len(j.groups)
+	j.state = make([]groupState, n)
+	j.attempts = make([]int, n)
+	j.notBefore = make([]time.Time, n)
+	j.leaseOf = make([]uint64, n)
+	j.attempted = make([]bool, n)
+	j.remaining = n
+	for i, g := range j.groups {
+		j.index[g.Key.Hash()] = i
+		if c.cfg.Cache == nil {
+			continue
+		}
+		if c.cfg.Resume && (c.cfg.Journal == nil || !c.cfg.Journal.Done(g.Key.Hash())) {
+			continue
+		}
+		raw, ok := c.cfg.Cache.Get(g.Key)
+		if !ok || g.Deliver(raw) != nil {
+			continue
+		}
+		j.state[i] = gsDone
+		j.attempted[i] = true
+		j.remaining--
+		j.cacheHits++
+		if c.cfg.Journal != nil {
+			c.cfg.Journal.Record(g.Key.Hash(), g.Key)
+		}
+	}
+	c.cfg.Logf("dist: job %s: %d cells (%d cached)", grid.Canonical(), n, j.cacheHits)
+	return j, nil
+}
+
+// checkComplete finalizes the active job when it has drained: every
+// group done/failed, or — fail-fast mode — a failure recorded and no
+// lease still outstanding. Called with c.mu held.
+func (c *Coordinator) checkComplete() {
+	for {
+		j := c.active()
+		if j == nil {
+			return
+		}
+		drained := j.remaining == 0
+		failedOut := j.failed && !c.cfg.KeepGoing && j.leased == 0
+		if !drained && !failedOut {
+			return
+		}
+		c.jobs = c.jobs[1:]
+		// Leases of the finished job would dangle into the next job's
+		// group numbering; purge them. Their late results fall back to
+		// key-based resolution (duplicate or stale).
+		c.table.leases = make(map[uint64]*lease)
+		j.workers = c.table.stats()
+		go c.finalize(j)
+	}
+}
+
+// finalize runs the aggregation steps in plan order and renders the
+// job's output — the merged grid is byte-identical to a serial local
+// run. Runs outside the coordinator lock.
+func (c *Coordinator) finalize(j *job) {
+	aggOrder := 0
+	for _, p := range j.plans {
+		aggOrder += len(p.Keys())
+	}
+	if !j.failed || c.cfg.KeepGoing {
+		for i, p := range j.plans {
+			if err := p.Finish(); err != nil {
+				if !c.cfg.KeepGoing {
+					j.doneCh <- Output{ExitCode: 1, ErrMsg: fmt.Sprintf("%s: %v", j.exps[i].Name, err)}
+					return
+				}
+				j.failed = true
+				j.failures = append(j.failures, harness.CellFailure{
+					Key:      harness.CellKey{Experiment: j.exps[i].Name, Config: "aggregate"},
+					Attempts: 1,
+					Cause:    harness.CauseAggregate,
+					Err:      err.Error(),
+				})
+				j.order = append(j.order, aggOrder)
+			}
+			aggOrder++
+		}
+	}
+	if j.failed && !c.cfg.KeepGoing {
+		f := j.earliestFailure()
+		j.doneCh <- Output{
+			ExitCode: 1,
+			ErrMsg: fmt.Sprintf("%s: cell %s failed (%s, %d attempt(s)): %s",
+				f.Key.Experiment, f.Key, f.Cause, f.Attempts, f.Err),
+		}
+		return
+	}
+	var out string
+	if j.headerMode {
+		for i, e := range j.exps {
+			out += "## " + e.Name + " — " + e.Desc + "\n\n" + safeRender(j.plans[i].Result(), c.cfg.KeepGoing) + "\n"
+		}
+	} else {
+		out = safeRender(j.plans[0].Result(), c.cfg.KeepGoing)
+	}
+	o := Output{Output: out}
+	if c.cfg.KeepGoing {
+		rep := j.report()
+		o.Report = rep.Render()
+		if rep.Failed > 0 {
+			o.ExitCode = 3
+		}
+	}
+	j.doneCh <- o
+}
+
+// earliestFailure picks the failure belonging to the earliest cell in
+// enumeration order — independent of which worker reported first.
+func (j *job) earliestFailure() harness.CellFailure {
+	best := 0
+	for i := range j.failures {
+		if j.order[i] < j.order[best] {
+			best = i
+		}
+	}
+	return j.failures[best]
+}
+
+// report assembles the job's RunReport with per-worker attribution.
+// Failures are sorted in enumeration order so a fixed outcome renders
+// byte-identically.
+func (j *job) report() *harness.RunReport {
+	type of struct {
+		o int
+		f harness.CellFailure
+	}
+	ofs := make([]of, len(j.failures))
+	for i := range j.failures {
+		ofs[i] = of{j.order[i], j.failures[i]}
+	}
+	sort.Slice(ofs, func(a, b int) bool { return ofs[a].o < ofs[b].o })
+	rep := &harness.RunReport{
+		Cells:     len(j.groups),
+		Failed:    len(j.failures),
+		Simulated: j.simulated,
+		CacheHits: j.cacheHits,
+		Retries:   j.retries,
+		Workers:   j.workers,
+	}
+	for _, x := range ofs {
+		rep.Failures = append(rep.Failures, x.f)
+	}
+	for i := range j.groups {
+		if j.state[i] == gsDone {
+			rep.Completed++
+		}
+		if !j.attempted[i] {
+			rep.Skipped++
+		}
+	}
+	return rep
+}
+
+// resolveExperiments expands a grid spec's experiment names against the
+// registry. "all" expands to every registered experiment; more than one
+// experiment renders with section headers (the `jrs all` format).
+func resolveExperiments(grid GridSpec) ([]harness.Experiment, bool, error) {
+	if len(grid.Experiments) == 0 {
+		return nil, false, errors.New("dist: empty grid: no experiments")
+	}
+	if len(grid.Experiments) == 1 && grid.Experiments[0] == "all" {
+		return harness.Experiments(), true, nil
+	}
+	var exps []harness.Experiment
+	for _, name := range grid.Experiments {
+		e, ok := harness.Lookup(name)
+		if !ok {
+			return nil, false, fmt.Errorf("dist: unknown experiment %q", name)
+		}
+		exps = append(exps, e)
+	}
+	return exps, len(exps) > 1, nil
+}
+
+// safeRender renders a result; in keep-going mode a renderer panicking
+// over zero-valued slots left by failed cells degrades to a placeholder
+// (mirrors Runner.SafeRender, so degraded output matches local runs).
+func safeRender(res harness.Renderer, keepGoing bool) (out string) {
+	if keepGoing {
+		defer func() {
+			if rec := recover(); rec != nil {
+				out = fmt.Sprintf("(render failed: %v)\n", rec)
+			}
+		}()
+	}
+	return res.Render()
+}

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"time"
+
+	"jrs/internal/harness"
+)
+
+// lease is one time-bounded grant of one cell group to one worker.
+// A lease is the unit of loss: if its worker crashes, hangs, or
+// partitions, the lease expires and the cell goes back to pending — no
+// cell is ever silently dropped because the process holding it died.
+type lease struct {
+	id      uint64
+	group   int // index into the job's group list
+	worker  string
+	conn    *connState
+	expires time.Time
+}
+
+// workerState aggregates one named worker's liveness and attribution.
+// A worker that reconnects (after a chaos kill or a dropped
+// connection) keeps its name and therefore its stats — the report
+// shows the full history of the identity, not of one TCP connection.
+type workerState struct {
+	name     string
+	lastSeen time.Time
+	stat     harness.WorkerStat
+	conns    map[*connState]bool
+}
+
+// leaseTable tracks live leases and worker states for one coordinator.
+// All access is under the coordinator's mutex.
+type leaseTable struct {
+	seq     uint64
+	leases  map[uint64]*lease
+	workers map[string]*workerState
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{
+		leases:  make(map[uint64]*lease),
+		workers: make(map[string]*workerState),
+	}
+}
+
+// worker returns (creating if needed) the state for a worker name.
+func (t *leaseTable) worker(name string, now time.Time) *workerState {
+	w, ok := t.workers[name]
+	if !ok {
+		w = &workerState{name: name, stat: harness.WorkerStat{Worker: name}, conns: make(map[*connState]bool)}
+		t.workers[name] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// grant creates a lease of group to the worker on conn.
+func (t *leaseTable) grant(group int, worker string, conn *connState, now time.Time, ttl time.Duration) *lease {
+	t.seq++
+	l := &lease{id: t.seq, group: group, worker: worker, conn: conn, expires: now.Add(ttl)}
+	t.leases[l.id] = l
+	return l
+}
+
+// release removes a lease (result arrived, or revoked) and returns it,
+// or nil if the id is unknown (already expired or a duplicate result).
+func (t *leaseTable) release(id uint64) *lease {
+	l, ok := t.leases[id]
+	if !ok {
+		return nil
+	}
+	delete(t.leases, id)
+	return l
+}
+
+// expired removes and returns every lease whose deadline passed.
+func (t *leaseTable) expired(now time.Time) []*lease {
+	var out []*lease
+	for id, l := range t.leases {
+		if now.After(l.expires) {
+			delete(t.leases, id)
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// byConn removes and returns every lease granted on one connection —
+// the eviction path when a worker's connection dies.
+func (t *leaseTable) byConn(conn *connState) []*lease {
+	var out []*lease
+	for id, l := range t.leases {
+		if l.conn == conn {
+			delete(t.leases, id)
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// renew pushes every lease the worker holds out by ttl — the heartbeat
+// effect.
+func (t *leaseTable) renew(worker string, now time.Time, ttl time.Duration) {
+	for _, l := range t.leases {
+		if l.worker == worker {
+			l.expires = now.Add(ttl)
+		}
+	}
+	if w, ok := t.workers[worker]; ok {
+		w.lastSeen = now
+	}
+}
+
+// stats snapshots per-worker attribution for the run report, in
+// insertion-independent (caller sorts) order.
+func (t *leaseTable) stats() []harness.WorkerStat {
+	var out []harness.WorkerStat
+	for _, w := range t.workers {
+		out = append(out, w.stat)
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled flags a race-detector build: simulation runs an order of
+// magnitude slower there, so timing-sensitive tests shrink their grids
+// rather than their coverage.
+const raceEnabled = true

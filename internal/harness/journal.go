@@ -3,12 +3,17 @@ package harness
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // JournalName is the run journal's filename inside a cache directory.
 const JournalName = "journal.log"
+
+// lockSuffix names the exclusive-writer lock file next to the journal.
+const lockSuffix = ".lock"
 
 // Journal is the crash-safe record of completed cells that backs
 // -resume: one appended, fsynced line per cell that finished (simulated
@@ -32,10 +37,98 @@ type Journal struct {
 	done map[string]bool
 }
 
+// liveLocks tracks lock files held by this process, so a second
+// OpenJournal on the same path inside one process fails fast like a
+// second process would (the PID probe alone cannot tell "we hold it"
+// from "another goroutine of us holds it" — both must refuse).
+var (
+	liveLocksMu sync.Mutex
+	liveLocks   = make(map[string]bool)
+)
+
+// lockJournal takes the exclusive-create lock guarding path. The lock
+// file holds the owner's PID; a lock whose PID no longer probes as a
+// live process is stale (its owner crashed without unlocking) and is
+// broken. Two live writers — a worker and a second coordinator pointed
+// at the same cache directory, say — must fail fast here with a clear
+// error instead of interleaving fsynced appends.
+func lockJournal(path string) error {
+	lock := path + lockSuffix
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%d\n", os.Getpid())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(lock)
+				return fmt.Errorf("journal: write lock %s: %w", lock, werr)
+			}
+			liveLocksMu.Lock()
+			liveLocks[lock] = true
+			liveLocksMu.Unlock()
+			return nil
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("journal: lock %s: %w", lock, err)
+		}
+		liveLocksMu.Lock()
+		mine := liveLocks[lock]
+		liveLocksMu.Unlock()
+		if mine {
+			return fmt.Errorf("journal: %s is already open in this process (second runner on one cache directory?)", path)
+		}
+		data, rerr := os.ReadFile(lock)
+		if rerr != nil {
+			if os.IsNotExist(rerr) && attempt < 3 {
+				continue // holder unlocked between our create and read
+			}
+			return fmt.Errorf("journal: read lock %s: %w", lock, rerr)
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr == nil && pid > 0 && pidAlive(pid) {
+			return fmt.Errorf("journal: %s locked by running process %d; a second coordinator or worker is using this cache directory (remove %s if that process is gone)", path, pid, lock)
+		}
+		// Stale: the owner died without unlocking (or the lock is torn).
+		// Break it and retry the exclusive create.
+		if attempt >= 3 {
+			return fmt.Errorf("journal: could not break stale lock %s", lock)
+		}
+		os.Remove(lock)
+	}
+}
+
+// unlockJournal releases the lock taken by lockJournal.
+func unlockJournal(path string) {
+	lock := path + lockSuffix
+	liveLocksMu.Lock()
+	delete(liveLocks, lock)
+	liveLocksMu.Unlock()
+	os.Remove(lock)
+}
+
+// pidAlive probes whether a PID names a live process: signal 0 reaches
+// the process without touching it. EPERM still means "alive, not ours".
+func pidAlive(pid int) bool {
+	if pid == os.Getpid() {
+		return true
+	}
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}
+
 // OpenJournal opens (creating if needed) the journal at path and loads
 // the completed-cell set from any prior run. Torn or malformed lines
-// are skipped, not fatal.
+// are skipped, not fatal. The journal is an exclusive-writer structure:
+// opening takes a PID lock file next to it, so two live processes (or
+// two runners in one process) sharing a cache directory fail fast
+// instead of interleaving appends; locks left by crashed processes are
+// detected by PID probe and broken.
 func OpenJournal(path string) (*Journal, error) {
+	if err := lockJournal(path); err != nil {
+		return nil, err
+	}
 	j := &Journal{path: path, done: make(map[string]bool)}
 	if data, err := os.ReadFile(path); err == nil {
 		lines := strings.Split(string(data), "\n")
@@ -51,6 +144,7 @@ func OpenJournal(path string) (*Journal, error) {
 				keep = i + 1
 			}
 			if err := os.Truncate(path, int64(keep)); err != nil {
+				unlockJournal(path)
 				return nil, fmt.Errorf("journal: drop torn tail: %w", err)
 			}
 		}
@@ -61,10 +155,12 @@ func OpenJournal(path string) (*Journal, error) {
 			}
 		}
 	} else if !os.IsNotExist(err) {
+		unlockJournal(path)
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		unlockJournal(path)
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j.f = f
@@ -120,8 +216,9 @@ func (j *Journal) Record(hash string, key CellKey) error {
 	return nil
 }
 
-// Close releases the journal's file handle. Recorded state stays on
-// disk; a closed journal must not be recorded to.
+// Close releases the journal's file handle and its writer lock.
+// Recorded state stays on disk; a closed journal must not be recorded
+// to.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -130,5 +227,6 @@ func (j *Journal) Close() error {
 	}
 	err := j.f.Close()
 	j.f = nil
+	unlockJournal(j.path)
 	return err
 }

@@ -145,3 +145,71 @@ func TestJournalMalformedLines(t *testing.T) {
 		t.Errorf("len = %d, done = %v; want exactly the one valid record", j.Len(), j.Done(good.Hash()))
 	}
 }
+
+// TestJournalLockExcludesSecondWriter: two live openers of one journal
+// — a worker and a second coordinator pointed at the same -cachedir,
+// say — must not interleave appends: the second open fails fast with a
+// clear error, and closing the first releases the lock.
+func TestJournalLockExcludesSecondWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("second concurrent open succeeded; concurrent writers would interleave appends")
+	} else if !strings.Contains(err.Error(), "open in this process") {
+		t.Errorf("second open error %q does not explain the conflict", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open after close still locked: %v", err)
+	}
+	j2.Close()
+}
+
+// TestJournalLockStaleBroken: a lock left by a dead process (its PID no
+// longer probes as alive) is stale and must be broken, not honored
+// forever.
+func TestJournalLockStaleBroken(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	// PID 1 is alive on every Linux box but never us; an absurdly large
+	// PID is reliably dead. Use the dead one for staleness.
+	if err := os.WriteFile(path+lockSuffix, []byte("399999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("stale lock not broken: %v", err)
+	}
+	j.Close()
+
+	// A torn lock (no parseable PID) is also stale.
+	if err := os.WriteFile(path+lockSuffix, []byte("garb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn lock not broken: %v", err)
+	}
+	j2.Close()
+}
+
+// TestJournalLockLiveForeignPID: a lock naming a live process that is
+// not us (PID 1) must be honored with a clear diagnostic.
+func TestJournalLockLiveForeignPID(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalName)
+	if err := os.WriteFile(path+lockSuffix, []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenJournal(path)
+	if err == nil {
+		t.Fatal("lock held by live PID 1 was stolen")
+	}
+	if !strings.Contains(err.Error(), "locked by running process 1") {
+		t.Errorf("error %q does not name the lock holder", err)
+	}
+}

@@ -194,13 +194,72 @@ func (r *Runner) CacheHits() int64 { return r.cacheHits.Load() }
 // each cell's first.
 func (r *Runner) Retried() int64 { return r.retried.Load() }
 
-// cellGroup is a set of cells sharing one key: simulated (or fetched)
-// once, decoded into every member's destination.
-type cellGroup struct {
-	key   CellKey
+// CellGroup is a set of cells sharing one key: simulated (or fetched)
+// once, decoded into every member's destination. The local Runner and
+// the distributed coordinator/worker split the same group differently:
+// the Runner does both halves in-process, a dist worker calls Run (it
+// holds the sims) while the coordinator calls Deliver (it holds the
+// destinations).
+type CellGroup struct {
+	// Key identifies the cell; Key.Hash() is its wire and cache address.
+	Key   CellKey
 	sim   func(context.Context) (any, error)
 	dests []any
 	order int // lowest cell index, for deterministic error selection
+}
+
+// Order returns the group's position in plan enumeration order — the
+// deterministic tiebreak for error selection and failure reporting.
+func (g *CellGroup) Order() int { return g.order }
+
+// Run executes the group's simulation under ctx and marshals the
+// payload. No recovery: callers own their panic-isolation boundary.
+func (g *CellGroup) Run(ctx context.Context) (json.RawMessage, error) {
+	payload, err := g.sim(ctx)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%s: encode cell payload: %w", g.Key, err)
+	}
+	return raw, nil
+}
+
+// Deliver decodes a payload (fresh, cached, or received over the wire)
+// into every member cell's destination slot.
+func (g *CellGroup) Deliver(raw json.RawMessage) error {
+	for _, dest := range g.dests {
+		if err := json.Unmarshal(raw, dest); err != nil {
+			return fmt.Errorf("%s: decode cell payload: %w", g.Key, err)
+		}
+	}
+	return nil
+}
+
+// GroupPlans collapses the cells of the given plans into unique groups
+// in enumeration order: duplicate keys across plans (Figure 10 reuses
+// Figure 9's cells) become one group with every duplicate's destination
+// attached.
+func GroupPlans(plans ...*Plan) []*CellGroup {
+	var groups []*CellGroup
+	index := make(map[string]*CellGroup)
+	order := 0
+	for _, p := range plans {
+		for i := range p.cells {
+			c := &p.cells[i]
+			hash := c.Key.Hash()
+			g, ok := index[hash]
+			if !ok {
+				g = &CellGroup{Key: c.Key, sim: c.sim, order: order}
+				index[hash] = g
+				groups = append(groups, g)
+			}
+			g.dests = append(g.dests, c.dest)
+			order++
+		}
+	}
+	return groups
 }
 
 // RunPlans executes every cell of every plan, then runs each plan's
@@ -210,22 +269,10 @@ type cellGroup struct {
 // KeepGoing mode failures are collected into Report() instead and the
 // returned error is nil.
 func (r *Runner) RunPlans(plans ...*Plan) error {
-	var groups []*cellGroup
-	index := make(map[string]*cellGroup)
+	groups := GroupPlans(plans...)
 	order := 0
 	for _, p := range plans {
-		for i := range p.cells {
-			c := &p.cells[i]
-			hash := c.Key.Hash()
-			g, ok := index[hash]
-			if !ok {
-				g = &cellGroup{key: c.Key, sim: c.sim, order: order}
-				index[hash] = g
-				groups = append(groups, g)
-			}
-			g.dests = append(g.dests, c.dest)
-			order++
-		}
+		order += len(p.cells)
 	}
 
 	if err := r.runGroups(groups); err != nil {
@@ -235,7 +282,7 @@ func (r *Runner) RunPlans(plans ...*Plan) error {
 		if p.finish == nil {
 			continue
 		}
-		if err := runFinish(p); err != nil {
+		if err := p.Finish(); err != nil {
 			if r.KeepGoing {
 				// Degraded mode: a failed aggregation (possibly fed
 				// zero-valued slots from failed cells) is reported, not
@@ -255,8 +302,13 @@ func (r *Runner) RunPlans(plans ...*Plan) error {
 	return nil
 }
 
-// runFinish runs a plan's aggregation step with panic isolation.
-func runFinish(p *Plan) (err error) {
+// Finish runs the plan's aggregation step (if any) with panic
+// isolation. The Runner calls it after every cell completed; the
+// distributed coordinator calls it in plan order once the grid drains.
+func (p *Plan) Finish() (err error) {
+	if p.finish == nil {
+		return nil
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = newPanicError(rec)
@@ -270,7 +322,7 @@ func runFinish(p *Plan) (err error) {
 // completion and records its outcome (results, counters, progress,
 // journal) — a failure elsewhere only stops workers from claiming NEW
 // groups. Groups never claimed are accounted as skipped in Report().
-func (r *Runner) runGroups(groups []*cellGroup) error {
+func (r *Runner) runGroups(groups []*CellGroup) error {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -292,7 +344,7 @@ func (r *Runner) runGroups(groups []*cellGroup) error {
 		bestErr error
 		bestIdx int
 	)
-	fail := func(g *cellGroup, err error) {
+	fail := func(g *CellGroup, err error) {
 		mu.Lock()
 		if bestErr == nil || g.order < bestIdx {
 			bestErr, bestIdx = err, g.order
@@ -330,7 +382,7 @@ func (r *Runner) runGroups(groups []*cellGroup) error {
 						Cause:    ce.Cause,
 						Err:      ce.Err.Error(),
 					})
-					fail(g, fmt.Errorf("%s: %w", g.key.Experiment, ce))
+					fail(g, fmt.Errorf("%s: %w", g.Key.Experiment, ce))
 				}
 			}
 		}()
@@ -346,16 +398,16 @@ func (r *Runner) runGroups(groups []*cellGroup) error {
 // policy: panic isolation, watchdog deadline, classification and
 // bounded retry with deterministic backoff. A nil return means the
 // cell's payload reached every destination.
-func (r *Runner) superviseGroup(g *cellGroup) *CellError {
+func (r *Runner) superviseGroup(g *CellGroup) *CellError {
 	maxAttempts := r.Retries + 1
 	for attempt := 1; ; attempt++ {
 		err := r.attemptGroup(g, attempt)
 		if err == nil {
 			return nil
 		}
-		cause, retryable := classify(err)
+		cause, retryable := Classify(err)
 		if !retryable || attempt >= maxAttempts {
-			return &CellError{Key: g.key, Attempts: attempt, Cause: cause, Err: err, Stack: panicStack(err)}
+			return &CellError{Key: g.Key, Attempts: attempt, Cause: cause, Err: err, Stack: panicStack(err)}
 		}
 		r.retried.Add(1)
 		r.sleepFor(backoffDelay(r.BackoffBase, r.BackoffMax, attempt))
@@ -366,7 +418,7 @@ func (r *Runner) superviseGroup(g *cellGroup) *CellError {
 // (journal-gated under Resume), chaos injection, simulation under the
 // watchdog context, persistence, fan-out decode, journaling, progress.
 // Any panic inside the simulation surfaces as a *PanicError.
-func (r *Runner) attemptGroup(g *cellGroup, attempt int) (err error) {
+func (r *Runner) attemptGroup(g *CellGroup, attempt int) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = newPanicError(rec)
@@ -381,26 +433,26 @@ func (r *Runner) attemptGroup(g *cellGroup, attempt int) (err error) {
 
 	fault := chaos.None
 	if r.Chaos != nil {
-		fault = r.Chaos.Decide(g.key.String(), attempt)
+		fault = r.Chaos.Decide(g.Key.String(), attempt)
 	}
 
 	var raw json.RawMessage
 	cached := false
-	if r.Cache != nil && (!r.Resume || (r.Journal != nil && r.Journal.Done(g.key.Hash()))) {
-		raw, cached = r.Cache.Get(g.key)
+	if r.Cache != nil && (!r.Resume || (r.Journal != nil && r.Journal.Done(g.Key.Hash()))) {
+		raw, cached = r.Cache.Get(g.Key)
 	}
 	if !cached {
 		switch fault {
 		case chaos.Panic:
-			panic(chaos.PanicValue{Cell: g.key.String(), Attempt: attempt})
+			panic(chaos.PanicValue{Cell: g.Key.String(), Attempt: attempt})
 		case chaos.Hang:
 			if _, ok := ctx.Deadline(); !ok {
-				return fmt.Errorf("%s: chaos hang injected without a watchdog (set a cell timeout)", g.key)
+				return fmt.Errorf("%s: chaos hang injected without a watchdog (set a cell timeout)", g.Key)
 			}
 			<-ctx.Done()
-			return fmt.Errorf("%s: %w", g.key, ctx.Err())
+			return fmt.Errorf("%s: %w", g.Key, ctx.Err())
 		case chaos.Transient:
-			return &chaos.InjectedError{Cell: g.key.String(), Attempt: attempt}
+			return &chaos.InjectedError{Cell: g.Key.String(), Attempt: attempt}
 		}
 		payload, err := g.sim(ctx)
 		if err != nil {
@@ -408,25 +460,25 @@ func (r *Runner) attemptGroup(g *cellGroup, attempt int) (err error) {
 				// The watchdog fired mid-simulation: classify as a
 				// timeout even when the engine dressed the cancellation
 				// in workload context.
-				return fmt.Errorf("%s: %w (sim: %v)", g.key, cause, err)
+				return fmt.Errorf("%s: %w (sim: %v)", g.Key, cause, err)
 			}
 			return err
 		}
 		raw, err = json.Marshal(payload)
 		if err != nil {
-			return fmt.Errorf("%s: encode cell payload: %w", g.key, err)
+			return fmt.Errorf("%s: encode cell payload: %w", g.Key, err)
 		}
 		r.simulated.Add(1)
 		if r.Cache != nil {
-			if err := r.Cache.Put(g.key, raw); err != nil {
-				return fmt.Errorf("%s: persist cell payload: %w", g.key, err)
+			if err := r.Cache.Put(g.Key, raw); err != nil {
+				return fmt.Errorf("%s: persist cell payload: %w", g.Key, err)
 			}
 			if fault == chaos.Corrupt {
 				// Simulate a torn write by a crashed peer: the in-memory
 				// payload stays good (this run's result is unaffected),
 				// but the stored entry must degrade to a miss next read.
-				if err := r.Cache.Corrupt(g.key); err != nil {
-					return fmt.Errorf("%s: chaos corrupt: %w", g.key, err)
+				if err := r.Cache.Corrupt(g.Key); err != nil {
+					return fmt.Errorf("%s: chaos corrupt: %w", g.Key, err)
 				}
 			}
 		}
@@ -435,17 +487,17 @@ func (r *Runner) attemptGroup(g *cellGroup, attempt int) (err error) {
 	}
 	for _, dest := range g.dests {
 		if err := json.Unmarshal(raw, dest); err != nil {
-			return fmt.Errorf("%s: decode cell payload: %w", g.key, err)
+			return fmt.Errorf("%s: decode cell payload: %w", g.Key, err)
 		}
 	}
 	if r.Journal != nil {
-		if err := r.Journal.Record(g.key.Hash(), g.key); err != nil {
-			return fmt.Errorf("%s: %w", g.key, err)
+		if err := r.Journal.Record(g.Key.Hash(), g.Key); err != nil {
+			return fmt.Errorf("%s: %w", g.Key, err)
 		}
 	}
 	if r.Progress != nil {
 		r.progressMu.Lock()
-		r.Progress(g.key, cached)
+		r.Progress(g.Key, cached)
 		r.progressMu.Unlock()
 	}
 	return nil

@@ -46,6 +46,11 @@ func newPanicError(value any) *PanicError {
 	return &PanicError{Value: value, Stack: debug.Stack()}
 }
 
+// NewPanicError wraps a recovered panic value for classification. The
+// distributed worker uses it at its own recover boundary so remote
+// panics classify exactly like local ones.
+func NewPanicError(value any) *PanicError { return newPanicError(value) }
+
 // Error renders the panic value (not the stack — the stack is
 // nondeterministic and lives on CellError.Stack for humans).
 func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
@@ -73,30 +78,61 @@ func (e *CellError) Unwrap() error { return e.Err }
 // to tag an error retryable without harness depending on its package.
 type transienter interface{ Transient() bool }
 
-// classify maps an attempt error to its cause label and retryability.
-// Policy (the ISSUE's contract): panics, watchdog timeouts, transient
-// I/O and injected faults retry; deterministic simulation errors fail
-// fast; a canceled parent context aborts without retry.
-func classify(err error) (cause string, retryable bool) {
-	var pe *PanicError
-	if errors.As(err, &pe) {
-		return CausePanic, true
-	}
-	if errors.Is(err, context.DeadlineExceeded) {
-		return CauseTimeout, true
-	}
-	if errors.Is(err, context.Canceled) {
-		return CauseError, false
-	}
-	var tr transienter
-	if errors.As(err, &tr) && tr.Transient() {
-		return CauseTransient, true
-	}
-	var pathErr *fs.PathError
-	if errors.As(err, &pathErr) {
-		return CauseTransient, true
+// classifyRule is one row of the classification table: the first rule
+// whose Match accepts the error decides its cause and retryability.
+type classifyRule struct {
+	Cause     string
+	Retryable bool
+	Match     func(error) bool
+}
+
+// classifyRules is the single decision procedure shared by the local
+// supervisor and the distributed coordinator's lease-expiry path. Order
+// matters: a panic wrapping a context error is still a panic.
+var classifyRules = []classifyRule{
+	{CausePanic, true, func(err error) bool {
+		var pe *PanicError
+		return errors.As(err, &pe)
+	}},
+	{CauseTimeout, true, func(err error) bool {
+		return errors.Is(err, context.DeadlineExceeded)
+	}},
+	{CauseError, false, func(err error) bool {
+		return errors.Is(err, context.Canceled)
+	}},
+	{CauseTransient, true, func(err error) bool {
+		var tr transienter
+		return errors.As(err, &tr) && tr.Transient()
+	}},
+	{CauseTransient, true, func(err error) bool {
+		var pathErr *fs.PathError
+		return errors.As(err, &pathErr)
+	}},
+}
+
+// Classify maps an attempt error to its cause label and retryability.
+// Policy (PR 5's contract, now shared with the distributed coordinator):
+// panics, watchdog timeouts, transient I/O and injected faults retry;
+// deterministic simulation errors fail fast; a canceled parent context
+// aborts without retry.
+func Classify(err error) (cause string, retryable bool) {
+	for _, r := range classifyRules {
+		if r.Match(err) {
+			return r.Cause, r.Retryable
+		}
 	}
 	return CauseError, false
+}
+
+// RetryableCause reports whether a cause label (as produced by Classify,
+// possibly on the far side of a network connection) names a retryable
+// failure class. Unknown labels are conservative: not retryable.
+func RetryableCause(cause string) bool {
+	switch cause {
+	case CausePanic, CauseTimeout, CauseTransient:
+		return true
+	}
+	return false
 }
 
 // panicStack extracts the captured stack when err chains to a panic.
@@ -106,6 +142,13 @@ func panicStack(err error) string {
 		return string(pe.Stack)
 	}
 	return ""
+}
+
+// BackoffDelay returns the deterministic exponential delay before the
+// k-th retry (k >= 1): min(base << (k-1), max) — the same schedule for
+// the local runner and the coordinator's re-lease path.
+func BackoffDelay(base, max time.Duration, k int) time.Duration {
+	return backoffDelay(base, max, k)
 }
 
 // backoffDelay returns the deterministic exponential delay before the
@@ -137,8 +180,25 @@ type CellFailure struct {
 	Attempts int     `json:"attempts"`
 	Cause    string  `json:"cause"`
 	Err      string  `json:"err"`
+	// Worker names the worker the final attempt ran on — set by the
+	// distributed coordinator so a degraded run states exactly which
+	// cells failed where; empty for local runs.
+	Worker string `json:"worker,omitempty"`
 
 	order int
+}
+
+// WorkerStat is one worker's contribution to a distributed run:
+// how many cells it committed, how many of its attempts were retried
+// elsewhere after it lost them, how often it was evicted (connection
+// lost or closed while holding leases), and how many of its leases
+// expired for missed heartbeats.
+type WorkerStat struct {
+	Worker        string `json:"worker"`
+	Completed     int    `json:"completed"`
+	Retries       int    `json:"retries"`
+	Evictions     int    `json:"evictions"`
+	HeartbeatGaps int    `json:"heartbeatGaps"`
 }
 
 // RunReport is the outcome of a supervised run: what was planned, what
@@ -155,6 +215,10 @@ type RunReport struct {
 	CacheHits int64         `json:"cacheHits"`
 	Retries   int64         `json:"retries"`
 	Failures  []CellFailure `json:"failures,omitempty"`
+	// Workers is the per-worker attribution of a distributed run (nil
+	// for local runs — existing reports are unchanged). Rendered sorted
+	// by worker name, so a fixed outcome renders byte-identically.
+	Workers []WorkerStat `json:"workers,omitempty"`
 	// CodeCache snapshots the shared translation cache when the runner
 	// had one attached (nil otherwise — existing reports are unchanged).
 	CodeCache *codecache.Stats `json:"codeCache,omitempty"`
@@ -200,6 +264,15 @@ func (r *RunReport) Render() string {
 	if r.CodeCache != nil {
 		fmt.Fprintf(&b, "code cache: %s\n", r.CodeCache)
 	}
+	if len(r.Workers) > 0 {
+		ws := append([]WorkerStat(nil), r.Workers...)
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Worker < ws[j].Worker })
+		b.WriteString("workers:\n")
+		for _, w := range ws {
+			fmt.Fprintf(&b, "  %-12s %d cells, %d retried, %d eviction(s), %d heartbeat gap(s)\n",
+				w.Worker, w.Completed, w.Retries, w.Evictions, w.HeartbeatGaps)
+		}
+	}
 	if len(r.Failures) == 0 {
 		b.WriteString("all cells completed\n")
 		return b.String()
@@ -210,7 +283,11 @@ func (r *RunReport) Render() string {
 		if f.Cause == CauseAggregate {
 			key = f.Key.Experiment + " (aggregate)"
 		}
-		fmt.Fprintf(&b, "  FAIL %-40s cause=%-9s attempts=%d  %s\n", key, f.Cause, f.Attempts, f.Err)
+		fmt.Fprintf(&b, "  FAIL %-40s cause=%-9s attempts=%d  %s", key, f.Cause, f.Attempts, f.Err)
+		if f.Worker != "" {
+			fmt.Fprintf(&b, "  worker=%s", f.Worker)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -479,5 +481,87 @@ func TestResultCachePutCrashSafety(t *testing.T) {
 	}
 	if raw, ok := c.Get(key); !ok || string(raw) != `{"v":1}` {
 		t.Errorf("repaired entry = %q ok=%v", raw, ok)
+	}
+}
+
+// errTransient is a minimal Transient()-tagged error for the table test.
+type errTransient struct{}
+
+func (errTransient) Error() string   { return "flaky io" }
+func (errTransient) Transient() bool { return true }
+
+// errNotTransient implements the duck type but answers false — it must
+// classify as a deterministic error.
+type errNotTransient struct{}
+
+func (errNotTransient) Error() string   { return "tagged but deterministic" }
+func (errNotTransient) Transient() bool { return false }
+
+// TestClassifyTable pins the exported classification table: one case
+// per failure class, including wrapped errors (the common shape after
+// fmt.Errorf("%s: %w", ...)) and the not-retryable edge cases. The
+// local runner and the distributed coordinator share this decision
+// procedure, so its rows are contract.
+func TestClassifyTable(t *testing.T) {
+	wrap := func(err error) error { return fmt.Errorf("cell x: %w", err) }
+	cases := []struct {
+		name      string
+		err       error
+		cause     string
+		retryable bool
+	}{
+		{"panic", newPanicError("boom"), CausePanic, true},
+		{"wrapped panic", wrap(newPanicError("boom")), CausePanic, true},
+		{"deadline", context.DeadlineExceeded, CauseTimeout, true},
+		{"wrapped deadline", wrap(context.DeadlineExceeded), CauseTimeout, true},
+		{"canceled", context.Canceled, CauseError, false},
+		{"wrapped canceled", wrap(context.Canceled), CauseError, false},
+		{"transient tag", errTransient{}, CauseTransient, true},
+		{"wrapped transient tag", wrap(errTransient{}), CauseTransient, true},
+		{"transient tag false", errNotTransient{}, CauseError, false},
+		{"injected chaos", &chaos.InjectedError{Cell: "c", Attempt: 1}, CauseTransient, true},
+		{"fs path error", &fs.PathError{Op: "open", Path: "x", Err: errors.New("eio")}, CauseTransient, true},
+		{"plain error", errors.New("bad input"), CauseError, false},
+		{"panic wrapping cancel stays panic", newPanicError(context.Canceled), CausePanic, true},
+	}
+	for _, tc := range cases {
+		cause, retryable := Classify(tc.err)
+		if cause != tc.cause || retryable != tc.retryable {
+			t.Errorf("%s: Classify = (%s, %v), want (%s, %v)", tc.name, cause, retryable, tc.cause, tc.retryable)
+		}
+		if RetryableCause(cause) != retryable {
+			t.Errorf("%s: RetryableCause(%s) = %v disagrees with Classify", tc.name, cause, retryable)
+		}
+	}
+	if RetryableCause("no-such-cause") {
+		t.Error("unknown cause labels must not be retryable")
+	}
+	if RetryableCause(CauseAggregate) {
+		t.Error("aggregate failures must not be retryable")
+	}
+}
+
+// TestWorkerAttributionRender: per-worker stats render sorted by worker
+// name regardless of slice order, and failure lines carry the worker
+// when one is attributed.
+func TestWorkerAttributionRender(t *testing.T) {
+	rep := &RunReport{
+		Cells: 4, Completed: 3, Failed: 1, Simulated: 3, Retries: 2,
+		Workers: []WorkerStat{
+			{Worker: "w2", Completed: 1, Retries: 1, Evictions: 1, HeartbeatGaps: 1},
+			{Worker: "w1", Completed: 2},
+		},
+		Failures: []CellFailure{{Key: synKey(3), Attempts: 2, Cause: CauseTimeout, Err: "lease expired", Worker: "w2"}},
+	}
+	out := rep.Render()
+	iw1, iw2 := strings.Index(out, "w1"), strings.Index(out, "w2")
+	if iw1 < 0 || iw2 < 0 || iw1 > iw2 {
+		t.Errorf("workers not rendered in sorted order:\n%s", out)
+	}
+	if !strings.Contains(out, "worker=w2") {
+		t.Errorf("failure line lost its worker attribution:\n%s", out)
+	}
+	if rep2 := (&RunReport{Cells: 1, Completed: 1, Simulated: 1}); strings.Contains(rep2.Render(), "workers:") {
+		t.Error("local reports must not grow a workers section")
 	}
 }

@@ -7,6 +7,12 @@
 # Usage: scripts/bench.sh [label] [count]
 #   label  entry label in the JSON log (default: dev)
 #   count  -count passed to go test (default: 3)
+#
+# The label "dist" is a mode: it runs only the distributed-vs-parallel
+# grid pair (a loopback jrsd coordinator + local workers against the
+# shared-memory parallel runner) and records the comparison as a `dist`
+# entry — the number to watch is BenchmarkGridDist's overhead relative
+# to BenchmarkGridParallel at the same worker count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,10 +23,15 @@ commit="$(git rev-parse --short HEAD 2>/dev/null || true)"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "== grid macro-benchmarks (count=$count) =="
-go test -run '^$' -bench 'BenchmarkGrid' -benchmem -count "$count" -timeout 120m . | tee -a "$tmp"
+if [ "$label" = "dist" ]; then
+  echo "== distributed vs parallel grid (count=$count) =="
+  go test -run '^$' -bench 'BenchmarkGrid(Parallel|Dist)$' -benchmem -count "$count" -timeout 120m . | tee -a "$tmp"
+else
+  echo "== grid macro-benchmarks (count=$count) =="
+  go test -run '^$' -bench 'BenchmarkGrid' -benchmem -count "$count" -timeout 120m . | tee -a "$tmp"
 
-echo "== trace-transport micro-benchmarks (count=$count) =="
-go test ./internal/trace -run '^$' -bench TraceTransport -benchmem -count "$count" | tee -a "$tmp"
+  echo "== trace-transport micro-benchmarks (count=$count) =="
+  go test ./internal/trace -run '^$' -bench TraceTransport -benchmem -count "$count" | tee -a "$tmp"
+fi
 
 go run ./scripts/benchjson -label "$label" -commit "$commit" -out "$out" < "$tmp"
